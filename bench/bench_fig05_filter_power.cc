@@ -1,0 +1,59 @@
+// Reproduces Figure 5: filtering power (average signature length and
+// candidate count) of U-Filter / AU-heuristic / AU-DP across overlap
+// constraints at theta = 0.85, on MED-like and WIKI-like corpora.
+//
+// Expected shape (paper): AU-DP produces the shortest signatures and the
+// fewest candidates; U-Filter is flat (tau fixed at 1).
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "join/join.h"
+
+namespace aujoin {
+namespace {
+
+void RunDataset(const std::string& dataset, size_t n, double theta,
+                const std::vector<int64_t>& taus) {
+  auto world = BuildWorld(dataset, n, n / 10);
+  JoinContext context(world->knowledge(), MsimOptions{.q = 3});
+  context.Prepare(world->corpus.records, nullptr);
+
+  std::printf("\n[%s-like] strings=%zu theta=%.2f\n", dataset.c_str(),
+              world->corpus.records.size(), theta);
+  std::printf("%-4s | %-10s %-12s | %-10s %-12s | %-10s %-12s\n", "tau",
+              "U sig", "U cand", "heur sig", "heur cand", "DP sig",
+              "DP cand");
+  for (int64_t tau : taus) {
+    std::printf("%-4lld |", static_cast<long long>(tau));
+    for (FilterMethod method :
+         {FilterMethod::kUFilter, FilterMethod::kAuHeuristic,
+          FilterMethod::kAuDp}) {
+      SignatureOptions sig;
+      sig.theta = theta;
+      sig.tau = static_cast<int>(tau);
+      sig.method = method;
+      auto out = context.RunFilter(sig);
+      std::printf(" %-10.1f %-12zu %s", out.avg_signature_pebbles,
+                  out.candidates.size(),
+                  method == FilterMethod::kAuDp ? "" : "|");
+    }
+    std::printf("\n");
+  }
+}
+
+}  // namespace
+}  // namespace aujoin
+
+int main(int argc, char** argv) {
+  aujoin::Flags flags(argc, argv);
+  size_t n = static_cast<size_t>(flags.GetInt("strings", 1500));
+  double theta = flags.GetDouble("theta", 0.85);
+  auto taus = flags.GetIntList("tau", {1, 2, 4, 6, 8});
+  aujoin::PrintBanner("E5 filtering power", "Figure 5",
+                      "AU-DP prunes most (70-90% fewer candidate pairs); "
+                      "signatures grow with tau");
+  aujoin::RunDataset("med", n, theta, taus);
+  aujoin::RunDataset("wiki", n, theta, taus);
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Reproduces Figure 7: scalability of the three join algorithms with the
+// dataset size.
+//
+// Expected shape (paper): all grow roughly linearly (not quadratically);
+// AU-DP scales best, U-Filter worst.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "join/join.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace aujoin;
+  Flags flags(argc, argv);
+  auto sizes = flags.GetIntList("sizes", {300, 600, 900, 1200});
+  double theta = flags.GetDouble("theta", 0.90);
+  int tau = static_cast<int>(flags.GetInt("tau", 3));
+
+  PrintBanner("E7 scalability", "Figure 7",
+              "join time grows near-linearly; AU-DP < AU-heuristic < "
+              "U-Filter");
+  std::printf("theta=%.2f tau=%d\n", theta, tau);
+  std::printf("%-8s | %12s %14s %12s\n", "size", "U-Filter",
+              "AU-heuristic", "AU-DP");
+  for (int64_t size : sizes) {
+    auto world = BuildWorld("med", static_cast<size_t>(size), size / 10);
+    JoinContext context(world->knowledge(), MsimOptions{.q = 3});
+    context.Prepare(world->corpus.records, nullptr);
+    std::printf("%-8lld |", static_cast<long long>(size));
+    for (FilterMethod method :
+         {FilterMethod::kUFilter, FilterMethod::kAuHeuristic,
+          FilterMethod::kAuDp}) {
+      JoinOptions options;
+      options.theta = theta;
+      options.tau = method == FilterMethod::kUFilter ? 1 : tau;
+      options.method = method;
+      WallTimer timer;
+      UnifiedJoin(context, options);
+      double w = method == FilterMethod::kAuHeuristic ? 14 : 12;
+      std::printf(" %*.3f", static_cast<int>(w), timer.Seconds());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,54 @@
+// Reproduces Figure 8: number of estimation iterations and total
+// suggestion time as a function of the Bernoulli sampling probability
+// (theta = 0.8, n* = 10, 70% confidence as in the paper's caption).
+//
+// Expected shape (paper): iterations fall as the probability grows, but
+// per-iteration cost rises, so the total time is non-monotone with an
+// interior optimum.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "tuner/recommend.h"
+
+int main(int argc, char** argv) {
+  using namespace aujoin;
+  Flags flags(argc, argv);
+  size_t n = static_cast<size_t>(flags.GetInt("strings", 1500));
+  double theta = flags.GetDouble("theta", 0.80);
+  auto probs = flags.GetDoubleList(
+      "prob", {0.001, 0.002, 0.005, 0.01, 0.03, 0.08});
+  int runs = static_cast<int>(flags.GetInt("runs", 3));
+
+  PrintBanner("E11 sampling probability vs suggestion cost", "Figure 8",
+              "iterations decrease with sampling probability; total time "
+              "is non-monotone (interior optimum)");
+  auto world = BuildWorld("med", n, n / 10);
+  JoinContext context(world->knowledge(), MsimOptions{.q = 3});
+  context.Prepare(world->corpus.records, nullptr);
+  JoinOptions join_opts;
+  join_opts.method = FilterMethod::kAuHeuristic;
+  join_opts.theta = theta;
+  CostModel model = CalibrateCostModel(context, join_opts);
+
+  std::printf("theta=%.2f n*=10 confidence=70%%\n", theta);
+  std::printf("%-10s | %12s %14s\n", "prob", "iterations", "suggest_time_s");
+  for (double p : probs) {
+    double iters = 0, secs = 0;
+    for (int run = 0; run < runs; ++run) {
+      TunerOptions tuner;
+      tuner.theta = theta;
+      tuner.method = FilterMethod::kAuHeuristic;
+      tuner.sample_prob_s = p;
+      tuner.min_iterations = 10;
+      tuner.max_iterations = 3000;
+      tuner.confidence = 0.70;
+      tuner.seed = 8000 + static_cast<uint64_t>(run) * 131;
+      TauRecommendation rec = RecommendTau(context, model, tuner);
+      iters += rec.iterations;
+      secs += rec.seconds;
+    }
+    std::printf("%-10.4f | %12.1f %14.3f\n", p, iters / runs, secs / runs);
+  }
+  return 0;
+}

@@ -1,0 +1,142 @@
+// Microbenchmarks (google-benchmark) for the core primitives: Hungarian
+// matching, conflict-graph construction + SquareImp, Algorithm 1, pebble
+// generation and the three signature-selection algorithms. These quantify
+// the per-pair verification cost and the per-record filtering cost that
+// the Section 4 cost model treats as the constants c_v and c_f.
+
+#include <benchmark/benchmark.h>
+
+#include "core/hungarian.h"
+#include "core/pair_graph.h"
+#include "core/squareimp.h"
+#include "core/usim.h"
+#include "datagen/corpus_gen.h"
+#include "datagen/synonym_gen.h"
+#include "datagen/taxonomy_gen.h"
+#include "join/global_order.h"
+#include "join/signature.h"
+#include "util/rng.h"
+
+namespace aujoin {
+namespace {
+
+// Shared world; built once.
+struct MicroWorld {
+  Vocabulary vocab;
+  Taxonomy taxonomy;
+  RuleSet rules;
+  Corpus corpus;
+  Knowledge knowledge() { return Knowledge{&vocab, &rules, &taxonomy}; }
+
+  MicroWorld() {
+    taxonomy = GenerateTaxonomy({.num_nodes = 1000}, &vocab);
+    rules = GenerateSynonyms({.num_rules = 800}, taxonomy, &vocab);
+    CorpusGenerator gen(&vocab, &taxonomy, &rules);
+    corpus = gen.Generate(CorpusProfile::Med(300), {.num_pairs = 100});
+  }
+};
+
+MicroWorld& World() {
+  static auto* world = new MicroWorld();
+  return *world;
+}
+
+void BM_Hungarian(benchmark::State& state) {
+  size_t n = static_cast<size_t>(state.range(0));
+  Rng rng(n);
+  std::vector<std::vector<double>> w(n, std::vector<double>(n));
+  for (auto& row : w) {
+    for (auto& cell : row) cell = rng.UniformReal();
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MaxWeightBipartiteMatching(w));
+  }
+}
+BENCHMARK(BM_Hungarian)->Arg(4)->Arg(8)->Arg(16)->Arg(32);
+
+void BM_PairGraphBuild(benchmark::State& state) {
+  auto& world = World();
+  MsimEvaluator eval(world.knowledge(), {});
+  const auto& truth = world.corpus.truth_pairs;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = truth[i++ % truth.size()];
+    PairGraph g = BuildPairGraph(world.corpus.records[a],
+                                 world.corpus.records[b], &eval);
+    benchmark::DoNotOptimize(g.num_vertices());
+  }
+}
+BENCHMARK(BM_PairGraphBuild);
+
+void BM_SquareImp(benchmark::State& state) {
+  auto& world = World();
+  MsimEvaluator eval(world.knowledge(), {});
+  const auto& [a, b] = world.corpus.truth_pairs[0];
+  PairGraph g = BuildPairGraph(world.corpus.records[a],
+                               world.corpus.records[b], &eval);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(SquareImp(g));
+  }
+}
+BENCHMARK(BM_SquareImp);
+
+void BM_ApproxUsim(benchmark::State& state) {
+  auto& world = World();
+  UsimComputer computer(world.knowledge(), {});
+  const auto& truth = world.corpus.truth_pairs;
+  size_t i = 0;
+  for (auto _ : state) {
+    const auto& [a, b] = truth[i++ % truth.size()];
+    benchmark::DoNotOptimize(
+        computer.Approx(world.corpus.records[a], world.corpus.records[b]));
+  }
+}
+BENCHMARK(BM_ApproxUsim);
+
+void BM_PebbleGeneration(benchmark::State& state) {
+  auto& world = World();
+  PebbleGenerator gen(world.knowledge(), {});
+  Vocabulary gram_dict;
+  size_t i = 0;
+  for (auto _ : state) {
+    const Record& r = world.corpus.records[i++ % world.corpus.records.size()];
+    benchmark::DoNotOptimize(gen.Generate(r, &gram_dict));
+  }
+}
+BENCHMARK(BM_PebbleGeneration);
+
+void BM_SignatureSelection(benchmark::State& state) {
+  auto& world = World();
+  FilterMethod method = static_cast<FilterMethod>(state.range(0));
+  PebbleGenerator gen(world.knowledge(), {});
+  Vocabulary gram_dict;
+  std::vector<RecordPebbles> prepared;
+  GlobalOrder order;
+  for (const Record& r : world.corpus.records) {
+    prepared.push_back(gen.Generate(r, &gram_dict));
+  }
+  order.CountCollection(prepared);
+  order.Finalize();
+  for (auto& rp : prepared) order.SortPebbles(&rp);
+
+  SignatureOptions options;
+  options.theta = 0.85;
+  options.tau = 4;
+  options.method = method;
+  size_t i = 0;
+  for (auto _ : state) {
+    size_t idx = i++ % prepared.size();
+    benchmark::DoNotOptimize(
+        SelectSignature(prepared[idx],
+                        world.corpus.records[idx].num_tokens(), options));
+  }
+}
+BENCHMARK(BM_SignatureSelection)
+    ->Arg(static_cast<int>(FilterMethod::kUFilter))
+    ->Arg(static_cast<int>(FilterMethod::kAuHeuristic))
+    ->Arg(static_cast<int>(FilterMethod::kAuDp));
+
+}  // namespace
+}  // namespace aujoin
+
+BENCHMARK_MAIN();

@@ -1,0 +1,86 @@
+// Reproduces Table 12: accuracy of the tau suggestion (fraction of runs
+// whose suggested tau matches the true optimum, across random samples)
+// and the suggestion time as a fraction of the total join time.
+//
+// Expected shape (paper): accuracy > 90%, time fraction around or below a
+// few percent.
+
+#include <cstdio>
+
+#include "bench_common.h"
+#include "tuner/recommend.h"
+#include "util/timer.h"
+
+int main(int argc, char** argv) {
+  using namespace aujoin;
+  Flags flags(argc, argv);
+  size_t n = static_cast<size_t>(flags.GetInt("strings", 600));
+  auto thetas = flags.GetDoubleList("theta", {0.75, 0.80, 0.85, 0.90, 0.95});
+  int runs = static_cast<int>(flags.GetInt("runs", 10));
+  std::vector<int64_t> universe = flags.GetIntList("tau", {1, 2, 3, 4, 6});
+
+  PrintBanner("E10 suggestion accuracy", "Table 12",
+              ">90% of runs pick a tau whose cost is within 10% of "
+              "optimal; suggestion takes ~1% of join time");
+  auto world = BuildWorld("med", n, n / 10);
+  JoinContext context(world->knowledge(), MsimOptions{.q = 3});
+  context.Prepare(world->corpus.records, nullptr);
+  JoinOptions join_opts;
+  join_opts.method = FilterMethod::kAuHeuristic;
+  CostModel model = CalibrateCostModel(context, join_opts);
+
+  std::printf("%-6s | %9s %12s\n", "theta", "accuracy", "time_frac");
+  for (double theta : thetas) {
+    // Ground truth: model cost from full-data cardinalities per tau.
+    double best_cost = -1;
+    std::vector<double> costs;
+    double full_join_time;
+    {
+      JoinOptions options;
+      options.theta = theta;
+      options.method = FilterMethod::kAuHeuristic;
+      options.tau = 2;
+      WallTimer timer;
+      UnifiedJoin(context, options);
+      full_join_time = timer.Seconds();
+    }
+    for (int64_t tau : universe) {
+      SignatureOptions sig;
+      sig.theta = theta;
+      sig.tau = static_cast<int>(tau);
+      sig.method = FilterMethod::kAuHeuristic;
+      auto out = context.RunFilter(sig);
+      double c = model.Cost(static_cast<double>(out.processed_pairs),
+                            static_cast<double>(out.candidates.size()));
+      costs.push_back(c);
+      if (best_cost < 0 || c < best_cost) best_cost = c;
+    }
+
+    int hits = 0;
+    double total_suggest = 0;
+    for (int run = 0; run < runs; ++run) {
+      TunerOptions tuner;
+      tuner.theta = theta;
+      tuner.method = FilterMethod::kAuHeuristic;
+      tuner.tau_universe.assign(universe.begin(), universe.end());
+      tuner.sample_prob_s = 0.05;
+      tuner.min_iterations = 5;
+      tuner.max_iterations = 30;
+      tuner.seed = 5000 + static_cast<uint64_t>(run) * 97;
+      TauRecommendation rec = RecommendTau(context, model, tuner);
+      total_suggest += rec.seconds;
+      for (size_t k = 0; k < universe.size(); ++k) {
+        if (universe[k] == rec.best_tau &&
+            costs[k] <= best_cost * 1.10 + 1e-12) {
+          ++hits;
+          break;
+        }
+      }
+    }
+    double accuracy = static_cast<double>(hits) / runs;
+    double frac = (total_suggest / runs) / (full_join_time + 1e-12);
+    std::printf("%-6.2f | %8.0f%% %11.2f%%\n", theta, accuracy * 100,
+                frac * 100);
+  }
+  return 0;
+}

@@ -1,0 +1,102 @@
+// Reproduces Table 14: join time of our algorithm vs the specialised
+// baselines, grouped so each comparison uses the same single measure
+// (K-Join vs Ours(T); AdaptJoin vs Ours(J); PKduck vs Ours(S);
+// Combination vs Ours(TJS)).
+//
+// Expected shape (paper): Ours is competitive with or faster than each
+// specialised baseline in most settings.
+
+#include <cstdio>
+
+#include "baselines/combination.h"
+#include "bench_common.h"
+#include "join/join.h"
+#include "util/timer.h"
+
+namespace aujoin {
+namespace {
+
+double OursTime(const Knowledge& knowledge,
+                const std::vector<Record>& records, const char* measures,
+                double theta) {
+  MsimOptions msim;
+  msim.q = 3;
+  msim.measures = ParseMeasures(measures);
+  JoinContext context(knowledge, msim);
+  context.Prepare(records, nullptr);
+  JoinOptions options;
+  options.theta = theta;
+  options.tau = 2;
+  options.method = FilterMethod::kAuDp;
+  WallTimer timer;
+  UnifiedJoin(context, options);
+  return timer.Seconds();
+}
+
+}  // namespace
+}  // namespace aujoin
+
+int main(int argc, char** argv) {
+  using namespace aujoin;
+  Flags flags(argc, argv);
+  size_t n = static_cast<size_t>(flags.GetInt("strings", 600));
+  auto thetas = flags.GetDoubleList("theta", {0.75, 0.85, 0.95});
+
+  PrintBanner("E13 join time vs baselines (seconds)", "Table 14",
+              "Ours(X) competitive with the X-specialised baseline in each "
+              "group");
+  auto world = BuildWorld("med", n, n / 10);
+  const auto& records = world->corpus.records;
+  Knowledge knowledge = world->knowledge();
+
+  std::printf("%-14s", "method");
+  for (double theta : thetas) std::printf(" %9.2f", theta);
+  std::printf("\n");
+
+  auto row = [&](const char* name, auto&& fn) {
+    std::printf("%-14s", name);
+    for (double theta : thetas) std::printf(" %9.3f", fn(theta));
+    std::printf("\n");
+  };
+
+  row("K-Join", [&](double theta) {
+    KJoin j(knowledge, {.theta = theta});
+    WallTimer t;
+    j.SelfJoin(records);
+    return t.Seconds();
+  });
+  row("Ours(T)", [&](double theta) {
+    return OursTime(knowledge, records, "T", theta);
+  });
+  row("AdaptJoin", [&](double theta) {
+    AdaptJoin j({.theta = theta});
+    WallTimer t;
+    j.SelfJoin(records);
+    return t.Seconds();
+  });
+  row("Ours(J)", [&](double theta) {
+    return OursTime(knowledge, records, "J", theta);
+  });
+  row("PKduck", [&](double theta) {
+    PkduckJoin j(knowledge, {.theta = theta});
+    WallTimer t;
+    j.SelfJoin(records);
+    return t.Seconds();
+  });
+  row("Ours(S)", [&](double theta) {
+    return OursTime(knowledge, records, "S", theta);
+  });
+  row("Combination", [&](double theta) {
+    CombinationOptions o;
+    o.kjoin.theta = theta;
+    o.adaptjoin.theta = theta;
+    o.pkduck.theta = theta;
+    WallTimer t;
+    CombinationJoin(knowledge, records, o);
+    return t.Seconds();
+  });
+  row("Ours(TJS)", [&](double theta) {
+    return OursTime(knowledge, records, "TJS", theta);
+  });
+  return 0;
+}

@@ -1,0 +1,59 @@
+// Information-retrieval scenario: matching research-paper keyword strings
+// (the paper's MED dataset) where near-duplicates arise from MeSH aliases
+// ("myocardial infarction" vs "heart attack"), taxonomic siblings, and
+// typos. Shows how the choice of similarity measures changes what a join
+// can find — the paper's Table 8 story on a runnable scale.
+//
+//   ./med_keywords [--strings=1000] [--theta=0.75]
+
+#include <cstdio>
+
+#include "datagen/corpus_gen.h"
+#include "datagen/synonym_gen.h"
+#include "datagen/taxonomy_gen.h"
+#include "join/join.h"
+#include "util/flags.h"
+
+using namespace aujoin;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  size_t n = static_cast<size_t>(flags.GetInt("strings", 1000));
+  double theta = flags.GetDouble("theta", 0.75);
+
+  // MeSH-like taxonomy + alias dictionary + keyword corpus.
+  Vocabulary vocab;
+  Taxonomy taxonomy = GenerateTaxonomy({.num_nodes = 2000}, &vocab);
+  RuleSet rules = GenerateSynonyms({.num_rules = 3000}, taxonomy, &vocab);
+  Knowledge knowledge{&vocab, &rules, &taxonomy};
+  CorpusGenerator gen(&vocab, &taxonomy, &rules);
+  Corpus corpus =
+      gen.Generate(CorpusProfile::Med(n), {.num_pairs = n / 5});
+  std::printf("MED-like corpus: %zu keyword strings, %zu labelled similar "
+              "pairs, theta=%.2f\n\n",
+              corpus.records.size(), corpus.truth_pairs.size(), theta);
+
+  std::printf("%-8s | %6s %6s %6s | %10s %10s\n", "measures", "P", "R", "F",
+              "pairs", "time_s");
+  for (const char* combo : {"J", "T", "S", "JS", "TJ", "TS", "TJS"}) {
+    MsimOptions msim;
+    msim.q = 3;
+    msim.measures = ParseMeasures(combo);
+    JoinContext context(knowledge, msim);
+    context.Prepare(corpus.records, nullptr);
+    JoinOptions options;
+    options.theta = theta;
+    options.tau = 2;
+    options.method = FilterMethod::kAuDp;
+    JoinResult result = UnifiedJoin(context, options);
+    PrfScore score = ComputePrf(result.pairs, corpus.truth_pairs);
+    std::printf("%-8s | %6.2f %6.2f %6.2f | %10zu %10.3f\n", combo,
+                score.precision, score.recall, score.f_measure,
+                result.pairs.size(), result.stats.TotalSeconds());
+  }
+
+  std::printf("\nExpected: each single measure misses the pairs whose edits "
+              "it cannot see;\nTJS (the unified measure) recovers nearly all "
+              "labelled pairs.\n");
+  return 0;
+}

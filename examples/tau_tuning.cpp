@@ -1,0 +1,114 @@
+// Parameter-tuning scenario: watch Algorithm 7 converge. Runs the
+// Bernoulli/Monte-Carlo estimator with verbose per-iteration output:
+// the per-tau cost estimates, their confidence intervals, and the moment
+// the stopping rule (Ineq. 24) fires — then validates the suggestion by
+// exhaustively joining with every tau.
+//
+//   ./tau_tuning [--strings=1500] [--theta=0.8]
+
+#include <cstdio>
+
+#include "datagen/corpus_gen.h"
+#include "datagen/synonym_gen.h"
+#include "datagen/taxonomy_gen.h"
+#include "tuner/recommend.h"
+#include "util/flags.h"
+#include "util/stats.h"
+#include "util/timer.h"
+
+using namespace aujoin;
+
+int main(int argc, char** argv) {
+  Flags flags(argc, argv);
+  size_t n = static_cast<size_t>(flags.GetInt("strings", 1500));
+  double theta = flags.GetDouble("theta", 0.8);
+  std::vector<int64_t> universe = flags.GetIntList("tau", {1, 2, 3, 4, 6});
+
+  Vocabulary vocab;
+  Taxonomy taxonomy = GenerateTaxonomy({.num_nodes = 2000}, &vocab);
+  RuleSet rules = GenerateSynonyms({.num_rules = 2000}, taxonomy, &vocab);
+  Knowledge knowledge{&vocab, &rules, &taxonomy};
+  CorpusGenerator gen(&vocab, &taxonomy, &rules);
+  Corpus corpus =
+      gen.Generate(CorpusProfile::Med(n), {.num_pairs = n / 8});
+
+  JoinContext context(knowledge, MsimOptions{.q = 3});
+  context.Prepare(corpus.records, nullptr);
+  JoinOptions join_opts;
+  join_opts.theta = theta;
+  join_opts.method = FilterMethod::kAuHeuristic;
+  CostModel model = CalibrateCostModel(context, join_opts);
+  std::printf("calibrated cost model: c_f=%.3g s/pair  c_v=%.3g s/pair\n\n",
+              model.cf, model.cv);
+
+  // Manual iteration loop (same maths as RecommendTau) with tracing.
+  Rng rng(42);
+  std::vector<TauEstimator> est(universe.size());
+  double ps = 0.05;
+  SignatureOptions sig;
+  sig.theta = theta;
+  sig.method = FilterMethod::kAuHeuristic;
+  std::printf("iter");
+  for (int64_t tau : universe) {
+    std::printf("  cost(tau=%lld)", static_cast<long long>(tau));
+  }
+  std::printf("\n");
+  int chosen = -1;
+  for (int it = 1; it <= 60; ++it) {
+    BernoulliSample sample =
+        DrawBernoulliSample(context.s_prepared().size(),
+                            context.s_prepared().size(), true, ps, ps, &rng);
+    std::printf("%4d", it);
+    for (size_t k = 0; k < universe.size(); ++k) {
+      sig.tau = static_cast<int>(universe[k]);
+      AccumulateSampleEstimate(context, sig, sample, ps, ps, &est[k]);
+      std::printf("  %12.4f", est[k].CostMean(model.cf, model.cv));
+    }
+    std::printf("\n");
+    if (it < 10) continue;  // burn-in n*
+    double t_star = StudentTQuantile(0.70, it - 1);
+    size_t best = 0;
+    for (size_t k = 1; k < universe.size(); ++k) {
+      if (est[k].CostMean(model.cf, model.cv) <
+          est[best].CostMean(model.cf, model.cv)) {
+        best = k;
+      }
+    }
+    auto half = [&](size_t k) {
+      return t_star *
+             std::sqrt(est[k].CostVariance(model.cf, model.cv) / it);
+    };
+    double upper = est[best].CostMean(model.cf, model.cv) + half(best);
+    double lowest_other = 1e300;
+    for (size_t k = 0; k < universe.size(); ++k) {
+      if (k != best) {
+        lowest_other = std::min(
+            lowest_other, est[k].CostMean(model.cf, model.cv) - half(k));
+      }
+    }
+    double next_cost = 0;
+    for (const auto& e : est) {
+      next_cost += model.cf * static_cast<double>(e.last_raw_processed);
+    }
+    if (upper - lowest_other < next_cost) {
+      chosen = static_cast<int>(universe[best]);
+      std::printf("stopping rule fired at iteration %d: tau* = %d\n", it,
+                  chosen);
+      break;
+    }
+  }
+  if (chosen < 0) std::printf("hit the iteration cap without convergence\n");
+
+  // Validate against the true join times.
+  std::printf("\nvalidation (full joins):\n%-6s %12s\n", "tau", "time_s");
+  for (int64_t tau : universe) {
+    JoinOptions options = join_opts;
+    options.tau = static_cast<int>(tau);
+    WallTimer timer;
+    UnifiedJoin(context, options);
+    std::printf("%-6lld %12.3f%s\n", static_cast<long long>(tau),
+                timer.Seconds(),
+                chosen == static_cast<int>(tau) ? "   <= suggested" : "");
+  }
+  return 0;
+}

@@ -1,0 +1,42 @@
+#ifndef AUJOIN_BASELINES_ADAPTJOIN_H_
+#define AUJOIN_BASELINES_ADAPTJOIN_H_
+
+#include <vector>
+
+#include "baselines/baseline_result.h"
+#include "core/record.h"
+
+namespace aujoin {
+
+/// Reimplementation of the AdaptJoin baseline (Wang et al., SIGMOD 2012):
+/// gram-based Jaccard join with the adaptive l-prefix scheme. For Jaccard
+/// >= theta two gram sets must overlap by >= ceil(theta * |G|), so the
+/// l-prefix |G| - ceil(theta*|G|) + l guarantees >= l shared prefix grams.
+/// The adaptive part picks l by estimating filter + verification cost on a
+/// sample, mirroring the original's cost-based prefix selection.
+struct AdaptJoinOptions {
+  double theta = 0.8;
+  int q = 2;
+  /// Candidate prefix extensions evaluated by the cost model.
+  std::vector<int> ell_candidates = {1, 2, 3, 4};
+  /// Records sampled for the cost estimate.
+  size_t sample_size = 200;
+};
+
+class AdaptJoin {
+ public:
+  explicit AdaptJoin(const AdaptJoinOptions& options) : options_(options) {}
+
+  BaselineResult SelfJoin(const std::vector<Record>& records) const;
+
+  /// The l the cost model picked on the last SelfJoin call.
+  int chosen_ell() const { return chosen_ell_; }
+
+ private:
+  AdaptJoinOptions options_;
+  mutable int chosen_ell_ = 1;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_BASELINES_ADAPTJOIN_H_

@@ -1,0 +1,20 @@
+#ifndef AUJOIN_BASELINES_BASELINE_RESULT_H_
+#define AUJOIN_BASELINES_BASELINE_RESULT_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace aujoin {
+
+/// Common output shape of the single-measure baseline joins (Section 5.5
+/// comparators): matched pairs + wall time + candidate count.
+struct BaselineResult {
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  double seconds = 0.0;
+  uint64_t candidates = 0;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_BASELINES_BASELINE_RESULT_H_

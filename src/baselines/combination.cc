@@ -1,0 +1,39 @@
+#include "baselines/combination.h"
+
+#include <algorithm>
+#include <set>
+
+namespace aujoin {
+
+std::vector<std::pair<uint32_t, uint32_t>> UnionPairs(
+    const std::vector<const std::vector<std::pair<uint32_t, uint32_t>>*>&
+        lists) {
+  std::set<std::pair<uint32_t, uint32_t>> merged;
+  for (const auto* list : lists) {
+    for (auto p : *list) {
+      if (p.first > p.second) std::swap(p.first, p.second);
+      merged.insert(p);
+    }
+  }
+  return {merged.begin(), merged.end()};
+}
+
+BaselineResult CombinationJoin(const Knowledge& knowledge,
+                               const std::vector<Record>& records,
+                               const CombinationOptions& options) {
+  KJoin kjoin(knowledge, options.kjoin);
+  AdaptJoin adaptjoin(options.adaptjoin);
+  PkduckJoin pkduck(knowledge, options.pkduck);
+
+  BaselineResult k = kjoin.SelfJoin(records);
+  BaselineResult a = adaptjoin.SelfJoin(records);
+  BaselineResult p = pkduck.SelfJoin(records);
+
+  BaselineResult out;
+  out.pairs = UnionPairs({&k.pairs, &a.pairs, &p.pairs});
+  out.seconds = k.seconds + a.seconds + p.seconds;
+  out.candidates = k.candidates + a.candidates + p.candidates;
+  return out;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,33 @@
+#ifndef AUJOIN_BASELINES_COMBINATION_H_
+#define AUJOIN_BASELINES_COMBINATION_H_
+
+#include <vector>
+
+#include "baselines/adaptjoin.h"
+#include "baselines/baseline_result.h"
+#include "baselines/kjoin.h"
+#include "baselines/pkduck.h"
+
+namespace aujoin {
+
+/// The "Combination" comparator of Tables 13/14: runs K-Join, AdaptJoin
+/// and PKduck and unions their answers (the best a user could do with
+/// single-measure tools — still unable to mix measures inside one pair).
+struct CombinationOptions {
+  KJoinOptions kjoin;
+  AdaptJoinOptions adaptjoin;
+  PkduckOptions pkduck;
+};
+
+BaselineResult CombinationJoin(const Knowledge& knowledge,
+                               const std::vector<Record>& records,
+                               const CombinationOptions& options);
+
+/// Unions pair lists, deduplicating unordered pairs.
+std::vector<std::pair<uint32_t, uint32_t>> UnionPairs(
+    const std::vector<const std::vector<std::pair<uint32_t, uint32_t>>*>&
+        lists);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_BASELINES_COMBINATION_H_

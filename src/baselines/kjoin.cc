@@ -1,0 +1,150 @@
+#include "baselines/kjoin.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/hungarian.h"
+#include "core/segment.h"
+#include "util/timer.h"
+
+namespace aujoin {
+
+namespace {
+
+// One unit of the K-Join decomposition: an entity mention or a leftover
+// token.
+struct Unit {
+  bool is_entity = false;
+  NodeId entity = Taxonomy::kInvalidNode;
+  TokenId token = 0;
+};
+
+// Greedy left-to-right decomposition preferring longer (then deeper)
+// entity mentions; leftover tokens become token units.
+std::vector<Unit> Decompose(const Record& r, const Knowledge& knowledge) {
+  std::vector<WellDefinedSegment> segments = EnumerateSegments(r, knowledge);
+  std::vector<Unit> units;
+  size_t pos = 0;
+  while (pos < r.num_tokens()) {
+    const WellDefinedSegment* best = nullptr;
+    for (const auto& seg : segments) {
+      if (seg.span.begin != pos || !seg.HasTaxonomy()) continue;
+      if (best == nullptr || seg.span.size() > best->span.size()) {
+        best = &seg;
+      }
+    }
+    if (best != nullptr) {
+      Unit u;
+      u.is_entity = true;
+      // Deepest matching entity gives the most specific semantics.
+      u.entity = best->taxonomy_nodes.front();
+      for (NodeId n : best->taxonomy_nodes) {
+        if (knowledge.taxonomy->Depth(n) >
+            knowledge.taxonomy->Depth(u.entity)) {
+          u.entity = n;
+        }
+      }
+      units.push_back(u);
+      pos = best->span.end;
+    } else {
+      Unit u;
+      u.token = r.tokens[pos];
+      units.push_back(u);
+      ++pos;
+    }
+  }
+  return units;
+}
+
+double UnitSimilarity(const Unit& a, const Unit& b, const Taxonomy& tax) {
+  if (a.is_entity && b.is_entity) return tax.Similarity(a.entity, b.entity);
+  if (!a.is_entity && !b.is_entity) return a.token == b.token ? 1.0 : 0.0;
+  return 0.0;
+}
+
+}  // namespace
+
+double KJoin::Similarity(const Record& a, const Record& b) const {
+  std::vector<Unit> ua = Decompose(a, knowledge_);
+  std::vector<Unit> ub = Decompose(b, knowledge_);
+  if (ua.empty() || ub.empty()) return 0.0;
+  std::vector<std::vector<double>> w(ua.size(),
+                                     std::vector<double>(ub.size(), 0.0));
+  for (size_t i = 0; i < ua.size(); ++i) {
+    for (size_t j = 0; j < ub.size(); ++j) {
+      w[i][j] = UnitSimilarity(ua[i], ub[j], *knowledge_.taxonomy);
+    }
+  }
+  return MaxWeightBipartiteMatching(w) /
+         static_cast<double>(std::max(ua.size(), ub.size()));
+}
+
+BaselineResult KJoin::SelfJoin(const std::vector<Record>& records) const {
+  WallTimer timer;
+  BaselineResult result;
+  const Taxonomy& tax = *knowledge_.taxonomy;
+
+  // Signature keys: threshold ancestors of entities, tokens otherwise.
+  // Keys are tagged 64-bit values: entities in the high range.
+  auto entity_key = [&](NodeId n) {
+    int target_depth = static_cast<int>(
+        std::ceil(options_.theta * static_cast<double>(tax.Depth(n))));
+    NodeId cur = n;
+    while (tax.Depth(cur) > target_depth) cur = tax.Parent(cur);
+    return (1ULL << 40) | cur;
+  };
+
+  std::vector<std::vector<Unit>> decomposed(records.size());
+  std::unordered_map<uint64_t, uint64_t> key_freq;
+  std::vector<std::vector<uint64_t>> keys(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    decomposed[i] = Decompose(records[i], knowledge_);
+    for (const Unit& u : decomposed[i]) {
+      keys[i].push_back(u.is_entity ? entity_key(u.entity)
+                                    : static_cast<uint64_t>(u.token));
+    }
+    std::sort(keys[i].begin(), keys[i].end());
+    keys[i].erase(std::unique(keys[i].begin(), keys[i].end()),
+                  keys[i].end());
+    for (uint64_t k : keys[i]) ++key_freq[k];
+  }
+
+  // Prefix filter over units: keep the (1-theta)*|units| + 1 rarest keys.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> index;
+  std::vector<std::vector<uint64_t>> signature(records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    std::sort(keys[i].begin(), keys[i].end(),
+              [&](uint64_t a, uint64_t b) {
+                uint64_t fa = key_freq[a], fb = key_freq[b];
+                if (fa != fb) return fa < fb;
+                return a < b;
+              });
+    size_t prefix = static_cast<size_t>(std::floor(
+                        (1.0 - options_.theta) *
+                        static_cast<double>(decomposed[i].size()))) +
+                    1;
+    prefix = std::min(prefix, keys[i].size());
+    signature[i].assign(keys[i].begin(), keys[i].begin() + prefix);
+  }
+
+  for (uint32_t i = 0; i < records.size(); ++i) {
+    std::unordered_map<uint32_t, int> seen;
+    for (uint64_t k : signature[i]) {
+      auto it = index.find(k);
+      if (it == index.end()) continue;
+      for (uint32_t j : it->second) ++seen[j];
+    }
+    for (const auto& [j, cnt] : seen) {
+      ++result.candidates;
+      if (Similarity(records[i], records[j]) >= options_.theta) {
+        result.pairs.emplace_back(j, i);
+      }
+    }
+    for (uint64_t k : signature[i]) index[k].push_back(i);
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,42 @@
+#ifndef AUJOIN_BASELINES_KJOIN_H_
+#define AUJOIN_BASELINES_KJOIN_H_
+
+#include <vector>
+
+#include "baselines/baseline_result.h"
+#include "core/knowledge.h"
+#include "core/record.h"
+
+namespace aujoin {
+
+/// Reimplementation of the K-Join baseline (Shang et al., TKDE 2016):
+/// knowledge-aware similarity join using only the taxonomy. Each string is
+/// decomposed into entity mentions plus leftover tokens; similarity is the
+/// maximum matching between units (entity-entity scored by LCA-depth
+/// ratio, token-token by equality), normalised by the larger unit count.
+/// Filtering uses the K-Join prefix idea: two entities with similarity
+/// >= theta must share the ancestor of either at depth ceil(theta * depth),
+/// so that ancestor (plus rare leftover tokens) forms the signature.
+struct KJoinOptions {
+  double theta = 0.8;
+};
+
+class KJoin {
+ public:
+  KJoin(const Knowledge& knowledge, const KJoinOptions& options)
+      : knowledge_(knowledge), options_(options) {}
+
+  BaselineResult SelfJoin(const std::vector<Record>& records) const;
+
+  /// The taxonomy-only record similarity used for verification (exposed
+  /// for tests).
+  double Similarity(const Record& a, const Record& b) const;
+
+ private:
+  Knowledge knowledge_;
+  KJoinOptions options_;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_BASELINES_KJOIN_H_

@@ -1,0 +1,159 @@
+#include "baselines/pkduck.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_map>
+
+#include "core/segment.h"
+#include "util/timer.h"
+
+namespace aujoin {
+
+namespace {
+
+double TokenSetJaccard(const std::vector<TokenId>& a,
+                       const std::vector<TokenId>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = 0, i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    if (a[i] == b[j]) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (a[i] < b[j]) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+std::vector<TokenId> SortedUnique(std::vector<TokenId> v) {
+  std::sort(v.begin(), v.end());
+  v.erase(std::unique(v.begin(), v.end()), v.end());
+  return v;
+}
+
+}  // namespace
+
+std::vector<std::vector<TokenId>> PkduckJoin::Derivations(
+    const Record& r) const {
+  // Rule matches by begin position.
+  std::vector<WellDefinedSegment> segments = EnumerateSegments(r, knowledge_);
+  std::vector<std::vector<const WellDefinedSegment*>> by_begin(
+      r.num_tokens());
+  for (const auto& seg : segments) {
+    if (seg.HasSynonym()) by_begin[seg.span.begin].push_back(&seg);
+  }
+
+  std::vector<std::vector<TokenId>> out;
+  std::vector<TokenId> current;
+  struct Dfs {
+    const Record& r;
+    const Knowledge& knowledge;
+    const std::vector<std::vector<const WellDefinedSegment*>>& by_begin;
+    size_t cap;
+    std::vector<std::vector<TokenId>>& out;
+    std::vector<TokenId>& current;
+
+    void Run(size_t pos) {
+      if (out.size() >= cap) return;
+      if (pos == r.num_tokens()) {
+        out.push_back(SortedUnique(current));
+        return;
+      }
+      // Option 1: keep the literal token.
+      current.push_back(r.tokens[pos]);
+      Run(pos + 1);
+      current.pop_back();
+      // Option 2: rewrite a matching span with the rule's other side.
+      for (const WellDefinedSegment* seg : by_begin[pos]) {
+        for (const RuleMatch& m : seg->rule_matches) {
+          const std::vector<TokenId>& other =
+              knowledge.rules->OtherSide(m);
+          size_t before = current.size();
+          current.insert(current.end(), other.begin(), other.end());
+          Run(seg->span.end);
+          current.resize(before);
+          if (out.size() >= cap) return;
+        }
+      }
+    }
+  } dfs{r, knowledge_, by_begin, options_.max_derivations, out, current};
+  if (r.num_tokens() > 0) dfs.Run(0);
+  return out;
+}
+
+double PkduckJoin::Similarity(const Record& a, const Record& b) const {
+  auto da = Derivations(a);
+  auto db = Derivations(b);
+  double best = 0.0;
+  for (const auto& sa : da) {
+    for (const auto& sb : db) {
+      best = std::max(best, TokenSetJaccard(sa, sb));
+    }
+  }
+  return best;
+}
+
+BaselineResult PkduckJoin::SelfJoin(
+    const std::vector<Record>& records) const {
+  WallTimer timer;
+  BaselineResult result;
+
+  // Token document frequencies over the derived sets.
+  std::vector<std::vector<std::vector<TokenId>>> derivations(records.size());
+  std::unordered_map<TokenId, uint64_t> freq;
+  for (size_t i = 0; i < records.size(); ++i) {
+    derivations[i] = Derivations(records[i]);
+    std::vector<TokenId> all;
+    for (const auto& d : derivations[i]) {
+      all.insert(all.end(), d.begin(), d.end());
+    }
+    for (TokenId t : SortedUnique(std::move(all))) ++freq[t];
+  }
+
+  // Signature: union of each derivation's rare-token prefix.
+  auto signature_of = [&](size_t i) {
+    std::vector<TokenId> sig;
+    for (const auto& d : derivations[i]) {
+      std::vector<TokenId> sorted = d;
+      std::sort(sorted.begin(), sorted.end(), [&](TokenId a, TokenId b) {
+        uint64_t fa = freq[a], fb = freq[b];
+        if (fa != fb) return fa < fb;
+        return a < b;
+      });
+      size_t overlap = static_cast<size_t>(
+          std::ceil(options_.theta * static_cast<double>(sorted.size())));
+      if (overlap == 0) overlap = 1;
+      size_t p = std::min(sorted.size(), sorted.size() - overlap + 1);
+      sig.insert(sig.end(), sorted.begin(), sorted.begin() + p);
+    }
+    return SortedUnique(std::move(sig));
+  };
+
+  std::unordered_map<TokenId, std::vector<uint32_t>> index;
+  std::unordered_map<uint32_t, char> seen;
+  for (uint32_t i = 0; i < records.size(); ++i) {
+    std::vector<TokenId> sig = signature_of(i);
+    seen.clear();
+    for (TokenId t : sig) {
+      auto it = index.find(t);
+      if (it == index.end()) continue;
+      for (uint32_t j : it->second) seen.emplace(j, 1);
+    }
+    for (const auto& [j, _] : seen) {
+      ++result.candidates;
+      if (Similarity(records[i], records[j]) >= options_.theta) {
+        result.pairs.emplace_back(j, i);
+      }
+    }
+    for (TokenId t : sig) index[t].push_back(i);
+  }
+  result.seconds = timer.Seconds();
+  return result;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,43 @@
+#ifndef AUJOIN_BASELINES_PKDUCK_H_
+#define AUJOIN_BASELINES_PKDUCK_H_
+
+#include <vector>
+
+#include "baselines/baseline_result.h"
+#include "core/knowledge.h"
+#include "core/record.h"
+
+namespace aujoin {
+
+/// Reimplementation of the PKduck baseline (Tao et al., PVLDB 2017):
+/// abbreviation/synonym-aware join. The similarity of two strings is the
+/// maximum token-set Jaccard over *derived* strings, where a derivation
+/// applies non-overlapping synonym rules to spans of the string. Both the
+/// derivation enumeration and the signature (the union of each
+/// derivation's rare-token prefix) are bounded by `max_derivations`.
+struct PkduckOptions {
+  double theta = 0.8;
+  /// Cap on enumerated derivations per record (DFS order).
+  size_t max_derivations = 16;
+};
+
+class PkduckJoin {
+ public:
+  PkduckJoin(const Knowledge& knowledge, const PkduckOptions& options)
+      : knowledge_(knowledge), options_(options) {}
+
+  BaselineResult SelfJoin(const std::vector<Record>& records) const;
+
+  /// max over derivations of token-set Jaccard (exposed for tests).
+  double Similarity(const Record& a, const Record& b) const;
+
+ private:
+  std::vector<std::vector<TokenId>> Derivations(const Record& r) const;
+
+  Knowledge knowledge_;
+  PkduckOptions options_;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_BASELINES_PKDUCK_H_

@@ -1,0 +1,83 @@
+#include "core/hungarian.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace aujoin {
+
+// Classic O(n^3) Hungarian algorithm with potentials, written for
+// minimisation on a square cost matrix; we feed it costs = -weights on the
+// zero-padded square and negate the result. Follows the e-maxx/JV
+// formulation with 1-based auxiliary arrays.
+double MaxWeightBipartiteMatching(const std::vector<std::vector<double>>& w,
+                                  std::vector<int>* assignment) {
+  const size_t rows = w.size();
+  const size_t cols = rows == 0 ? 0 : w[0].size();
+  if (assignment != nullptr) assignment->assign(rows, -1);
+  if (rows == 0 || cols == 0) return 0.0;
+
+  const size_t n = std::max(rows, cols);
+  const double kInf = std::numeric_limits<double>::infinity();
+
+  // cost[i][j] = -w for real cells, 0 for padding.
+  auto cost = [&](size_t i, size_t j) -> double {
+    if (i < rows && j < cols) return -w[i][j];
+    return 0.0;
+  };
+
+  std::vector<double> u(n + 1, 0.0), v(n + 1, 0.0);
+  std::vector<size_t> p(n + 1, 0);     // p[j] = row matched to column j
+  std::vector<size_t> way(n + 1, 0);   // alternating-path back-pointers
+
+  for (size_t i = 1; i <= n; ++i) {
+    p[0] = i;
+    size_t j0 = 0;
+    std::vector<double> minv(n + 1, kInf);
+    std::vector<char> used(n + 1, 0);
+    do {
+      used[j0] = 1;
+      size_t i0 = p[j0], j1 = 0;
+      double delta = kInf;
+      for (size_t j = 1; j <= n; ++j) {
+        if (used[j]) continue;
+        double cur = cost(i0 - 1, j - 1) - u[i0] - v[j];
+        if (cur < minv[j]) {
+          minv[j] = cur;
+          way[j] = j0;
+        }
+        if (minv[j] < delta) {
+          delta = minv[j];
+          j1 = j;
+        }
+      }
+      for (size_t j = 0; j <= n; ++j) {
+        if (used[j]) {
+          u[p[j]] += delta;
+          v[j] -= delta;
+        } else {
+          minv[j] -= delta;
+        }
+      }
+      j0 = j1;
+    } while (p[j0] != 0);
+    do {
+      size_t j1 = way[j0];
+      p[j0] = p[j1];
+      j0 = j1;
+    } while (j0 != 0);
+  }
+
+  double total = 0.0;
+  for (size_t j = 1; j <= n; ++j) {
+    size_t i = p[j];
+    if (i >= 1 && i <= rows && j <= cols && w[i - 1][j - 1] > 0.0) {
+      total += w[i - 1][j - 1];
+      if (assignment != nullptr) {
+        (*assignment)[i - 1] = static_cast<int>(j - 1);
+      }
+    }
+  }
+  return total;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,36 @@
+#ifndef AUJOIN_CORE_KNOWLEDGE_H_
+#define AUJOIN_CORE_KNOWLEDGE_H_
+
+#include <algorithm>
+#include <cstddef>
+
+#include "synonym/rule_set.h"
+#include "taxonomy/taxonomy.h"
+#include "text/vocabulary.h"
+
+namespace aujoin {
+
+/// Non-owning bundle of the knowledge sources every similarity computation
+/// needs: the shared vocabulary, the synonym rules and the taxonomy.
+/// All pointers must outlive the objects this is passed to; any of
+/// `rules`/`taxonomy` may point to an empty instance when the corresponding
+/// measure is unused.
+struct Knowledge {
+  const Vocabulary* vocab = nullptr;
+  const RuleSet* rules = nullptr;
+  const Taxonomy* taxonomy = nullptr;
+
+  /// The claw parameter k of Theorem 2: the maximal number of tokens in any
+  /// synonym-rule side or taxonomy entity name (at least 1 for the
+  /// single-token segments).
+  size_t ClawK() const {
+    size_t k = 1;
+    if (rules != nullptr) k = std::max(k, rules->max_side_tokens());
+    if (taxonomy != nullptr) k = std::max(k, taxonomy->max_name_tokens());
+    return k;
+  }
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_CORE_KNOWLEDGE_H_

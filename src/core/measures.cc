@@ -1,0 +1,123 @@
+#include "core/measures.h"
+
+#include <algorithm>
+#include <cctype>
+
+#include "text/qgram.h"
+
+namespace aujoin {
+
+uint32_t ParseMeasures(const std::string& spec) {
+  uint32_t mask = 0;
+  for (char c : spec) {
+    switch (std::toupper(static_cast<unsigned char>(c))) {
+      case 'J':
+        mask |= kMeasureJaccard;
+        break;
+      case 'S':
+        mask |= kMeasureSynonym;
+        break;
+      case 'T':
+        mask |= kMeasureTaxonomy;
+        break;
+      default:
+        break;
+    }
+  }
+  return mask == 0 ? kMeasureAll : mask;
+}
+
+std::string MeasuresToString(uint32_t measures) {
+  std::string out;
+  if (measures & kMeasureTaxonomy) out += 'T';
+  if (measures & kMeasureJaccard) out += 'J';
+  if (measures & kMeasureSynonym) out += 'S';
+  return out;
+}
+
+const std::vector<std::string>& MsimEvaluator::GramsFor(const Record& r,
+                                                        const Segment& seg) {
+  // Key on the record's address (stable for the duration of a join; ids
+  // alone may collide across the two input collections).
+  uint64_t key = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(&r)) ^
+                 ((static_cast<uint64_t>(seg.begin) << 48) |
+                  (static_cast<uint64_t>(seg.end) << 32));
+  auto it = gram_cache_.find(key);
+  if (it != gram_cache_.end()) return it->second;
+  std::string text = SegmentText(r, seg, *knowledge_.vocab);
+  auto [ins, _] = gram_cache_.emplace(key, QGrams(text, options_.q));
+  return ins->second;
+}
+
+double MsimEvaluator::Jaccard(const Record& s, const Segment& ps,
+                              const Record& t, const Segment& pt) {
+  const auto& a = GramsFor(s, ps);
+  const auto& b = GramsFor(t, pt);
+  switch (options_.gram_measure) {
+    case GramMeasure::kCosine:
+      return CosineOfSortedSets(a, b);
+    case GramMeasure::kDice:
+      return DiceOfSortedSets(a, b);
+    case GramMeasure::kJaccard:
+      break;
+  }
+  return JaccardOfSortedSets(a, b);
+}
+
+double MsimEvaluator::Synonym(const WellDefinedSegment& ps,
+                              const WellDefinedSegment& pt) const {
+  if (knowledge_.rules == nullptr) return 0.0;
+  double best = 0.0;
+  for (const auto& ms : ps.rule_matches) {
+    for (const auto& mt : pt.rule_matches) {
+      if (ms.rule == mt.rule && ms.side != mt.side) {
+        best = std::max(best, knowledge_.rules->rule(ms.rule).closeness);
+      }
+    }
+  }
+  return best;
+}
+
+double MsimEvaluator::Taxonomy(const WellDefinedSegment& ps,
+                               const WellDefinedSegment& pt) const {
+  if (knowledge_.taxonomy == nullptr || !ps.HasTaxonomy() ||
+      !pt.HasTaxonomy()) {
+    return 0.0;
+  }
+  double best = 0.0;
+  for (NodeId a : ps.taxonomy_nodes) {
+    for (NodeId b : pt.taxonomy_nodes) {
+      best = std::max(best, knowledge_.taxonomy->Similarity(a, b));
+    }
+  }
+  return best;
+}
+
+double MsimEvaluator::Msim(const Record& s, const WellDefinedSegment& ps,
+                           const Record& t, const WellDefinedSegment& pt) {
+  double best = 0.0;
+  if (options_.exact_match) {
+    TokenSpan a = s.Span(ps.span.begin, ps.span.end);
+    TokenSpan b = t.Span(pt.span.begin, pt.span.end);
+    if (a.size() == b.size() &&
+        std::equal(a.begin(), a.end(), b.begin())) {
+      return 1.0;
+    }
+  }
+  if (options_.measures & kMeasureJaccard) {
+    best = std::max(best, Jaccard(s, ps.span, t, pt.span));
+  }
+  if (options_.measures & kMeasureSynonym) {
+    best = std::max(best, Synonym(ps, pt));
+  }
+  if (options_.measures & kMeasureTaxonomy) {
+    best = std::max(best, Taxonomy(ps, pt));
+  }
+  return best;
+}
+
+double WholeStringJaccard(const Record& s, const Record& t, int q) {
+  return JaccardQGram(s.text, t.text, q);
+}
+
+}  // namespace aujoin

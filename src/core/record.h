@@ -1,0 +1,53 @@
+#ifndef AUJOIN_CORE_RECORD_H_
+#define AUJOIN_CORE_RECORD_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace aujoin {
+
+/// One string of a join collection: the raw text plus its interned token
+/// sequence. Records are value types; collections are std::vector<Record>.
+struct Record {
+  uint32_t id = 0;
+  std::string text;
+  std::vector<TokenId> tokens;
+
+  size_t num_tokens() const { return tokens.size(); }
+
+  TokenSpan Span(uint32_t begin, uint32_t end) const {
+    return TokenSpan(tokens.data() + begin, end - begin);
+  }
+};
+
+/// Tokenises `text` and builds a Record.
+inline Record MakeRecord(uint32_t id, std::string_view text, Vocabulary* vocab,
+                         const TokenizerOptions& options = {}) {
+  Record r;
+  r.id = id;
+  r.text = std::string(text);
+  r.tokens = Tokenize(text, vocab, options);
+  return r;
+}
+
+/// Builds a whole collection from raw lines.
+inline std::vector<Record> MakeRecords(const std::vector<std::string>& lines,
+                                       Vocabulary* vocab,
+                                       const TokenizerOptions& options = {}) {
+  std::vector<Record> out;
+  out.reserve(lines.size());
+  for (size_t i = 0; i < lines.size(); ++i) {
+    out.push_back(MakeRecord(static_cast<uint32_t>(i), lines[i], vocab,
+                             options));
+  }
+  return out;
+}
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_CORE_RECORD_H_

@@ -1,0 +1,38 @@
+#include "core/segment.h"
+
+#include <algorithm>
+
+namespace aujoin {
+
+std::vector<WellDefinedSegment> EnumerateSegments(const Record& record,
+                                                  const Knowledge& knowledge) {
+  std::vector<WellDefinedSegment> out;
+  const uint32_t n = static_cast<uint32_t>(record.num_tokens());
+  const uint32_t max_len =
+      std::min<uint32_t>(n, static_cast<uint32_t>(knowledge.ClawK()));
+  for (uint32_t begin = 0; begin < n; ++begin) {
+    for (uint32_t len = 1; len <= max_len && begin + len <= n; ++len) {
+      Segment span{begin, begin + len};
+      WellDefinedSegment seg;
+      seg.span = span;
+      TokenSpan tokens = record.Span(span.begin, span.end);
+      if (knowledge.rules != nullptr) {
+        seg.rule_matches = knowledge.rules->Match(tokens);
+      }
+      if (knowledge.taxonomy != nullptr && !knowledge.taxonomy->empty()) {
+        seg.taxonomy_nodes = knowledge.taxonomy->FindEntity(tokens);
+      }
+      if (span.SingleToken() || seg.HasSynonym() || seg.HasTaxonomy()) {
+        out.push_back(std::move(seg));
+      }
+    }
+  }
+  return out;
+}
+
+std::string SegmentText(const Record& record, const Segment& seg,
+                        const Vocabulary& vocab) {
+  return vocab.Render(record.Span(seg.begin, seg.end));
+}
+
+}  // namespace aujoin

@@ -1,0 +1,59 @@
+#ifndef AUJOIN_CORE_SEGMENT_H_
+#define AUJOIN_CORE_SEGMENT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/knowledge.h"
+#include "core/record.h"
+
+namespace aujoin {
+
+/// Half-open token span [begin, end) within one record.
+struct Segment {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  uint32_t size() const { return end - begin; }
+  bool SingleToken() const { return size() == 1; }
+
+  /// True when the two spans share at least one token position.
+  bool Overlaps(const Segment& other) const {
+    return begin < other.end && other.begin < end;
+  }
+
+  friend bool operator==(const Segment& a, const Segment& b) {
+    return a.begin == b.begin && a.end == b.end;
+  }
+};
+
+/// A well-defined segment (Definition 1) of a record together with its
+/// semantic matches: the synonym rules one of whose sides equals the span,
+/// and the taxonomy entities whose name equals the span. A span qualifies
+/// if it has any rule match, any taxonomy match, or is a single token.
+struct WellDefinedSegment {
+  Segment span;
+  std::vector<RuleMatch> rule_matches;
+  std::vector<NodeId> taxonomy_nodes;
+
+  bool HasSynonym() const { return !rule_matches.empty(); }
+  bool HasTaxonomy() const { return !taxonomy_nodes.empty(); }
+};
+
+/// Enumerates every well-defined segment of `record` (Definition 1):
+/// all single-token spans plus every multi-token span matching a synonym
+/// rule side or a taxonomy entity name. Spans longer than
+/// knowledge.ClawK() cannot match anything and are not probed, so the
+/// enumeration is O(n * k) hash lookups. Results are sorted by
+/// (begin, end).
+std::vector<WellDefinedSegment> EnumerateSegments(const Record& record,
+                                                  const Knowledge& knowledge);
+
+/// Renders the surface text of a segment (tokens joined by one space).
+std::string SegmentText(const Record& record, const Segment& seg,
+                        const Vocabulary& vocab);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_CORE_SEGMENT_H_

@@ -1,0 +1,43 @@
+#ifndef AUJOIN_CORE_SQUAREIMP_H_
+#define AUJOIN_CORE_SQUAREIMP_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/pair_graph.h"
+
+namespace aujoin {
+
+/// Options for the SquareImp weighted-MIS approximation (Berman [10]).
+struct SquareImpOptions {
+  /// Maximum talon-set size tried during local claw improvements. The
+  /// theoretical guarantee needs talons up to the claw bound; sizes 1-2
+  /// recover almost all of the quality on the paper's rule lengths while
+  /// keeping join verification cheap. Raise to 3 for accuracy studies
+  /// (bench_table09 does).
+  int max_talons = 2;
+  /// Above this vertex count pair talon enumeration is skipped (plain
+  /// greedy + singleton swaps), bounding worst-case cost on huge
+  /// conflict graphs. Triples are tried only below a quarter of this.
+  size_t pair_search_vertex_cap = 512;
+  /// Safety bound on improvement rounds.
+  int max_iterations = 10000;
+};
+
+/// Berman's SquareImp: computes an independent set of the conflict graph
+/// whose squared-weight sum is locally maximal under claw improvements.
+/// Returns vertex indexes (sorted ascending). For a (k+1)-claw-free graph
+/// this approximates the maximum-weight independent set within ~ (k+1)/2.
+std::vector<uint32_t> SquareImp(const PairGraph& g,
+                                const SquareImpOptions& options = {});
+
+/// Sum of weights of a vertex subset.
+double IndependentSetWeight(const PairGraph& g,
+                            const std::vector<uint32_t>& set);
+
+/// True if `set` is pairwise non-conflicting in `g` (test helper).
+bool IsIndependentSet(const PairGraph& g, const std::vector<uint32_t>& set);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_CORE_SQUAREIMP_H_

@@ -1,0 +1,100 @@
+#ifndef AUJOIN_CORE_USIM_H_
+#define AUJOIN_CORE_USIM_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/measures.h"
+#include "core/pair_graph.h"
+#include "core/squareimp.h"
+
+namespace aujoin {
+
+/// Options for the unified-similarity computations.
+struct UsimOptions {
+  MsimOptions msim;
+  /// The t > 1 knob of Algorithm 1 / Theorem 2: improvements smaller than
+  /// 1/t are not pursued, bounding the improvement phase to floor(t)
+  /// iterations.
+  double t = 10.0;
+  /// How many candidate claws are evaluated with the exact GetSim per
+  /// improvement round (ranked by matching-weight gain first).
+  int improve_eval_budget = 16;
+  /// Pair-talon moves are only enumerated on graphs at most this large.
+  size_t pair_move_vertex_cap = 96;
+  /// Ablation switch: disable the claw-improvement phase (plain SquareImp).
+  bool enable_improvement = true;
+  PairGraphOptions graph;
+  SquareImpOptions squareimp;
+};
+
+/// Limits for the exponential exact algorithm (tests & Table 9 only).
+struct ExactOptions {
+  /// Cap on enumerated well-defined partitions per string.
+  size_t max_partitions_per_string = 512;
+  /// Cap on partition pairs scored with the Hungarian algorithm.
+  size_t max_pairs = 250000;
+};
+
+/// Computes the unified similarity USIM (Definition 3) between two strings:
+/// `Approx` is the paper's Algorithm 1 (SquareImp + claw improvement),
+/// `Exact` enumerates all well-defined partition pairs (worst-case
+/// exponential; NP-hard in general, Theorem 1).
+///
+/// Not thread-safe (shares an MsimEvaluator cache); use one per thread.
+class UsimComputer {
+ public:
+  explicit UsimComputer(const Knowledge& knowledge, UsimOptions options = {})
+      : options_(options), evaluator_(knowledge, options.msim) {}
+
+  /// Algorithm 1. Returns a lower bound on USIM(s, t) with the Theorem 2
+  /// guarantee. If `early_exit_threshold` is reached the computation stops
+  /// immediately (join verification only needs the >= theta predicate);
+  /// the default never triggers.
+  double Approx(const Record& s, const Record& t,
+                double early_exit_threshold = 2.0);
+
+  struct ExactResult {
+    double value = 0.0;
+    /// False when a partition/pair cap was hit (value is then a lower
+    /// bound).
+    bool exact = true;
+  };
+
+  /// Exhaustive USIM by partition-pair enumeration.
+  ExactResult Exact(const Record& s, const Record& t,
+                    const ExactOptions& limits = {});
+
+  /// SIM(PS, PT) of Eq. (6) for the partitions induced by an independent
+  /// set `mis` of `g`: segments of the selected vertices plus singleton
+  /// segments for uncovered tokens; scored by Hungarian matching over msim
+  /// and normalised by max(|PS|, |PT|). Exposed for tests and benches.
+  double GetSim(const Record& s, const Record& t, const PairGraph& g,
+                const std::vector<uint32_t>& mis);
+
+  MsimEvaluator* evaluator() { return &evaluator_; }
+  const UsimOptions& options() const { return options_; }
+
+ private:
+  double SimOfPartitions(const Record& s, const Record& t,
+                         const std::vector<WellDefinedSegment>& s_segments,
+                         const std::vector<WellDefinedSegment>& t_segments,
+                         const std::vector<uint32_t>& ps,
+                         const std::vector<uint32_t>& pt);
+
+  UsimOptions options_;
+  MsimEvaluator evaluator_;
+};
+
+/// Enumerates well-defined partitions (Definition 2) of a token sequence of
+/// length `num_tokens` as lists of indexes into `segments` (which must be
+/// the EnumerateSegments output, sorted by (begin, end)). Stops after `cap`
+/// partitions and sets *truncated. Every token sequence has at least the
+/// all-singletons partition.
+std::vector<std::vector<uint32_t>> EnumeratePartitions(
+    const std::vector<WellDefinedSegment>& segments, size_t num_tokens,
+    size_t cap, bool* truncated);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_CORE_USIM_H_

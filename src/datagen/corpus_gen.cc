@@ -1,0 +1,228 @@
+#include "datagen/corpus_gen.h"
+
+#include <algorithm>
+#include <set>
+#include <string>
+
+#include "datagen/words.h"
+#include "text/edits.h"
+#include "util/rng.h"
+
+namespace aujoin {
+
+CorpusProfile CorpusProfile::Med(size_t num_strings) {
+  CorpusProfile p;
+  p.num_strings = num_strings;
+  p.avg_tokens = 8;
+  p.entity_mention_prob = 0.25;   // ~3 taxonomy hits / string
+  p.synonym_mention_prob = 0.35;  // ~4 synonym hits / string
+  p.seed = 31;
+  return p;
+}
+
+CorpusProfile CorpusProfile::Wiki(size_t num_strings) {
+  CorpusProfile p;
+  p.num_strings = num_strings;
+  p.avg_tokens = 8;
+  p.entity_mention_prob = 0.45;   // ~6 taxonomy hits / string
+  p.synonym_mention_prob = 0.15;  // ~2 synonym hits / string
+  p.filler_vocab = 9000;
+  p.seed = 37;
+  return p;
+}
+
+namespace {
+
+// A building block of a generated string; remembered so the ground-truth
+// derivation can apply the matching semantic edit.
+struct Unit {
+  enum class Kind { kFiller, kEntity, kRuleSide } kind = Kind::kFiller;
+  std::vector<std::string> tokens;  // surface forms
+  NodeId entity = Taxonomy::kInvalidNode;
+  RuleId rule = 0;
+  RuleSide side = RuleSide::kLhs;
+};
+
+std::vector<std::string> SpellOut(const Vocabulary& vocab,
+                                  const std::vector<TokenId>& ids) {
+  std::vector<std::string> out;
+  out.reserve(ids.size());
+  for (TokenId id : ids) out.push_back(vocab.Spelling(id));
+  return out;
+}
+
+std::string JoinUnits(const std::vector<Unit>& units) {
+  std::string text;
+  for (const Unit& u : units) {
+    for (const auto& tok : u.tokens) {
+      if (!text.empty()) text += ' ';
+      text += tok;
+    }
+  }
+  return text;
+}
+
+}  // namespace
+
+Corpus CorpusGenerator::Generate(const CorpusProfile& profile,
+                                 const GroundTruthOptions& truth) {
+  Rng rng(profile.seed);
+  Rng truth_rng(truth.seed);
+  WordFactory words(&rng);
+  Corpus corpus;
+
+  // Filler word pool with zipf-skewed usage.
+  std::vector<std::string> fillers;
+  fillers.reserve(profile.filler_vocab);
+  for (size_t i = 0; i < profile.filler_vocab; ++i) {
+    fillers.push_back(words.UniqueWord());
+  }
+
+  // Entities deep enough that sibling swaps stay similar.
+  std::vector<NodeId> deep_entities;
+  if (taxonomy_ != nullptr && !taxonomy_->empty()) {
+    for (NodeId n = 0; n < taxonomy_->num_nodes(); ++n) {
+      if (taxonomy_->Depth(n) >= profile.min_entity_depth &&
+          taxonomy_->Parent(n) != Taxonomy::kInvalidNode &&
+          taxonomy_->Children(taxonomy_->Parent(n)).size() >= 2) {
+        deep_entities.push_back(n);
+      }
+    }
+  }
+  const bool have_entities = !deep_entities.empty();
+  const bool have_rules = rules_ != nullptr && rules_->num_rules() > 0;
+
+  // Generate base strings as unit sequences.
+  std::vector<std::vector<Unit>> all_units;
+  all_units.reserve(profile.num_strings);
+  for (size_t s = 0; s < profile.num_strings; ++s) {
+    int target = static_cast<int>(rng.Normal(profile.avg_tokens,
+                                             profile.avg_tokens / 2.5));
+    target = std::clamp(target, profile.min_tokens, profile.max_tokens);
+    std::vector<Unit> units;
+    int tokens = 0;
+    while (tokens < target) {
+      Unit u;
+      double roll = rng.UniformReal();
+      if (have_entities && roll < profile.entity_mention_prob) {
+        u.kind = Unit::Kind::kEntity;
+        u.entity = deep_entities[rng.Zipf(deep_entities.size(),
+                                          profile.zipf_alpha)];
+        u.tokens = SpellOut(*vocab_, taxonomy_->Name(u.entity));
+      } else if (have_rules &&
+                 roll < profile.entity_mention_prob +
+                            profile.synonym_mention_prob) {
+        u.kind = Unit::Kind::kRuleSide;
+        u.rule = static_cast<RuleId>(
+            rng.Zipf(rules_->num_rules(), profile.zipf_alpha));
+        u.side = rng.Bernoulli(0.5) ? RuleSide::kLhs : RuleSide::kRhs;
+        const SynonymRule& r = rules_->rule(u.rule);
+        u.tokens =
+            SpellOut(*vocab_, u.side == RuleSide::kLhs ? r.lhs : r.rhs);
+      } else {
+        u.kind = Unit::Kind::kFiller;
+        u.tokens.push_back(
+            fillers[rng.Zipf(fillers.size(), profile.zipf_alpha)]);
+      }
+      tokens += static_cast<int>(u.tokens.size());
+      units.push_back(std::move(u));
+    }
+    all_units.push_back(std::move(units));
+  }
+
+  for (size_t s = 0; s < all_units.size(); ++s) {
+    corpus.records.push_back(MakeRecord(static_cast<uint32_t>(s),
+                                        JoinUnits(all_units[s]), vocab_));
+  }
+
+  // Derive labelled similar variants with mixed edit types.
+  size_t num_pairs = std::min(truth.num_pairs, all_units.size());
+  for (size_t p = 0; p < num_pairs; ++p) {
+    size_t base_idx =
+        all_units.size() <= num_pairs
+            ? p
+            : static_cast<size_t>(truth_rng.Uniform(
+                  0, static_cast<int64_t>(all_units.size()) - 1));
+    std::vector<Unit> variant = all_units[base_idx];
+    bool edited = false;
+    for (Unit& u : variant) {
+      switch (u.kind) {
+        case Unit::Kind::kRuleSide:
+          if (truth_rng.UniformReal() < truth.synonym_swap_prob) {
+            const SynonymRule& r = rules_->rule(u.rule);
+            u.side = u.side == RuleSide::kLhs ? RuleSide::kRhs
+                                              : RuleSide::kLhs;
+            u.tokens = SpellOut(
+                *vocab_, u.side == RuleSide::kLhs ? r.lhs : r.rhs);
+            edited = true;
+          }
+          break;
+        case Unit::Kind::kEntity:
+          if (truth_rng.UniformReal() < truth.taxonomy_swap_prob) {
+            const auto& siblings =
+                taxonomy_->Children(taxonomy_->Parent(u.entity));
+            NodeId pick = siblings[static_cast<size_t>(truth_rng.Uniform(
+                0, static_cast<int64_t>(siblings.size()) - 1))];
+            if (pick != u.entity) {
+              u.entity = pick;
+              u.tokens = SpellOut(*vocab_, taxonomy_->Name(pick));
+              edited = true;
+            }
+          }
+          break;
+        case Unit::Kind::kFiller:
+          if (truth_rng.UniformReal() < truth.typo_prob) {
+            u.tokens[0] =
+                ApplyTypos(u.tokens[0], truth.typo_edits, &truth_rng);
+            edited = true;
+          }
+          break;
+      }
+    }
+    if (!edited && !variant.empty()) {
+      // Guarantee at least one (typographic) difference.
+      Unit& u = variant.front();
+      u.tokens[0] = ApplyTypos(u.tokens[0], truth.typo_edits, &truth_rng);
+    }
+    uint32_t variant_idx = static_cast<uint32_t>(corpus.records.size());
+    corpus.records.push_back(
+        MakeRecord(variant_idx, JoinUnits(variant), vocab_));
+    corpus.truth_pairs.emplace_back(static_cast<uint32_t>(base_idx),
+                                    variant_idx);
+  }
+  return corpus;
+}
+
+PrfScore ComputePrf(const std::vector<std::pair<uint32_t, uint32_t>>& found,
+                    const std::vector<std::pair<uint32_t, uint32_t>>& truth) {
+  auto canon = [](std::pair<uint32_t, uint32_t> p) {
+    if (p.first > p.second) std::swap(p.first, p.second);
+    return p;
+  };
+  std::set<std::pair<uint32_t, uint32_t>> truth_set;
+  for (auto p : truth) truth_set.insert(canon(p));
+  std::set<std::pair<uint32_t, uint32_t>> found_set;
+  for (auto p : found) found_set.insert(canon(p));
+
+  PrfScore score;
+  score.found = found_set.size();
+  score.truth = truth_set.size();
+  for (const auto& p : found_set) {
+    if (truth_set.count(p) > 0) ++score.correct;
+  }
+  if (score.found > 0) {
+    score.precision =
+        static_cast<double>(score.correct) / static_cast<double>(score.found);
+  }
+  if (score.truth > 0) {
+    score.recall =
+        static_cast<double>(score.correct) / static_cast<double>(score.truth);
+  }
+  if (score.precision + score.recall > 0) {
+    score.f_measure = 2 * score.precision * score.recall /
+                      (score.precision + score.recall);
+  }
+  return score;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,105 @@
+#ifndef AUJOIN_DATAGEN_CORPUS_GEN_H_
+#define AUJOIN_DATAGEN_CORPUS_GEN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/knowledge.h"
+#include "core/record.h"
+#include "synonym/rule_set.h"
+#include "taxonomy/taxonomy.h"
+
+namespace aujoin {
+
+/// Shape parameters of a synthetic corpus. The Med()/Wiki() presets mirror
+/// the per-string statistics of Table 7 (token counts, taxonomy hits and
+/// synonym hits per string) at configurable scale.
+struct CorpusProfile {
+  size_t num_strings = 5000;
+  /// Target token count per string (approximately normal around avg).
+  int min_tokens = 2;
+  int avg_tokens = 8;
+  int max_tokens = 24;
+  /// Per generated unit: probability it is a taxonomy entity mention.
+  double entity_mention_prob = 0.30;
+  /// Per generated unit: probability it is a synonym-rule side mention.
+  double synonym_mention_prob = 0.30;
+  /// Number of distinct filler words (zipf-skewed usage). Pool sizes are
+  /// kept comparable to the corpus size, mirroring the paper's datasets
+  /// (293K strings vs 58K taxonomy nodes and 180K rules), so signature
+  /// pebbles stay selective.
+  size_t filler_vocab = 6000;
+  /// Skew of unit usage (0 = uniform); applies to fillers, entity
+  /// mentions and rule mentions.
+  double zipf_alpha = 0.25;
+  /// Entities mentioned are sampled from nodes at least this deep, so
+  /// sibling swaps preserve high taxonomy similarity.
+  int min_entity_depth = 4;
+  uint64_t seed = 3;
+
+  /// MED-like: keyword strings, synonym-rich (Table 7: 8.4 tokens, 3.2
+  /// taxonomy hits, 4.3 synonym hits per string).
+  static CorpusProfile Med(size_t num_strings);
+  /// WIKI-like: category strings, taxonomy-rich (8.2 tokens, 6.2 taxonomy
+  /// hits, 2.0 synonym hits).
+  static CorpusProfile Wiki(size_t num_strings);
+};
+
+/// Controls derivation of labelled similar pairs (the stand-in for the
+/// paper's crowd-sourced ground truth): each pair is a base string plus a
+/// variant produced by a mixture of typo / synonym / taxonomy edits.
+struct GroundTruthOptions {
+  size_t num_pairs = 300;
+  /// Per unit of the base string, chance of each edit type (mutually
+  /// exclusive, tried in this order where applicable).
+  double synonym_swap_prob = 0.5;
+  double taxonomy_swap_prob = 0.5;
+  double typo_prob = 0.35;
+  int typo_edits = 1;
+  uint64_t seed = 4;
+};
+
+/// A generated corpus: records plus labelled similar pairs (indexes into
+/// `records`).
+struct Corpus {
+  std::vector<Record> records;
+  std::vector<std::pair<uint32_t, uint32_t>> truth_pairs;
+};
+
+/// Generates corpora over existing knowledge sources. All token text is
+/// interned into the provided vocabulary.
+class CorpusGenerator {
+ public:
+  CorpusGenerator(Vocabulary* vocab, const Taxonomy* taxonomy,
+                  const RuleSet* rules)
+      : vocab_(vocab), taxonomy_(taxonomy), rules_(rules) {}
+
+  /// Generates `profile.num_strings` base records and appends
+  /// `truth.num_pairs` variant records labelled as similar to their base.
+  Corpus Generate(const CorpusProfile& profile,
+                  const GroundTruthOptions& truth);
+
+ private:
+  Vocabulary* vocab_;
+  const Taxonomy* taxonomy_;
+  const RuleSet* rules_;
+};
+
+/// Precision / recall / F-measure of a found pair set against the truth
+/// set (pairs are unordered; both orientations count as the same pair).
+struct PrfScore {
+  double precision = 0.0;
+  double recall = 0.0;
+  double f_measure = 0.0;
+  size_t found = 0;
+  size_t truth = 0;
+  size_t correct = 0;
+};
+
+PrfScore ComputePrf(const std::vector<std::pair<uint32_t, uint32_t>>& found,
+                    const std::vector<std::pair<uint32_t, uint32_t>>& truth);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_DATAGEN_CORPUS_GEN_H_

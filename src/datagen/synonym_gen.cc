@@ -1,0 +1,48 @@
+#include "datagen/synonym_gen.h"
+
+#include <vector>
+
+#include "datagen/words.h"
+#include "util/rng.h"
+
+namespace aujoin {
+
+RuleSet GenerateSynonyms(const SynonymGenOptions& options,
+                         const Taxonomy& taxonomy, Vocabulary* vocab) {
+  Rng rng(options.seed);
+  WordFactory words(&rng);
+  RuleSet rules;
+
+  auto make_phrase = [&](int min_tokens) {
+    int len = static_cast<int>(
+        rng.Uniform(min_tokens, options.max_side_tokens));
+    std::vector<TokenId> phrase;
+    for (int i = 0; i < len; ++i) {
+      phrase.push_back(vocab->Intern(words.UniqueWord()));
+    }
+    return phrase;
+  };
+  auto closeness = [&]() {
+    return options.min_closeness +
+           rng.UniformReal() * (1.0 - options.min_closeness);
+  };
+
+  size_t added = 0;
+  while (added < options.num_rules) {
+    bool alias = !taxonomy.empty() &&
+                 rng.UniformReal() < options.entity_alias_fraction;
+    Result<RuleId> r = Status::OK();
+    if (alias) {
+      NodeId node = static_cast<NodeId>(
+          rng.Uniform(0, static_cast<int64_t>(taxonomy.num_nodes()) - 1));
+      r = rules.AddRule(make_phrase(1), taxonomy.Name(node), closeness());
+    } else {
+      // Abbreviation-style: multi-token lhs, shorter rhs.
+      r = rules.AddRule(make_phrase(2), make_phrase(1), closeness());
+    }
+    if (r.ok()) ++added;
+  }
+  return rules;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,35 @@
+#ifndef AUJOIN_DATAGEN_SYNONYM_GEN_H_
+#define AUJOIN_DATAGEN_SYNONYM_GEN_H_
+
+#include <cstdint>
+
+#include "synonym/rule_set.h"
+#include "taxonomy/taxonomy.h"
+#include "text/vocabulary.h"
+
+namespace aujoin {
+
+/// Parameters of the synthetic synonym dictionary (stands in for MeSH
+/// aliases / Wikipedia synonyms). Two rule flavours mirror the real
+/// sources: aliases of taxonomy entities ("myocardial infarction" ->
+/// "heart attack") and free-standing phrase equivalences / abbreviations
+/// ("database management system" -> "dbms").
+struct SynonymGenOptions {
+  size_t num_rules = 3000;
+  /// Fraction of rules whose rhs is a taxonomy entity name.
+  double entity_alias_fraction = 0.4;
+  /// Maximum tokens per rule side (the paper's k).
+  int max_side_tokens = 3;
+  /// Closeness C(R) is drawn uniformly from [min_closeness, 1].
+  double min_closeness = 0.85;
+  uint64_t seed = 2;
+};
+
+/// Generates rules; phrases are interned into `vocab`. `taxonomy` may be
+/// empty (then all rules are phrase pairs).
+RuleSet GenerateSynonyms(const SynonymGenOptions& options,
+                         const Taxonomy& taxonomy, Vocabulary* vocab);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_DATAGEN_SYNONYM_GEN_H_

@@ -1,0 +1,47 @@
+#include "datagen/taxonomy_gen.h"
+
+#include <cmath>
+#include <vector>
+
+#include "datagen/words.h"
+#include "util/rng.h"
+
+namespace aujoin {
+
+Taxonomy GenerateTaxonomy(const TaxonomyGenOptions& options,
+                          Vocabulary* vocab) {
+  Rng rng(options.seed);
+  WordFactory words(&rng);
+  Taxonomy taxonomy;
+
+  auto make_name = [&]() {
+    std::vector<TokenId> name;
+    name.push_back(vocab->Intern(words.UniqueWord()));
+    if (rng.UniformReal() < options.two_token_name_prob) {
+      name.push_back(vocab->Intern(words.RandomWord()));
+    }
+    return name;
+  };
+
+  auto root = taxonomy.AddRoot(make_name());
+  (void)root;
+
+  // Eligible parents with a selection weight favouring depth.
+  std::vector<NodeId> eligible{0};
+  std::vector<double> weights{1.0};
+  while (taxonomy.num_nodes() < options.num_nodes && !eligible.empty()) {
+    size_t pick = rng.WeightedPick(weights);
+    NodeId parent = eligible[pick];
+    auto child = taxonomy.AddNode(parent, make_name());
+    NodeId id = child.value();
+    if (taxonomy.Depth(id) < options.max_depth) {
+      eligible.push_back(id);
+      weights.push_back(
+          std::pow(static_cast<double>(taxonomy.Depth(id)),
+                   options.depth_bias));
+    }
+  }
+  return taxonomy;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,60 @@
+#ifndef AUJOIN_DATAGEN_WORDS_H_
+#define AUJOIN_DATAGEN_WORDS_H_
+
+#include <string>
+#include <unordered_set>
+
+#include "util/rng.h"
+
+namespace aujoin {
+
+/// Generates pronounceable synthetic words from random syllables, so the
+/// generated corpora have realistic q-gram distributions (shared bigrams
+/// between different words, variable lengths) rather than opaque ids.
+class WordFactory {
+ public:
+  explicit WordFactory(Rng* rng) : rng_(rng) {}
+
+  /// A random word of 2-4 syllables (may repeat across calls).
+  std::string RandomWord() {
+    static const char* kSyllables[] = {
+        "ba",  "be",  "bo",  "ca",  "ce",  "co",  "da",  "de",  "do",
+        "fa",  "fi",  "ga",  "go",  "ha",  "he",  "ka",  "ke",  "ki",
+        "la",  "le",  "li",  "lo",  "ma",  "me",  "mi",  "mo",  "na",
+        "ne",  "ni",  "no",  "pa",  "pe",  "po",  "ra",  "re",  "ri",
+        "ro",  "sa",  "se",  "si",  "so",  "ta",  "te",  "ti",  "to",
+        "va",  "ve",  "vi",  "za",  "zo",  "lu",  "ru",  "tu",  "su",
+        "nu",  "qui", "wex", "xon", "yel", "jor", "gla", "bri", "ster",
+        "tron", "plex", "crom", "dyn", "fos", "gry", "hux", "jin", "kov",
+        "lyn", "mur", "nyx", "osk", "pra", "qua", "rho", "sly", "thra",
+        "urb", "vok", "wyn", "xia", "yor", "zub", "chi", "sha", "tza",
+        "blo", "cru", "dri", "fle", "gno", "hri", "klu", "mna", "pso"};
+    constexpr int kNumSyllables =
+        static_cast<int>(sizeof(kSyllables) / sizeof(kSyllables[0]));
+    int syllables = static_cast<int>(rng_->Uniform(2, 4));
+    std::string w;
+    for (int i = 0; i < syllables; ++i) {
+      w += kSyllables[rng_->Uniform(0, kNumSyllables - 1)];
+    }
+    return w;
+  }
+
+  /// A word never returned by this factory before (appends a disambiguating
+  /// syllable on collision).
+  std::string UniqueWord() {
+    std::string w = RandomWord();
+    while (used_.count(w) > 0) {
+      w += RandomWord().substr(0, 2);
+    }
+    used_.insert(w);
+    return w;
+  }
+
+ private:
+  Rng* rng_;
+  std::unordered_set<std::string> used_;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_DATAGEN_WORDS_H_

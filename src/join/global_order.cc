@@ -1,0 +1,58 @@
+#include "join/global_order.h"
+
+#include <algorithm>
+
+namespace aujoin {
+
+void GlobalOrder::CountRecord(const RecordPebbles& rp) {
+  // Count each distinct key once per record (document frequency).
+  std::vector<uint64_t> keys;
+  keys.reserve(rp.pebbles.size());
+  for (const Pebble& p : rp.pebbles) keys.push_back(p.key);
+  std::sort(keys.begin(), keys.end());
+  keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+  for (uint64_t k : keys) ++freq_[k];
+  finalized_ = false;
+}
+
+void GlobalOrder::CountCollection(const std::vector<RecordPebbles>& collection) {
+  for (const auto& rp : collection) CountRecord(rp);
+}
+
+void GlobalOrder::Finalize() {
+  std::vector<std::pair<uint64_t, uint64_t>> items;  // (key, freq)
+  items.reserve(freq_.size());
+  for (const auto& [k, f] : freq_) items.emplace_back(k, f);
+  std::sort(items.begin(), items.end(),
+            [](const auto& a, const auto& b) {
+              if (a.second != b.second) return a.second < b.second;
+              return a.first < b.first;
+            });
+  rank_.clear();
+  rank_.reserve(items.size());
+  for (size_t i = 0; i < items.size(); ++i) {
+    rank_[items[i].first] = i + 1;  // rank 0 is reserved for unseen keys
+  }
+  finalized_ = true;
+}
+
+uint64_t GlobalOrder::Rank(uint64_t key) const {
+  auto it = rank_.find(key);
+  return it == rank_.end() ? 0 : it->second;
+}
+
+uint64_t GlobalOrder::Frequency(uint64_t key) const {
+  auto it = freq_.find(key);
+  return it == freq_.end() ? 0 : it->second;
+}
+
+void GlobalOrder::SortPebbles(RecordPebbles* rp) const {
+  std::stable_sort(rp->pebbles.begin(), rp->pebbles.end(),
+                   [this](const Pebble& a, const Pebble& b) {
+                     uint64_t ra = Rank(a.key), rb = Rank(b.key);
+                     if (ra != rb) return ra < rb;
+                     return a.key < b.key;
+                   });
+}
+
+}  // namespace aujoin

@@ -1,0 +1,50 @@
+#ifndef AUJOIN_JOIN_GLOBAL_ORDER_H_
+#define AUJOIN_JOIN_GLOBAL_ORDER_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "join/pebble.h"
+
+namespace aujoin {
+
+/// The global pebble order of Section 3.1: pebbles are sorted ascending by
+/// document frequency (rare first), ties broken by key, so the signature
+/// prefix keeps the most selective pebbles. Frequencies are counted once
+/// over both join collections; the tuner's samples reuse the same order.
+class GlobalOrder {
+ public:
+  GlobalOrder() = default;
+
+  /// Counts each distinct pebble key once per record.
+  void CountRecord(const RecordPebbles& rp);
+
+  /// Convenience: counts a whole collection.
+  void CountCollection(const std::vector<RecordPebbles>& collection);
+
+  /// Assigns dense ranks by (frequency asc, key asc). Must be called after
+  /// counting and before Rank/SortPebbles.
+  void Finalize();
+
+  /// Rank of a key; unseen keys rank before everything (frequency 0).
+  uint64_t Rank(uint64_t key) const;
+
+  /// Document frequency of a key (0 if unseen).
+  uint64_t Frequency(uint64_t key) const;
+
+  /// Stably sorts a record's pebbles by ascending rank.
+  void SortPebbles(RecordPebbles* rp) const;
+
+  size_t num_keys() const { return freq_.size(); }
+  bool finalized() const { return finalized_; }
+
+ private:
+  std::unordered_map<uint64_t, uint64_t> freq_;
+  std::unordered_map<uint64_t, uint64_t> rank_;
+  bool finalized_ = false;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_JOIN_GLOBAL_ORDER_H_

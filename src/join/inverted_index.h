@@ -1,0 +1,41 @@
+#ifndef AUJOIN_JOIN_INVERTED_INDEX_H_
+#define AUJOIN_JOIN_INVERTED_INDEX_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace aujoin {
+
+/// Inverted index from pebble key to the ids of records whose signature
+/// contains the key (Algorithms 3 and 6 build one per collection).
+class InvertedIndex {
+ public:
+  InvertedIndex() = default;
+
+  /// Adds every key of one record's signature.
+  void Add(uint32_t record_id, const std::vector<uint64_t>& keys) {
+    for (uint64_t k : keys) postings_[k].push_back(record_id);
+  }
+
+  /// The posting list for a key, or nullptr.
+  const std::vector<uint32_t>* Find(uint64_t key) const {
+    auto it = postings_.find(key);
+    return it == postings_.end() ? nullptr : &it->second;
+  }
+
+  size_t num_keys() const { return postings_.size(); }
+
+  uint64_t total_postings() const {
+    uint64_t n = 0;
+    for (const auto& [k, v] : postings_) n += v.size();
+    return n;
+  }
+
+ private:
+  std::unordered_map<uint64_t, std::vector<uint32_t>> postings_;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_JOIN_INVERTED_INDEX_H_

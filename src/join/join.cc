@@ -1,0 +1,227 @@
+#include "join/join.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "join/inverted_index.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace aujoin {
+
+void JoinContext::Prepare(const std::vector<Record>& s,
+                          const std::vector<Record>* t) {
+  WallTimer timer;
+  PebbleGenerator generator(knowledge_, msim_);
+  s_records_ = &s;
+  t_records_ = (t == nullptr) ? &s : t;
+
+  s_prepared_.clear();
+  s_prepared_.reserve(s.size());
+  for (const Record& r : s) {
+    PreparedRecord pr;
+    pr.pebbles = generator.Generate(r, &gram_dict_);
+    pr.num_tokens = r.num_tokens();
+    s_prepared_.push_back(std::move(pr));
+  }
+  t_prepared_.clear();
+  if (t != nullptr && t != &s) {
+    t_prepared_.reserve(t->size());
+    for (const Record& r : *t) {
+      PreparedRecord pr;
+      pr.pebbles = generator.Generate(r, &gram_dict_);
+      pr.num_tokens = r.num_tokens();
+      t_prepared_.push_back(std::move(pr));
+    }
+  }
+
+  order_ = GlobalOrder();
+  for (const auto& pr : s_prepared_) order_.CountRecord(pr.pebbles);
+  for (const auto& pr : t_prepared_) order_.CountRecord(pr.pebbles);
+  order_.Finalize();
+  for (auto& pr : s_prepared_) order_.SortPebbles(&pr.pebbles);
+  for (auto& pr : t_prepared_) order_.SortPebbles(&pr.pebbles);
+  prepare_seconds_ = timer.Seconds();
+}
+
+JoinContext::FilterOutput JoinContext::RunFilter(
+    const SignatureOptions& sig_options,
+    const std::vector<uint32_t>* s_subset,
+    const std::vector<uint32_t>* t_subset, int num_threads) const {
+  FilterOutput out;
+  const auto& s_prep = s_prepared();
+  const auto& t_prep = t_prepared();
+  const bool self = self_join();
+
+  // Materialise the record index lists.
+  std::vector<uint32_t> s_ids, t_ids;
+  if (s_subset != nullptr) {
+    s_ids = *s_subset;
+  } else {
+    s_ids.resize(s_prep.size());
+    for (uint32_t i = 0; i < s_prep.size(); ++i) s_ids[i] = i;
+  }
+  if (t_subset != nullptr) {
+    t_ids = *t_subset;
+  } else if (self && s_subset != nullptr) {
+    t_ids = s_ids;
+  } else {
+    t_ids.resize(t_prep.size());
+    for (uint32_t i = 0; i < t_prep.size(); ++i) t_ids[i] = i;
+  }
+
+  // Signature selection (read-only over the prepared records, so chunks
+  // are embarrassingly parallel).
+  WallTimer timer;
+  std::vector<Signature> s_sigs(s_ids.size());
+  std::vector<Signature> t_sigs;
+  ParallelFor(s_ids.size(), num_threads,
+              [&](size_t begin, size_t end, int /*worker*/) {
+                for (size_t i = begin; i < end; ++i) {
+                  const PreparedRecord& pr = s_prep[s_ids[i]];
+                  s_sigs[i] = SelectSignature(pr.pebbles, pr.num_tokens,
+                                              sig_options);
+                }
+              });
+  const bool same_side = self && s_ids == t_ids;
+  if (!same_side) {
+    t_sigs.resize(t_ids.size());
+    ParallelFor(t_ids.size(), num_threads,
+                [&](size_t begin, size_t end, int /*worker*/) {
+                  for (size_t j = begin; j < end; ++j) {
+                    const PreparedRecord& pr = t_prep[t_ids[j]];
+                    t_sigs[j] = SelectSignature(pr.pebbles, pr.num_tokens,
+                                                sig_options);
+                  }
+                });
+  }
+  uint64_t total_sig_pebbles = 0;
+  for (const Signature& sig : s_sigs) total_sig_pebbles += sig.prefix_len;
+  for (const Signature& sig : t_sigs) total_sig_pebbles += sig.prefix_len;
+  const std::vector<Signature>& t_side = same_side ? s_sigs : t_sigs;
+  size_t sig_count = s_ids.size() + (same_side ? 0 : t_ids.size());
+  out.avg_signature_pebbles =
+      sig_count == 0 ? 0.0
+                     : static_cast<double>(total_sig_pebbles) /
+                           static_cast<double>(sig_count);
+  out.signature_seconds = timer.Seconds();
+
+  // Candidate generation: index T, probe S, count distinct shared keys.
+  timer.Restart();
+  InvertedIndex index;
+  for (size_t j = 0; j < t_ids.size(); ++j) {
+    index.Add(t_ids[j], t_side[j].keys);
+  }
+  // Map a T record id back to its signature (for the per-pair effective
+  // tau; see Signature::effective_tau).
+  std::unordered_map<uint32_t, const Signature*> t_sig_by_id;
+  t_sig_by_id.reserve(t_ids.size());
+  for (size_t j = 0; j < t_ids.size(); ++j) {
+    t_sig_by_id.emplace(t_ids[j], &t_side[j]);
+  }
+  // Probe phase: chunks of S records, per-worker outputs merged after.
+  const int probe_workers = ResolveThreads(num_threads);
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> worker_candidates(
+      probe_workers);
+  std::vector<uint64_t> worker_processed(probe_workers, 0);
+  ParallelFor(
+      s_ids.size(), num_threads,
+      [&](size_t begin, size_t end, int worker) {
+        std::unordered_map<uint32_t, int> overlap;
+        for (size_t i = begin; i < end; ++i) {
+          overlap.clear();
+          uint32_t s_id = s_ids[i];
+          for (uint64_t key : s_sigs[i].keys) {
+            const std::vector<uint32_t>* postings = index.Find(key);
+            if (postings == nullptr) continue;
+            for (uint32_t t_id : *postings) {
+              if (self && t_id <= s_id) continue;  // dedupe self-join pairs
+              ++worker_processed[worker];
+              ++overlap[t_id];
+            }
+          }
+          for (const auto& [t_id, count] : overlap) {
+            int required = std::min(s_sigs[i].effective_tau,
+                                    t_sig_by_id.at(t_id)->effective_tau);
+            if (count >= required) {
+              worker_candidates[worker].emplace_back(s_id, t_id);
+            }
+          }
+        }
+      });
+  for (int w = 0; w < probe_workers; ++w) {
+    out.processed_pairs += worker_processed[w];
+    out.candidates.insert(out.candidates.end(), worker_candidates[w].begin(),
+                          worker_candidates[w].end());
+  }
+  out.filter_seconds = timer.Seconds();
+  return out;
+}
+
+void VerifyCandidates(
+    const JoinContext& context, const JoinOptions& options,
+    const std::vector<std::pair<uint32_t, uint32_t>>& candidates,
+    JoinResult* result) {
+  WallTimer timer;
+  UsimOptions usim_options = options.usim;
+  usim_options.msim = context.msim_options();
+  const auto& s_records = context.s_records();
+  const auto& t_records = context.t_records();
+
+  const int workers = ResolveThreads(options.num_threads);
+  std::vector<std::vector<std::pair<uint32_t, uint32_t>>> worker_pairs(
+      workers);
+  ParallelFor(
+      candidates.size(), options.num_threads,
+      [&](size_t begin, size_t end, int worker) {
+        // One computer (and gram cache) per worker; MsimEvaluator is not
+        // thread-safe.
+        UsimComputer computer(context.knowledge(), usim_options);
+        for (size_t c = begin; c < end; ++c) {
+          const auto& [si, ti] = candidates[c];
+          if (computer.evaluator()->CacheSize() >
+              options.cache_evict_threshold) {
+            computer.evaluator()->ClearCache();
+          }
+          // Verification only needs the predicate, so Algorithm 1 may
+          // stop as soon as theta is reached.
+          double sim = computer.Approx(s_records[si], t_records[ti],
+                                       options.theta);
+          if (sim >= options.theta) {
+            worker_pairs[worker].emplace_back(si, ti);
+          }
+        }
+      });
+  for (int w = 0; w < workers; ++w) {
+    result->pairs.insert(result->pairs.end(), worker_pairs[w].begin(),
+                         worker_pairs[w].end());
+  }
+  // Deterministic output regardless of the worker split.
+  std::sort(result->pairs.begin(), result->pairs.end());
+  result->stats.verify_seconds += timer.Seconds();
+  result->stats.results = result->pairs.size();
+}
+
+JoinResult UnifiedJoin(const JoinContext& context,
+                       const JoinOptions& options) {
+  JoinResult result;
+  SignatureOptions sig_options;
+  sig_options.theta = options.theta;
+  sig_options.tau = options.tau;
+  sig_options.method = options.method;
+  sig_options.exact_min_partition = options.exact_min_partition;
+
+  JoinContext::FilterOutput filtered =
+      context.RunFilter(sig_options, nullptr, nullptr, options.num_threads);
+  result.stats.prepare_seconds = context.prepare_seconds();
+  result.stats.signature_seconds = filtered.signature_seconds;
+  result.stats.filter_seconds = filtered.filter_seconds;
+  result.stats.processed_pairs = filtered.processed_pairs;
+  result.stats.candidates = filtered.candidates.size();
+  result.stats.avg_signature_pebbles = filtered.avg_signature_pebbles;
+
+  VerifyCandidates(context, options, filtered.candidates, &result);
+  return result;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,134 @@
+#ifndef AUJOIN_JOIN_JOIN_H_
+#define AUJOIN_JOIN_JOIN_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/usim.h"
+#include "join/global_order.h"
+#include "join/pebble.h"
+#include "join/signature.h"
+
+namespace aujoin {
+
+/// Options of a unified similarity join (Algorithms 3 / 6).
+struct JoinOptions {
+  double theta = 0.8;
+  /// Overlap constraint for the AU filters; U-Filter behaves as tau = 1.
+  int tau = 1;
+  FilterMethod method = FilterMethod::kAuDp;
+  bool exact_min_partition = true;
+  /// Verification settings (msim sub-options are overridden by the
+  /// context's so pebbles and verification agree on q / measures).
+  UsimOptions usim;
+  /// Verification gram-cache eviction threshold (entries).
+  size_t cache_evict_threshold = 500000;
+  /// Worker threads for signature selection, candidate generation and
+  /// verification. 1 = serial; 0 = all hardware threads.
+  int num_threads = 1;
+};
+
+/// Timing and cardinality statistics of one join run. `processed_pairs`
+/// is the T_tau of Eq. (16); `candidates` is V_tau.
+struct JoinStats {
+  double prepare_seconds = 0.0;
+  double signature_seconds = 0.0;
+  double filter_seconds = 0.0;
+  double verify_seconds = 0.0;
+  double suggest_seconds = 0.0;
+  uint64_t processed_pairs = 0;
+  uint64_t candidates = 0;
+  uint64_t results = 0;
+  double avg_signature_pebbles = 0.0;
+
+  double TotalSeconds() const {
+    return signature_seconds + filter_seconds + verify_seconds +
+           suggest_seconds;
+  }
+};
+
+/// One join's output: matching (s_index, t_index) pairs + stats.
+struct JoinResult {
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  JoinStats stats;
+};
+
+/// A record with its sorted pebbles, ready for signature selection.
+struct PreparedRecord {
+  RecordPebbles pebbles;
+  size_t num_tokens = 0;
+};
+
+/// Holds both collections' pebbles and the shared global order. Building a
+/// context once lets the tuner re-run the filter stage on samples, and
+/// benches sweep (theta, tau, method) without regenerating pebbles.
+class JoinContext {
+ public:
+  JoinContext(const Knowledge& knowledge, const MsimOptions& msim)
+      : knowledge_(knowledge), msim_(msim) {}
+
+  /// Generates pebbles for both collections (pass t == nullptr for a
+  /// self-join) and finalises the global frequency order.
+  void Prepare(const std::vector<Record>& s, const std::vector<Record>* t);
+
+  bool self_join() const { return t_records_ == s_records_; }
+  bool prepared() const { return s_records_ != nullptr; }
+
+  const std::vector<Record>& s_records() const { return *s_records_; }
+  const std::vector<Record>& t_records() const { return *t_records_; }
+  const std::vector<PreparedRecord>& s_prepared() const {
+    return s_prepared_;
+  }
+  const std::vector<PreparedRecord>& t_prepared() const {
+    return self_join() ? s_prepared_ : t_prepared_;
+  }
+  const Knowledge& knowledge() const { return knowledge_; }
+  const MsimOptions& msim_options() const { return msim_; }
+  const GlobalOrder& global_order() const { return order_; }
+  double prepare_seconds() const { return prepare_seconds_; }
+
+  /// Output of the filter stage (Lines 1-8 of Algorithm 6).
+  struct FilterOutput {
+    uint64_t processed_pairs = 0;  // T_tau
+    std::vector<std::pair<uint32_t, uint32_t>> candidates;  // V_tau entries
+    double signature_seconds = 0.0;
+    double filter_seconds = 0.0;
+    double avg_signature_pebbles = 0.0;
+  };
+
+  /// Runs signature selection + candidate generation. `s_subset` /
+  /// `t_subset` restrict to record indexes (used by the Bernoulli
+  /// sampler); nullptr means the whole collection. For self-joins,
+  /// candidates are emitted with first < second. `num_threads` follows
+  /// JoinOptions::num_threads semantics.
+  FilterOutput RunFilter(const SignatureOptions& sig_options,
+                         const std::vector<uint32_t>* s_subset = nullptr,
+                         const std::vector<uint32_t>* t_subset = nullptr,
+                         int num_threads = 1) const;
+
+ private:
+  Knowledge knowledge_;
+  MsimOptions msim_;
+  Vocabulary gram_dict_;
+  GlobalOrder order_;
+  std::vector<PreparedRecord> s_prepared_;
+  std::vector<PreparedRecord> t_prepared_;
+  const std::vector<Record>* s_records_ = nullptr;
+  const std::vector<Record>* t_records_ = nullptr;
+  double prepare_seconds_ = 0.0;
+};
+
+/// Runs the full filter-and-verification join over a prepared context.
+JoinResult UnifiedJoin(const JoinContext& context, const JoinOptions& options);
+
+/// Verifies candidate pairs with Algorithm 1 and appends survivors to
+/// `result`. Exposed so benches can time verification separately.
+void VerifyCandidates(
+    const JoinContext& context, const JoinOptions& options,
+    const std::vector<std::pair<uint32_t, uint32_t>>& candidates,
+    JoinResult* result);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_JOIN_JOIN_H_

@@ -1,0 +1,68 @@
+#include "join/pebble.h"
+
+#include <cmath>
+
+#include "text/qgram.h"
+#include "util/hash.h"
+
+namespace aujoin {
+
+RecordPebbles PebbleGenerator::Generate(const Record& record,
+                                        Vocabulary* gram_dict) const {
+  RecordPebbles rp;
+  rp.segments = EnumerateSegments(record, knowledge_);
+  for (uint32_t seg_idx = 0; seg_idx < rp.segments.size(); ++seg_idx) {
+    const WellDefinedSegment& seg = rp.segments[seg_idx];
+    // Exact-span pebbles witness the equality contribution of
+    // MsimOptions::exact_match. When the Jaccard measure is enabled they
+    // are redundant for the filter bound — identical texts share all
+    // their grams, whose weights sum to exactly 1.0 — and their 1.0
+    // weight would inflate the TW/W insertion bounds of Lemmas 1-2,
+    // shrinking the feasible tau. So they are emitted only when no gram
+    // pebbles exist to witness equality.
+    if (options_.exact_match && !(options_.measures & kMeasureJaccard)) {
+      TokenSpan span = record.Span(seg.span.begin, seg.span.end);
+      uint64_t h = HashTokenSpan(span.data(), span.size());
+      rp.pebbles.push_back(Pebble{MakePebbleKey(PebbleType::kExact, h), 1.0,
+                                  seg_idx, kMeasureExactBit});
+    }
+    if (options_.measures & kMeasureJaccard) {
+      std::string text = SegmentText(record, seg.span, *knowledge_.vocab);
+      std::vector<std::string> grams = QGrams(text, options_.q);
+      if (!grams.empty()) {
+        // Per-gram contribution bound: sim <= sum of shared grams' min
+        // side weight, with weight 1/|G| for Jaccard/Dice and
+        // 1/sqrt(|G|) for Cosine (see GramMeasure).
+        double w =
+            options_.gram_measure == GramMeasure::kCosine
+                ? 1.0 / std::sqrt(static_cast<double>(grams.size()))
+                : 1.0 / static_cast<double>(grams.size());
+        for (const auto& gram : grams) {
+          uint64_t gid = gram_dict->Intern(gram);
+          rp.pebbles.push_back(Pebble{MakePebbleKey(PebbleType::kGram, gid),
+                                      w, seg_idx, kMeasureJaccard});
+        }
+      }
+    }
+    if ((options_.measures & kMeasureSynonym) && seg.HasSynonym()) {
+      for (const RuleMatch& m : seg.rule_matches) {
+        double w = knowledge_.rules->rule(m.rule).closeness;
+        rp.pebbles.push_back(Pebble{MakePebbleKey(PebbleType::kSynonym,
+                                                  m.rule),
+                                    w, seg_idx, kMeasureSynonym});
+      }
+    }
+    if ((options_.measures & kMeasureTaxonomy) && seg.HasTaxonomy()) {
+      for (NodeId n : seg.taxonomy_nodes) {
+        double w = 1.0 / static_cast<double>(knowledge_.taxonomy->Depth(n));
+        for (NodeId a : knowledge_.taxonomy->AncestorsInclusive(n)) {
+          rp.pebbles.push_back(Pebble{MakePebbleKey(PebbleType::kTaxonomy, a),
+                                      w, seg_idx, kMeasureTaxonomy});
+        }
+      }
+    }
+  }
+  return rp;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,85 @@
+#include "join/search.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+namespace aujoin {
+
+void UnifiedSearcher::Index(const std::vector<Record>* collection) {
+  collection_ = collection;
+  order_ = GlobalOrder();
+  index_ = InvertedIndex();
+
+  // First pass: generate pebbles and count frequencies.
+  std::vector<std::vector<uint64_t>> keys_per_record(collection->size());
+  std::vector<RecordPebbles> all(collection->size());
+  for (size_t i = 0; i < collection->size(); ++i) {
+    all[i] = generator_.Generate((*collection)[i], &gram_dict_);
+    order_.CountRecord(all[i]);
+    std::vector<uint64_t> keys;
+    keys.reserve(all[i].pebbles.size());
+    for (const Pebble& p : all[i].pebbles) keys.push_back(p.key);
+    std::sort(keys.begin(), keys.end());
+    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+    keys_per_record[i] = std::move(keys);
+  }
+  order_.Finalize();
+  for (size_t i = 0; i < collection->size(); ++i) {
+    index_.Add(static_cast<uint32_t>(i), keys_per_record[i]);
+  }
+}
+
+std::vector<uint32_t> UnifiedSearcher::Candidates(
+    const Record& query, const SearchOptions& options) {
+  RecordPebbles rp = generator_.Generate(query, &gram_dict_);
+  order_.SortPebbles(&rp);
+  SignatureOptions sig_options;
+  sig_options.theta = options.theta;
+  sig_options.tau = options.tau;
+  sig_options.method = options.method;
+  Signature sig = SelectSignature(rp, query.num_tokens(), sig_options);
+
+  std::unordered_map<uint32_t, int> overlap;
+  for (uint64_t key : sig.keys) {
+    const std::vector<uint32_t>* postings = index_.Find(key);
+    if (postings == nullptr) continue;
+    for (uint32_t id : *postings) ++overlap[id];
+  }
+  std::vector<uint32_t> out;
+  for (const auto& [id, count] : overlap) {
+    if (count >= sig.effective_tau) out.push_back(id);
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+std::vector<UnifiedSearcher::Match> UnifiedSearcher::Search(
+    const Record& query, const SearchOptions& options) {
+  std::vector<Match> matches;
+  if (collection_ == nullptr) return matches;
+  UsimOptions usim_options;
+  usim_options.msim = msim_;
+  UsimComputer computer(knowledge_, usim_options);
+  for (uint32_t id : Candidates(query, options)) {
+    double sim = computer.Approx(query, (*collection_)[id]);
+    if (sim >= options.theta) matches.push_back(Match{id, sim});
+  }
+  std::sort(matches.begin(), matches.end(), [](const Match& a,
+                                               const Match& b) {
+    if (a.similarity != b.similarity) return a.similarity > b.similarity;
+    return a.id < b.id;
+  });
+  return matches;
+}
+
+std::vector<UnifiedSearcher::Match> UnifiedSearcher::TopK(
+    const Record& query, size_t k, double min_theta,
+    const SearchOptions& options) {
+  SearchOptions opts = options;
+  opts.theta = min_theta;
+  std::vector<Match> all = Search(query, opts);
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,78 @@
+#ifndef AUJOIN_JOIN_SEARCH_H_
+#define AUJOIN_JOIN_SEARCH_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/usim.h"
+#include "join/global_order.h"
+#include "join/inverted_index.h"
+#include "join/pebble.h"
+#include "join/signature.h"
+
+namespace aujoin {
+
+/// Online unified similarity *search*: index a collection once, then
+/// answer "which records are similar to this query?" requests. The
+/// collection side is indexed with its records' full pebble key sets, so
+/// only the query needs a signature: if USIM(q, r) >= theta, every shared
+/// key is either in the query's signature prefix (then r is a candidate
+/// via the index) or in the query's tail, whose total possible
+/// contribution is below theta * MP(q) by the signature boundary — the
+/// single-sided version of Lemmas 1-2.
+class UnifiedSearcher {
+ public:
+  /// `knowledge` must outlive the searcher.
+  UnifiedSearcher(const Knowledge& knowledge, const MsimOptions& msim)
+      : knowledge_(knowledge), msim_(msim), generator_(knowledge, msim) {}
+
+  /// Indexes the collection (full pebble key sets; the collection pointer
+  /// must stay valid while searching).
+  void Index(const std::vector<Record>* collection);
+
+  struct Match {
+    uint32_t id = 0;
+    double similarity = 0.0;
+
+    friend bool operator==(const Match& a, const Match& b) {
+      return a.id == b.id && a.similarity == b.similarity;
+    }
+  };
+
+  struct SearchOptions {
+    double theta = 0.8;
+    /// Overlap constraint on the query signature (subject to the query's
+    /// effective tau).
+    int tau = 1;
+    FilterMethod method = FilterMethod::kAuDp;
+  };
+
+  /// All indexed records with Approx USIM >= theta, sorted by descending
+  /// similarity (ties by id).
+  std::vector<Match> Search(const Record& query,
+                            const SearchOptions& options);
+
+  /// The k most similar records with similarity >= min_theta.
+  std::vector<Match> TopK(const Record& query, size_t k, double min_theta,
+                          const SearchOptions& options);
+
+  size_t num_indexed() const {
+    return collection_ == nullptr ? 0 : collection_->size();
+  }
+
+ private:
+  std::vector<uint32_t> Candidates(const Record& query,
+                                   const SearchOptions& options);
+
+  Knowledge knowledge_;
+  MsimOptions msim_;
+  PebbleGenerator generator_;
+  Vocabulary gram_dict_;
+  GlobalOrder order_;
+  InvertedIndex index_;
+  const std::vector<Record>* collection_ = nullptr;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_JOIN_SEARCH_H_

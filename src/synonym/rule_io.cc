@@ -1,0 +1,55 @@
+#include "synonym/rule_io.h"
+
+#include <cstdlib>
+
+#include "text/tokenizer.h"
+#include "util/io.h"
+
+namespace aujoin {
+
+Result<RuleSet> LoadRulesFromTsv(const std::string& path, Vocabulary* vocab) {
+  auto lines = ReadLines(path);
+  if (!lines.ok()) return lines.status();
+
+  RuleSet rules;
+  for (size_t lineno = 0; lineno < lines->size(); ++lineno) {
+    const std::string& line = (*lines)[lineno];
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = SplitString(line, '\t');
+    if (fields.size() < 2) {
+      return Status::InvalidArgument("rule line " +
+                                     std::to_string(lineno + 1) +
+                                     ": expected at least 2 fields");
+    }
+    double closeness =
+        fields.size() >= 3 ? std::atof(fields[2].c_str()) : 1.0;
+    Result<RuleId> added = rules.AddRule(Tokenize(fields[0], vocab),
+                                         Tokenize(fields[1], vocab),
+                                         closeness);
+    if (!added.ok()) {
+      return Status::InvalidArgument("rule line " +
+                                     std::to_string(lineno + 1) + ": " +
+                                     added.status().message());
+    }
+  }
+  return rules;
+}
+
+Status SaveRulesToTsv(const RuleSet& rules, const Vocabulary& vocab,
+                      const std::string& path) {
+  std::vector<std::string> lines;
+  lines.reserve(rules.num_rules() + 1);
+  lines.push_back("# lhs\trhs\tcloseness");
+  char buffer[64];
+  for (RuleId r = 0; r < rules.num_rules(); ++r) {
+    const SynonymRule& rule = rules.rule(r);
+    std::snprintf(buffer, sizeof(buffer), "%.6g", rule.closeness);
+    lines.push_back(
+        vocab.Render(TokenSpan(rule.lhs.data(), rule.lhs.size())) + "\t" +
+        vocab.Render(TokenSpan(rule.rhs.data(), rule.rhs.size())) + "\t" +
+        buffer);
+  }
+  return WriteLines(path, lines);
+}
+
+}  // namespace aujoin

@@ -1,0 +1,27 @@
+#ifndef AUJOIN_SYNONYM_RULE_IO_H_
+#define AUJOIN_SYNONYM_RULE_IO_H_
+
+#include <string>
+
+#include "synonym/rule_set.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace aujoin {
+
+/// Loads synonym rules from a TSV file with one rule per line:
+///
+///   lhs phrase <TAB> rhs phrase [<TAB> closeness]
+///
+/// The closeness column defaults to 1.0 and must be in (0, 1]. Phrases
+/// are tokenised (lowercased, whitespace-split) and interned into
+/// `vocab`. Lines starting with '#' and blank lines are skipped.
+Result<RuleSet> LoadRulesFromTsv(const std::string& path, Vocabulary* vocab);
+
+/// Writes rules in the same format.
+Status SaveRulesToTsv(const RuleSet& rules, const Vocabulary& vocab,
+                      const std::string& path);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_SYNONYM_RULE_IO_H_

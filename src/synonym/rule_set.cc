@@ -1,0 +1,41 @@
+#include "synonym/rule_set.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace aujoin {
+
+Result<RuleId> RuleSet::AddRule(std::vector<TokenId> lhs,
+                                std::vector<TokenId> rhs, double closeness) {
+  if (lhs.empty() || rhs.empty()) {
+    return Status::InvalidArgument("synonym rule sides must be non-empty");
+  }
+  if (!(closeness > 0.0 && closeness <= 1.0)) {
+    return Status::InvalidArgument("closeness must be in (0, 1]");
+  }
+  RuleId id = static_cast<RuleId>(rules_.size());
+  max_side_tokens_ = std::max({max_side_tokens_, lhs.size(), rhs.size()});
+  uint64_t lhs_hash = HashTokenSpan(lhs.data(), lhs.size());
+  uint64_t rhs_hash = HashTokenSpan(rhs.data(), rhs.size());
+  side_index_.emplace(lhs_hash, RuleMatch{id, RuleSide::kLhs});
+  side_index_.emplace(rhs_hash, RuleMatch{id, RuleSide::kRhs});
+  rules_.push_back(SynonymRule{std::move(lhs), std::move(rhs), closeness});
+  return id;
+}
+
+std::vector<RuleMatch> RuleSet::Match(TokenSpan span) const {
+  std::vector<RuleMatch> out;
+  uint64_t h = HashTokenSpan(span.data(), span.size());
+  auto [lo, hi] = side_index_.equal_range(h);
+  for (auto it = lo; it != hi; ++it) {
+    const auto& side = MatchedSide(it->second);
+    if (side.size() == span.size() &&
+        std::equal(side.begin(), side.end(), span.begin())) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,75 @@
+#ifndef AUJOIN_SYNONYM_RULE_SET_H_
+#define AUJOIN_SYNONYM_RULE_SET_H_
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace aujoin {
+
+/// Identifier of a synonym rule inside a RuleSet.
+using RuleId = uint32_t;
+
+/// A synonym / abbreviation rule lhs -> rhs with closeness C(R) in (0, 1]
+/// (Eq. 2). Rules are directed in the paper's notation, but matching is
+/// symmetric: a segment equal to either side can pair with a segment equal
+/// to the other side.
+struct SynonymRule {
+  std::vector<TokenId> lhs;
+  std::vector<TokenId> rhs;
+  double closeness = 1.0;
+};
+
+/// Which side of a rule a segment matched.
+enum class RuleSide : uint8_t { kLhs, kRhs };
+
+/// A (rule, side) hit produced when looking up a token span.
+struct RuleMatch {
+  RuleId rule;
+  RuleSide side;
+};
+
+/// Dictionary of synonym rules with O(1) lookup of all rules whose lhs or
+/// rhs equals a given token span.
+class RuleSet {
+ public:
+  RuleSet() = default;
+
+  /// Adds a rule; rejects empty sides or closeness outside (0, 1].
+  Result<RuleId> AddRule(std::vector<TokenId> lhs, std::vector<TokenId> rhs,
+                         double closeness = 1.0);
+
+  size_t num_rules() const { return rules_.size(); }
+  const SynonymRule& rule(RuleId id) const { return rules_[id]; }
+
+  /// All rules for which `span` equals the lhs or the rhs.
+  std::vector<RuleMatch> Match(TokenSpan span) const;
+
+  /// The other side of a matched rule.
+  const std::vector<TokenId>& OtherSide(const RuleMatch& m) const {
+    const auto& r = rules_[m.rule];
+    return m.side == RuleSide::kLhs ? r.rhs : r.lhs;
+  }
+
+  /// The side that was matched.
+  const std::vector<TokenId>& MatchedSide(const RuleMatch& m) const {
+    const auto& r = rules_[m.rule];
+    return m.side == RuleSide::kLhs ? r.lhs : r.rhs;
+  }
+
+  /// Maximum number of tokens on any side of any rule (the synonym side of
+  /// the paper's claw parameter k).
+  size_t max_side_tokens() const { return max_side_tokens_; }
+
+ private:
+  std::vector<SynonymRule> rules_;
+  std::unordered_multimap<uint64_t, RuleMatch> side_index_;
+  size_t max_side_tokens_ = 0;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_SYNONYM_RULE_SET_H_

@@ -1,0 +1,86 @@
+#include "taxonomy/taxonomy.h"
+
+#include <algorithm>
+
+#include "util/hash.h"
+
+namespace aujoin {
+
+uint64_t Taxonomy::NameHash(TokenSpan span) const {
+  return HashTokenSpan(span.data(), span.size());
+}
+
+Result<NodeId> Taxonomy::AddRoot(std::vector<TokenId> name) {
+  if (!parents_.empty()) {
+    return Status::FailedPrecondition("taxonomy already has a root");
+  }
+  parents_.push_back(kInvalidNode);
+  depths_.push_back(1);
+  max_depth_ = 1;
+  children_.emplace_back();
+  max_name_tokens_ = std::max(max_name_tokens_, name.size());
+  entity_index_.emplace(NameHash(name), 0);
+  names_.push_back(std::move(name));
+  return NodeId{0};
+}
+
+Result<NodeId> Taxonomy::AddNode(NodeId parent, std::vector<TokenId> name) {
+  if (parents_.empty()) {
+    return Status::FailedPrecondition("add a root before adding nodes");
+  }
+  if (parent >= parents_.size()) {
+    return Status::InvalidArgument("parent node does not exist");
+  }
+  NodeId id = static_cast<NodeId>(parents_.size());
+  parents_.push_back(parent);
+  depths_.push_back(depths_[parent] + 1);
+  max_depth_ = std::max(max_depth_, depths_.back());
+  children_.emplace_back();
+  children_[parent].push_back(id);
+  max_name_tokens_ = std::max(max_name_tokens_, name.size());
+  entity_index_.emplace(NameHash(name), id);
+  names_.push_back(std::move(name));
+  return id;
+}
+
+NodeId Taxonomy::Lca(NodeId a, NodeId b) const {
+  while (depths_[a] > depths_[b]) a = parents_[a];
+  while (depths_[b] > depths_[a]) b = parents_[b];
+  while (a != b) {
+    a = parents_[a];
+    b = parents_[b];
+  }
+  return a;
+}
+
+double Taxonomy::Similarity(NodeId a, NodeId b) const {
+  NodeId lca = Lca(a, b);
+  int max_depth = std::max(depths_[a], depths_[b]);
+  return static_cast<double>(depths_[lca]) / static_cast<double>(max_depth);
+}
+
+std::vector<NodeId> Taxonomy::AncestorsInclusive(NodeId node) const {
+  std::vector<NodeId> chain;
+  chain.reserve(static_cast<size_t>(depths_[node]));
+  NodeId cur = node;
+  while (cur != kInvalidNode) {
+    chain.push_back(cur);
+    cur = parents_[cur];
+  }
+  return chain;
+}
+
+std::vector<NodeId> Taxonomy::FindEntity(TokenSpan span) const {
+  std::vector<NodeId> out;
+  auto [lo, hi] = entity_index_.equal_range(NameHash(span));
+  for (auto it = lo; it != hi; ++it) {
+    const auto& name = names_[it->second];
+    if (name.size() == span.size() &&
+        std::equal(name.begin(), name.end(), span.begin())) {
+      out.push_back(it->second);
+    }
+  }
+  return out;
+}
+
+}  // namespace aujoin

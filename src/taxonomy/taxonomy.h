@@ -1,0 +1,85 @@
+#ifndef AUJOIN_TAXONOMY_TAXONOMY_H_
+#define AUJOIN_TAXONOMY_TAXONOMY_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace aujoin {
+
+/// Node identifier inside a Taxonomy; dense, root == 0 after AddRoot.
+using NodeId = uint32_t;
+
+/// A rooted IS-A hierarchy (MeSH tree / Wikipedia categories in the paper).
+/// Every node carries an entity name (a token sequence); strings match a
+/// node when one of their segments equals the node's name. The taxonomy
+/// similarity of two nodes is |LCA| / max(|a|, |b|) where |n| is the node's
+/// depth and the root has depth 1 (Eq. 3; Figure 1(a) gives
+/// simt(latte, espresso) = 4/5 with the root "Wikipedia" at depth 1).
+class Taxonomy {
+ public:
+  static constexpr NodeId kInvalidNode = UINT32_MAX;
+
+  Taxonomy() = default;
+
+  /// Creates the root node. Must be called exactly once, before AddNode.
+  Result<NodeId> AddRoot(std::vector<TokenId> name);
+
+  /// Adds a child of `parent`. Returns the new node's id.
+  Result<NodeId> AddNode(NodeId parent, std::vector<TokenId> name);
+
+  size_t num_nodes() const { return parents_.size(); }
+  bool empty() const { return parents_.empty(); }
+
+  /// Depth of a node; the root has depth 1.
+  int Depth(NodeId node) const { return depths_[node]; }
+
+  NodeId Parent(NodeId node) const { return parents_[node]; }
+  const std::vector<TokenId>& Name(NodeId node) const { return names_[node]; }
+  const std::vector<NodeId>& Children(NodeId node) const {
+    return children_[node];
+  }
+
+  /// Lowest common ancestor via parent-pointer walk (tree heights in the
+  /// paper's taxonomies are <= 26, so this is O(height)).
+  NodeId Lca(NodeId a, NodeId b) const;
+
+  /// Eq. 3: depth(LCA) / max(depth(a), depth(b)).
+  double Similarity(NodeId a, NodeId b) const;
+
+  /// The chain node -> ... -> root, inclusive (node first).
+  std::vector<NodeId> AncestorsInclusive(NodeId node) const;
+
+  /// All nodes whose entity name equals `span` (names need not be unique;
+  /// Wikipedia category spellings repeat).
+  std::vector<NodeId> FindEntity(TokenSpan span) const;
+
+  /// True if some entity name equals `span`.
+  bool HasEntity(TokenSpan span) const { return !FindEntity(span).empty(); }
+
+  /// Maximum number of tokens in any entity name (the taxonomy side of the
+  /// paper's claw parameter k).
+  size_t max_name_tokens() const { return max_name_tokens_; }
+
+  /// Maximum depth over all nodes.
+  int max_depth() const { return max_depth_; }
+
+ private:
+  uint64_t NameHash(TokenSpan span) const;
+
+  std::vector<NodeId> parents_;
+  std::vector<int> depths_;
+  std::vector<std::vector<TokenId>> names_;
+  std::vector<std::vector<NodeId>> children_;
+  std::unordered_multimap<uint64_t, NodeId> entity_index_;
+  size_t max_name_tokens_ = 0;
+  int max_depth_ = 0;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_TAXONOMY_TAXONOMY_H_

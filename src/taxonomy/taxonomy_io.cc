@@ -1,0 +1,70 @@
+#include "taxonomy/taxonomy_io.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "text/tokenizer.h"
+#include "util/io.h"
+
+namespace aujoin {
+
+Result<Taxonomy> LoadTaxonomyFromTsv(const std::string& path,
+                                     Vocabulary* vocab) {
+  auto lines = ReadLines(path);
+  if (!lines.ok()) return lines.status();
+
+  Taxonomy taxonomy;
+  int64_t expected_id = 0;
+  for (size_t lineno = 0; lineno < lines->size(); ++lineno) {
+    const std::string& line = (*lines)[lineno];
+    if (line.empty() || line[0] == '#') continue;
+    std::vector<std::string> fields = SplitString(line, '\t');
+    if (fields.size() < 3) {
+      return Status::InvalidArgument("taxonomy line " +
+                                     std::to_string(lineno + 1) +
+                                     ": expected 3 tab-separated fields");
+    }
+    int64_t id = std::atoll(fields[0].c_str());
+    int64_t parent = std::atoll(fields[1].c_str());
+    if (id != expected_id) {
+      return Status::InvalidArgument(
+          "taxonomy line " + std::to_string(lineno + 1) +
+          ": node ids must be dense and ascending (expected " +
+          std::to_string(expected_id) + ")");
+    }
+    std::vector<TokenId> name = Tokenize(fields[2], vocab);
+    if (name.empty()) {
+      return Status::InvalidArgument("taxonomy line " +
+                                     std::to_string(lineno + 1) +
+                                     ": empty entity name");
+    }
+    Result<NodeId> added =
+        parent < 0 ? taxonomy.AddRoot(std::move(name))
+                   : taxonomy.AddNode(static_cast<NodeId>(parent),
+                                      std::move(name));
+    if (!added.ok()) return added.status();
+    ++expected_id;
+  }
+  if (taxonomy.empty()) {
+    return Status::InvalidArgument("taxonomy file has no nodes: " + path);
+  }
+  return taxonomy;
+}
+
+Status SaveTaxonomyToTsv(const Taxonomy& taxonomy, const Vocabulary& vocab,
+                         const std::string& path) {
+  std::vector<std::string> lines;
+  lines.reserve(taxonomy.num_nodes() + 1);
+  lines.push_back("# node_id\tparent_id\tentity name");
+  for (NodeId n = 0; n < taxonomy.num_nodes(); ++n) {
+    NodeId parent = taxonomy.Parent(n);
+    int64_t parent_field =
+        parent == Taxonomy::kInvalidNode ? -1 : static_cast<int64_t>(parent);
+    const auto& name = taxonomy.Name(n);
+    lines.push_back(std::to_string(n) + "\t" + std::to_string(parent_field) +
+                    "\t" + vocab.Render(TokenSpan(name.data(), name.size())));
+  }
+  return WriteLines(path, lines);
+}
+
+}  // namespace aujoin

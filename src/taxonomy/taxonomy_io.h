@@ -1,0 +1,29 @@
+#ifndef AUJOIN_TAXONOMY_TAXONOMY_IO_H_
+#define AUJOIN_TAXONOMY_TAXONOMY_IO_H_
+
+#include <string>
+
+#include "taxonomy/taxonomy.h"
+#include "text/vocabulary.h"
+#include "util/status.h"
+
+namespace aujoin {
+
+/// Loads a taxonomy from a TSV file with one node per line:
+///
+///   node_id <TAB> parent_id <TAB> entity name
+///
+/// Node ids must be dense, in [0, n); the root has parent_id -1 and must
+/// be line 0; every other node's parent must precede it. Entity names are
+/// tokenised (lowercased, whitespace-split) and interned into `vocab`.
+/// Lines starting with '#' and blank lines are skipped.
+Result<Taxonomy> LoadTaxonomyFromTsv(const std::string& path,
+                                     Vocabulary* vocab);
+
+/// Writes a taxonomy in the same format (node order = id order).
+Status SaveTaxonomyToTsv(const Taxonomy& taxonomy, const Vocabulary& vocab,
+                         const std::string& path);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_TAXONOMY_TAXONOMY_IO_H_

@@ -1,0 +1,55 @@
+#include "text/edits.h"
+
+#include <algorithm>
+#include <vector>
+
+namespace aujoin {
+
+std::string ApplyTypos(std::string_view word, int count, Rng* rng) {
+  std::string s(word);
+  const std::string alphabet = "abcdefghijklmnopqrstuvwxyz";
+  for (int e = 0; e < count; ++e) {
+    if (s.empty()) {
+      s.push_back(alphabet[rng->Uniform(0, 25)]);
+      continue;
+    }
+    int op = static_cast<int>(rng->Uniform(0, 3));
+    size_t pos = static_cast<size_t>(
+        rng->Uniform(0, static_cast<int64_t>(s.size()) - 1));
+    switch (op) {
+      case 0:  // insert
+        s.insert(s.begin() + pos, alphabet[rng->Uniform(0, 25)]);
+        break;
+      case 1:  // delete (keep at least one character)
+        if (s.size() > 1) s.erase(s.begin() + pos);
+        break;
+      case 2:  // substitute
+        s[pos] = alphabet[rng->Uniform(0, 25)];
+        break;
+      default:  // transpose
+        if (s.size() >= 2) {
+          size_t p = std::min(pos, s.size() - 2);
+          std::swap(s[p], s[p + 1]);
+        }
+        break;
+    }
+  }
+  return s;
+}
+
+int EditDistance(std::string_view a, std::string_view b) {
+  const size_t n = a.size(), m = b.size();
+  std::vector<int> prev(m + 1), cur(m + 1);
+  for (size_t j = 0; j <= m; ++j) prev[j] = static_cast<int>(j);
+  for (size_t i = 1; i <= n; ++i) {
+    cur[0] = static_cast<int>(i);
+    for (size_t j = 1; j <= m; ++j) {
+      int sub = prev[j - 1] + (a[i - 1] == b[j - 1] ? 0 : 1);
+      cur[j] = std::min({prev[j] + 1, cur[j - 1] + 1, sub});
+    }
+    std::swap(prev, cur);
+  }
+  return prev[m];
+}
+
+}  // namespace aujoin

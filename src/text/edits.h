@@ -1,0 +1,23 @@
+#ifndef AUJOIN_TEXT_EDITS_H_
+#define AUJOIN_TEXT_EDITS_H_
+
+#include <string>
+#include <string_view>
+
+#include "util/rng.h"
+
+namespace aujoin {
+
+/// Character-level typo model used by the corpus generator to produce
+/// typographically similar pairs ("Helsinki" -> "Helsingki").
+/// Applies `count` random edits (insert / delete / substitute / transpose)
+/// drawn uniformly; never empties the string.
+std::string ApplyTypos(std::string_view word, int count, Rng* rng);
+
+/// Levenshtein edit distance (dynamic programming); used by tests and by
+/// the PKduck baseline's verification step.
+int EditDistance(std::string_view a, std::string_view b);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_TEXT_EDITS_H_

@@ -1,0 +1,77 @@
+#include "text/qgram.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aujoin {
+
+std::vector<std::string> QGrams(std::string_view s, int q) {
+  std::vector<std::string> grams;
+  if (s.empty() || q <= 0) return grams;
+  if (static_cast<int>(s.size()) <= q) {
+    grams.emplace_back(s);
+  } else {
+    grams.reserve(s.size() - q + 1);
+    for (size_t i = 0; i + q <= s.size(); ++i) {
+      grams.emplace_back(s.substr(i, q));
+    }
+  }
+  std::sort(grams.begin(), grams.end());
+  grams.erase(std::unique(grams.begin(), grams.end()), grams.end());
+  return grams;
+}
+
+namespace {
+
+size_t SortedIntersectionSize(const std::vector<std::string>& a,
+                              const std::vector<std::string>& b) {
+  size_t inter = 0;
+  size_t i = 0, j = 0;
+  while (i < a.size() && j < b.size()) {
+    int cmp = a[i].compare(b[j]);
+    if (cmp == 0) {
+      ++inter;
+      ++i;
+      ++j;
+    } else if (cmp < 0) {
+      ++i;
+    } else {
+      ++j;
+    }
+  }
+  return inter;
+}
+
+}  // namespace
+
+double JaccardOfSortedSets(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = SortedIntersectionSize(a, b);
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double CosineOfSortedSets(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t inter = SortedIntersectionSize(a, b);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(a.size()) *
+                   static_cast<double>(b.size()));
+}
+
+double DiceOfSortedSets(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = SortedIntersectionSize(a, b);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size());
+}
+
+double JaccardQGram(std::string_view a, std::string_view b, int q) {
+  return JaccardOfSortedSets(QGrams(a, q), QGrams(b, q));
+}
+
+}  // namespace aujoin

@@ -1,0 +1,34 @@
+#ifndef AUJOIN_TEXT_QGRAM_H_
+#define AUJOIN_TEXT_QGRAM_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace aujoin {
+
+/// Returns the multiset of q-grams of `s` as distinct strings with counts
+/// collapsed to a set (the paper's G(S,q) is a set; Example 2 treats
+/// duplicate grams once). A string shorter than q yields the string itself
+/// as its single gram so very short tokens still have a signature.
+std::vector<std::string> QGrams(std::string_view s, int q);
+
+/// Jaccard coefficient |G(a,q) ∩ G(b,q)| / |G(a,q) ∪ G(b,q)| (Eq. 1).
+/// Returns 1.0 when both gram sets are empty (identical empty strings).
+double JaccardQGram(std::string_view a, std::string_view b, int q);
+
+/// Jaccard over two precomputed sorted-unique gram lists.
+double JaccardOfSortedSets(const std::vector<std::string>& a,
+                           const std::vector<std::string>& b);
+
+/// Cosine similarity |A ∩ B| / sqrt(|A| * |B|) over sorted-unique lists.
+double CosineOfSortedSets(const std::vector<std::string>& a,
+                          const std::vector<std::string>& b);
+
+/// Dice similarity 2 |A ∩ B| / (|A| + |B|) over sorted-unique lists.
+double DiceOfSortedSets(const std::vector<std::string>& a,
+                        const std::vector<std::string>& b);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_TEXT_QGRAM_H_

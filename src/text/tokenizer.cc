@@ -1,0 +1,42 @@
+#include "text/tokenizer.h"
+
+#include <cctype>
+
+namespace aujoin {
+
+std::vector<std::string> TokenizeToStrings(std::string_view text,
+                                           const TokenizerOptions& options) {
+  std::vector<std::string> tokens;
+  std::string current;
+  auto flush = [&] {
+    if (!current.empty()) {
+      tokens.push_back(current);
+      current.clear();
+    }
+  };
+  for (char raw : text) {
+    unsigned char c = static_cast<unsigned char>(raw);
+    bool is_delim = std::isspace(c) != 0;
+    if (options.split_punctuation && std::ispunct(c)) is_delim = true;
+    if (is_delim) {
+      flush();
+      continue;
+    }
+    current.push_back(options.lowercase
+                          ? static_cast<char>(std::tolower(c))
+                          : raw);
+  }
+  flush();
+  return tokens;
+}
+
+std::vector<TokenId> Tokenize(std::string_view text, Vocabulary* vocab,
+                              const TokenizerOptions& options) {
+  std::vector<TokenId> ids;
+  for (const auto& t : TokenizeToStrings(text, options)) {
+    ids.push_back(vocab->Intern(t));
+  }
+  return ids;
+}
+
+}  // namespace aujoin

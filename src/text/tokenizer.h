@@ -1,0 +1,31 @@
+#ifndef AUJOIN_TEXT_TOKENIZER_H_
+#define AUJOIN_TEXT_TOKENIZER_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "text/vocabulary.h"
+
+namespace aujoin {
+
+/// Tokenizer options. The paper tokenises on whitespace; normalisation is
+/// applied before interning so "Cafe" and "cafe" share a TokenId when
+/// lowercasing is on.
+struct TokenizerOptions {
+  bool lowercase = true;
+  /// Treat ASCII punctuation as delimiters in addition to whitespace.
+  bool split_punctuation = false;
+};
+
+/// Splits raw text into normalised token strings.
+std::vector<std::string> TokenizeToStrings(
+    std::string_view text, const TokenizerOptions& options = {});
+
+/// Tokenises and interns in one step.
+std::vector<TokenId> Tokenize(std::string_view text, Vocabulary* vocab,
+                              const TokenizerOptions& options = {});
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_TEXT_TOKENIZER_H_

@@ -1,0 +1,36 @@
+#include "text/vocabulary.h"
+
+namespace aujoin {
+
+TokenId Vocabulary::Intern(std::string_view token) {
+  auto it = index_.find(std::string(token));
+  if (it != index_.end()) return it->second;
+  TokenId id = static_cast<TokenId>(tokens_.size());
+  tokens_.emplace_back(token);
+  index_.emplace(tokens_.back(), id);
+  return id;
+}
+
+TokenId Vocabulary::Find(std::string_view token) const {
+  auto it = index_.find(std::string(token));
+  return it == index_.end() ? kNotFound : it->second;
+}
+
+std::vector<TokenId> Vocabulary::InternAll(
+    const std::vector<std::string>& tokens) {
+  std::vector<TokenId> ids;
+  ids.reserve(tokens.size());
+  for (const auto& t : tokens) ids.push_back(Intern(t));
+  return ids;
+}
+
+std::string Vocabulary::Render(TokenSpan span) const {
+  std::string out;
+  for (size_t i = 0; i < span.size(); ++i) {
+    if (i > 0) out += ' ';
+    out += Spelling(span[i]);
+  }
+  return out;
+}
+
+}  // namespace aujoin

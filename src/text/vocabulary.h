@@ -1,0 +1,59 @@
+#ifndef AUJOIN_TEXT_VOCABULARY_H_
+#define AUJOIN_TEXT_VOCABULARY_H_
+
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace aujoin {
+
+/// Interned token identifier. Token ids are dense, starting at 0.
+using TokenId = uint32_t;
+
+/// A token-id span referencing a contiguous run of tokens (e.g. a string
+/// segment or a synonym-rule side).
+using TokenSpan = std::span<const TokenId>;
+
+/// Bidirectional string <-> dense-id interner. All strings in the system are
+/// stored as TokenId sequences over one shared Vocabulary, which makes
+/// segment hashing, rule lookup and frequency counting O(1) per token.
+class Vocabulary {
+ public:
+  Vocabulary() = default;
+
+  // The interner hands out ids that index into storage; moving is fine,
+  // copying is allowed for test convenience.
+  Vocabulary(const Vocabulary&) = default;
+  Vocabulary& operator=(const Vocabulary&) = default;
+  Vocabulary(Vocabulary&&) = default;
+  Vocabulary& operator=(Vocabulary&&) = default;
+
+  /// Returns the id for `token`, interning it if unseen.
+  TokenId Intern(std::string_view token);
+
+  /// Returns the id for `token` or kNotFound if never interned.
+  static constexpr TokenId kNotFound = UINT32_MAX;
+  TokenId Find(std::string_view token) const;
+
+  /// Original spelling of an interned token. Precondition: id < size().
+  const std::string& Spelling(TokenId id) const { return tokens_[id]; }
+
+  /// Interns every element of `tokens`.
+  std::vector<TokenId> InternAll(const std::vector<std::string>& tokens);
+
+  /// Renders a token-id sequence back to a space-delimited string.
+  std::string Render(TokenSpan span) const;
+
+  size_t size() const { return tokens_.size(); }
+
+ private:
+  std::unordered_map<std::string, TokenId> index_;
+  std::vector<std::string> tokens_;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_TEXT_VOCABULARY_H_

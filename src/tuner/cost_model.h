@@ -1,0 +1,36 @@
+#ifndef AUJOIN_TUNER_COST_MODEL_H_
+#define AUJOIN_TUNER_COST_MODEL_H_
+
+#include <cstdint>
+
+#include "join/join.h"
+
+namespace aujoin {
+
+/// The per-unit costs of Eq. (15): c_f seconds per processed pair during
+/// filtering and c_v seconds per verification. The paper treats both as
+/// constants insensitive to tau.
+struct CostModel {
+  double cf = 2e-8;
+  double cv = 2e-5;
+
+  /// Eq. (15): total predicted cost for given cardinalities.
+  double Cost(double t_tau, double v_tau) const {
+    return cf * t_tau + cv * v_tau;
+  }
+};
+
+/// Measures c_f and c_v on a small slice of the prepared collections: runs
+/// the filter stage over `calibration_records` records per side and times
+/// per processed pair, then verifies up to `calibration_verifications`
+/// candidate (or random) pairs and times per verification. Falls back to
+/// the defaults when the slice produces no work.
+CostModel CalibrateCostModel(const JoinContext& context,
+                             const JoinOptions& options,
+                             size_t calibration_records = 256,
+                             size_t calibration_verifications = 64,
+                             uint64_t seed = 7);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_TUNER_COST_MODEL_H_

@@ -1,0 +1,33 @@
+#include "tuner/estimator.h"
+
+namespace aujoin {
+
+BernoulliSample DrawBernoulliSample(size_t s_size, size_t t_size, bool self,
+                                    double ps, double pt, Rng* rng) {
+  BernoulliSample sample;
+  for (uint32_t i = 0; i < s_size; ++i) {
+    if (rng->Bernoulli(ps)) sample.s_ids.push_back(i);
+  }
+  if (self) {
+    sample.t_ids = sample.s_ids;
+  } else {
+    for (uint32_t j = 0; j < t_size; ++j) {
+      if (rng->Bernoulli(pt)) sample.t_ids.push_back(j);
+    }
+  }
+  return sample;
+}
+
+void AccumulateSampleEstimate(const JoinContext& context,
+                              const SignatureOptions& sig_options,
+                              const BernoulliSample& sample, double ps,
+                              double pt, TauEstimator* estimator) {
+  JoinContext::FilterOutput out =
+      context.RunFilter(sig_options, &sample.s_ids, &sample.t_ids);
+  double scale = 1.0 / (ps * pt);
+  estimator->t_hat.Add(static_cast<double>(out.processed_pairs) * scale);
+  estimator->v_hat.Add(static_cast<double>(out.candidates.size()) * scale);
+  estimator->last_raw_processed = out.processed_pairs;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,56 @@
+#ifndef AUJOIN_TUNER_ESTIMATOR_H_
+#define AUJOIN_TUNER_ESTIMATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "join/join.h"
+#include "util/rng.h"
+#include "util/stats.h"
+
+namespace aujoin {
+
+/// One independent Bernoulli sample of record indexes from each collection
+/// (Section 4.1): every record enters with probability ps (resp. pt).
+struct BernoulliSample {
+  std::vector<uint32_t> s_ids;
+  std::vector<uint32_t> t_ids;
+};
+
+/// Draws a fresh sample. For self-joins pass the same size twice and use
+/// the s_ids for both sides (the pair-sampling probability is then ps^2,
+/// matching Eq. 17 with pt = ps).
+BernoulliSample DrawBernoulliSample(size_t s_size, size_t t_size, bool self,
+                                    double ps, double pt, Rng* rng);
+
+/// Per-tau accumulation of the unbiased Bernoulli estimates
+/// T-hat = T' / (ps * pt) and V-hat = V' / (ps * pt) (Eq. 17), with
+/// online mean/variance (Eqs. 18-21).
+struct TauEstimator {
+  OnlineMeanVariance t_hat;
+  OnlineMeanVariance v_hat;
+  /// Raw processed-pair count of the most recent sample (T'^(n)_tau),
+  /// used by the stopping rule's next-iteration cost forecast.
+  uint64_t last_raw_processed = 0;
+
+  /// Eq. (22): estimated cost mean for the given cost model.
+  double CostMean(double cf, double cv) const {
+    return cf * t_hat.mean() + cv * v_hat.mean();
+  }
+
+  /// Eq. (22): estimated cost variance.
+  double CostVariance(double cf, double cv) const {
+    return cf * cf * t_hat.variance() + cv * cv * v_hat.variance();
+  }
+};
+
+/// Runs the filter stage on a sample for one tau and folds the scaled
+/// estimates into `estimator`.
+void AccumulateSampleEstimate(const JoinContext& context,
+                              const SignatureOptions& sig_options,
+                              const BernoulliSample& sample, double ps,
+                              double pt, TauEstimator* estimator);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_TUNER_ESTIMATOR_H_

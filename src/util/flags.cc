@@ -1,0 +1,77 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace aujoin {
+
+Flags::Flags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    arg = arg.substr(2);
+    auto eq = arg.find('=');
+    if (eq == std::string::npos) {
+      values_[arg] = "true";
+    } else {
+      values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    }
+  }
+}
+
+bool Flags::Has(const std::string& key) const {
+  return values_.count(key) > 0;
+}
+
+std::string Flags::GetString(const std::string& key,
+                             const std::string& default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : it->second;
+}
+
+int64_t Flags::GetInt(const std::string& key, int64_t default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : std::atoll(it->second.c_str());
+}
+
+double Flags::GetDouble(const std::string& key, double default_value) const {
+  auto it = values_.find(key);
+  return it == values_.end() ? default_value : std::atof(it->second.c_str());
+}
+
+bool Flags::GetBool(const std::string& key, bool default_value) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return default_value;
+  return it->second == "true" || it->second == "1" || it->second == "yes";
+}
+
+std::vector<double> Flags::GetDoubleList(
+    const std::string& key, const std::vector<double>& defaults) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return defaults;
+  std::vector<double> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::atof(item.c_str()));
+  }
+  return out.empty() ? defaults : out;
+}
+
+std::vector<int64_t> Flags::GetIntList(
+    const std::string& key, const std::vector<int64_t>& defaults) const {
+  auto it = values_.find(key);
+  if (it == values_.end()) return defaults;
+  std::vector<int64_t> out;
+  std::stringstream ss(it->second);
+  std::string item;
+  while (std::getline(ss, item, ',')) {
+    if (!item.empty()) out.push_back(std::atoll(item.c_str()));
+  }
+  return out.empty() ? defaults : out;
+}
+
+}  // namespace aujoin

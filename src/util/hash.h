@@ -1,0 +1,39 @@
+#ifndef AUJOIN_UTIL_HASH_H_
+#define AUJOIN_UTIL_HASH_H_
+
+#include <cstdint>
+#include <cstddef>
+#include <string_view>
+
+namespace aujoin {
+
+/// 64-bit FNV-1a over raw bytes; used to key token spans (rule sides,
+/// taxonomy entity names) in hash maps.
+inline uint64_t Fnv1a64(const void* data, size_t len) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  uint64_t h = 1469598103934665603ULL;
+  for (size_t i = 0; i < len; ++i) {
+    h ^= p[i];
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+inline uint64_t HashBytes(std::string_view s) {
+  return Fnv1a64(s.data(), s.size());
+}
+
+/// Hash of a span of 32-bit token ids.
+inline uint64_t HashTokenSpan(const uint32_t* tokens, size_t count) {
+  return Fnv1a64(tokens, count * sizeof(uint32_t));
+}
+
+/// boost::hash_combine-style mixing for composing hashes.
+inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
+  seed ^= v + 0x9e3779b97f4a7c15ULL + (seed << 6) + (seed >> 2);
+  return seed;
+}
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_UTIL_HASH_H_

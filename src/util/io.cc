@@ -1,0 +1,50 @@
+#include "util/io.h"
+
+#include <fstream>
+#include <sstream>
+
+namespace aujoin {
+
+Result<std::vector<std::string>> ReadLines(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  std::vector<std::string> lines;
+  std::string line;
+  while (std::getline(in, line)) {
+    while (!line.empty() && (line.back() == '\n' || line.back() == '\r')) {
+      line.pop_back();
+    }
+    lines.push_back(line);
+  }
+  return lines;
+}
+
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& lines) {
+  std::ofstream out(path);
+  if (!out) return Status::IoError("cannot open for writing: " + path);
+  for (const auto& line : lines) out << line << '\n';
+  if (!out) return Status::IoError("write failed: " + path);
+  return Status::OK();
+}
+
+std::vector<std::string> SplitString(const std::string& s, char delim) {
+  std::vector<std::string> out;
+  std::string item;
+  std::stringstream ss(s);
+  while (std::getline(ss, item, delim)) out.push_back(item);
+  if (!s.empty() && s.back() == delim) out.push_back("");
+  return out;
+}
+
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& delim) {
+  std::string out;
+  for (size_t i = 0; i < parts.size(); ++i) {
+    if (i > 0) out += delim;
+    out += parts[i];
+  }
+  return out;
+}
+
+}  // namespace aujoin

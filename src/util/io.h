@@ -1,0 +1,27 @@
+#ifndef AUJOIN_UTIL_IO_H_
+#define AUJOIN_UTIL_IO_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aujoin {
+
+/// Reads a whole text file into lines (stripping trailing '\r'/'\n').
+Result<std::vector<std::string>> ReadLines(const std::string& path);
+
+/// Writes lines to a file, one per line. Overwrites.
+Status WriteLines(const std::string& path,
+                  const std::vector<std::string>& lines);
+
+/// Splits `s` on a single-character delimiter; keeps empty fields.
+std::vector<std::string> SplitString(const std::string& s, char delim);
+
+/// Joins strings with a delimiter.
+std::string JoinStrings(const std::vector<std::string>& parts,
+                        const std::string& delim);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_UTIL_IO_H_

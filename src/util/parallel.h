@@ -1,0 +1,49 @@
+#ifndef AUJOIN_UTIL_PARALLEL_H_
+#define AUJOIN_UTIL_PARALLEL_H_
+
+#include <algorithm>
+#include <functional>
+#include <thread>
+#include <vector>
+
+namespace aujoin {
+
+/// Resolves a thread-count option: 0 means "all hardware threads",
+/// anything else is clamped to [1, 256].
+inline int ResolveThreads(int requested) {
+  if (requested == 0) {
+    unsigned hw = std::thread::hardware_concurrency();
+    return hw == 0 ? 1 : static_cast<int>(hw);
+  }
+  return std::clamp(requested, 1, 256);
+}
+
+/// Runs fn(begin, end, worker_index) over [0, n) split into contiguous
+/// chunks, one per worker. Blocks until all workers finish. With one
+/// worker (or tiny n) the call runs inline — no thread is spawned, which
+/// keeps single-threaded paths allocation-free and easy to debug.
+inline void ParallelFor(
+    size_t n, int num_threads,
+    const std::function<void(size_t, size_t, int)>& fn) {
+  num_threads = ResolveThreads(num_threads);
+  if (n == 0) return;
+  size_t workers = std::min<size_t>(static_cast<size_t>(num_threads), n);
+  if (workers <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+  std::vector<std::thread> threads;
+  threads.reserve(workers);
+  size_t chunk = (n + workers - 1) / workers;
+  for (size_t w = 0; w < workers; ++w) {
+    size_t begin = w * chunk;
+    size_t end = std::min(n, begin + chunk);
+    if (begin >= end) break;
+    threads.emplace_back(fn, begin, end, static_cast<int>(w));
+  }
+  for (auto& t : threads) t.join();
+}
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_UTIL_PARALLEL_H_

@@ -1,0 +1,81 @@
+#ifndef AUJOIN_UTIL_RNG_H_
+#define AUJOIN_UTIL_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <random>
+#include <utility>
+#include <vector>
+
+namespace aujoin {
+
+/// Deterministic pseudo-random source used by the data generators, the
+/// Bernoulli sampler, and the tests. Wraps a 64-bit Mersenne twister so
+/// experiment runs are reproducible given a seed.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 42) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double UniformReal() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p) {
+    return std::bernoulli_distribution(p)(engine_);
+  }
+
+  /// Geometric-like skewed index in [0, n): probability proportional to
+  /// 1/(rank+1)^alpha (a Zipf draw via rejection-free inverse CDF table is
+  /// overkill here; we use a simple power transform that preserves skew).
+  size_t Zipf(size_t n, double alpha = 1.0) {
+    if (n <= 1) return 0;
+    // Inverse-transform on a truncated Pareto: rank ~ u^(1/(1-alpha'))
+    // with alpha' < 1 mapped smoothly; clamp to the domain.
+    double u = UniformReal();
+    double x = std::pow(u, alpha + 1.0);  // denser near 0 as alpha grows
+    size_t idx = static_cast<size_t>(x * static_cast<double>(n));
+    return idx >= n ? n - 1 : idx;
+  }
+
+  /// Normal draw.
+  double Normal(double mean, double stddev) {
+    return std::normal_distribution<double>(mean, stddev)(engine_);
+  }
+
+  /// Poisson draw (>= 0).
+  int Poisson(double mean) {
+    return std::poisson_distribution<int>(mean)(engine_);
+  }
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* v) {
+    for (size_t i = v->size(); i > 1; --i) {
+      size_t j = static_cast<size_t>(Uniform(0, static_cast<int64_t>(i) - 1));
+      std::swap((*v)[i - 1], (*v)[j]);
+    }
+  }
+
+  /// Picks one element index weighted by `weights` (must be non-empty,
+  /// non-negative, not all zero).
+  size_t WeightedPick(const std::vector<double>& weights) {
+    return std::discrete_distribution<size_t>(weights.begin(),
+                                              weights.end())(engine_);
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_UTIL_RNG_H_

@@ -1,0 +1,97 @@
+#include "util/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace aujoin {
+
+void OnlineMeanVariance::Add(double x) {
+  ++n_;
+  double delta = x - mean_;
+  mean_ += delta / static_cast<double>(n_);
+  m2_ += delta * (x - mean_);
+}
+
+double OnlineMeanVariance::variance() const {
+  if (n_ < 2) return 0.0;
+  return m2_ / static_cast<double>(n_ - 1);
+}
+
+double OnlineMeanVariance::stddev() const { return std::sqrt(variance()); }
+
+double OnlineMeanVariance::standard_error() const {
+  if (n_ == 0) return 0.0;
+  return stddev() / std::sqrt(static_cast<double>(n_));
+}
+
+double Percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  if (p <= 0) return values.front();
+  if (p >= 100) return values.back();
+  double rank = p / 100.0 * static_cast<double>(values.size() - 1);
+  size_t lo = static_cast<size_t>(rank);
+  size_t hi = std::min(lo + 1, values.size() - 1);
+  double frac = rank - static_cast<double>(lo);
+  return values[lo] * (1.0 - frac) + values[hi] * frac;
+}
+
+namespace {
+
+// Inverse CDF of the standard normal (Acklam's rational approximation,
+// max relative error ~1.15e-9).
+double NormalQuantile(double p) {
+  static const double a[] = {-3.969683028665376e+01, 2.209460984245205e+02,
+                             -2.759285104469687e+02, 1.383577518672690e+02,
+                             -3.066479806614716e+01, 2.506628277459239e+00};
+  static const double b[] = {-5.447609879822406e+01, 1.615858368580409e+02,
+                             -1.556989798598866e+02, 6.680131188771972e+01,
+                             -1.328068155288572e+01};
+  static const double c[] = {-7.784894002430293e-03, -3.223964580411365e-01,
+                             -2.400758277161838e+00, -2.549732539343734e+00,
+                             4.374664141464968e+00,  2.938163982698783e+00};
+  static const double d[] = {7.784695709041462e-03, 3.224671290700398e-01,
+                             2.445134137142996e+00, 3.754408661907416e+00};
+  const double plow = 0.02425;
+  const double phigh = 1 - plow;
+  double q, r;
+  if (p < plow) {
+    q = std::sqrt(-2 * std::log(p));
+    return (((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+            c[5]) /
+           ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+  }
+  if (p <= phigh) {
+    q = p - 0.5;
+    r = q * q;
+    return (((((a[0] * r + a[1]) * r + a[2]) * r + a[3]) * r + a[4]) * r +
+            a[5]) *
+           q /
+           (((((b[0] * r + b[1]) * r + b[2]) * r + b[3]) * r + b[4]) * r + 1);
+  }
+  q = std::sqrt(-2 * std::log(1 - p));
+  return -(((((c[0] * q + c[1]) * q + c[2]) * q + c[3]) * q + c[4]) * q +
+           c[5]) /
+         ((((d[0] * q + d[1]) * q + d[2]) * q + d[3]) * q + 1);
+}
+
+}  // namespace
+
+double StudentTQuantile(double confidence, int df) {
+  if (confidence <= 0) return 0.0;
+  if (confidence >= 1) confidence = 0.999999;
+  if (df < 1) df = 1;
+  // Two-sided: quantile at 1 - (1-conf)/2.
+  double p = 1.0 - (1.0 - confidence) / 2.0;
+  double z = NormalQuantile(p);
+  // Cornish-Fisher expansion t ~= z + (z^3+z)/(4 df) + higher-order terms.
+  double n = static_cast<double>(df);
+  double z3 = z * z * z;
+  double z5 = z3 * z * z;
+  double z7 = z5 * z * z;
+  double t = z + (z3 + z) / (4 * n) + (5 * z5 + 16 * z3 + 3 * z) / (96 * n * n) +
+             (3 * z7 + 19 * z5 + 17 * z3 - 15 * z) / (384 * n * n * n);
+  return t;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,48 @@
+#ifndef AUJOIN_UTIL_STATS_H_
+#define AUJOIN_UTIL_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace aujoin {
+
+/// Numerically stable online mean/variance accumulator implementing the
+/// recursive update of Eqs. (20)-(21) in the paper (Welford's algorithm;
+/// the paper cites Finch [22]). Used by the tau-suggestion estimator.
+class OnlineMeanVariance {
+ public:
+  /// Folds one observation into the running estimate.
+  void Add(double x);
+
+  size_t count() const { return n_; }
+  double mean() const { return mean_; }
+
+  /// Unbiased sample variance (n-1 denominator); 0 when n < 2.
+  double variance() const;
+
+  /// Standard deviation of the sample.
+  double stddev() const;
+
+  /// Standard error of the mean: stddev / sqrt(n); 0 when n == 0.
+  double standard_error() const;
+
+ private:
+  size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;  // sum of squared deviations from the mean
+};
+
+/// Returns the p-th percentile (p in [0,100]) of `values` using linear
+/// interpolation between closest ranks. The input is copied and sorted.
+/// Returns 0 for an empty input.
+double Percentile(std::vector<double> values, double p);
+
+/// Two-sided Student's t quantile for the given confidence level (e.g.
+/// 0.70 for the paper's Fig. 8 setting t* = 1.036) and degrees of freedom.
+/// Implemented via a Cornish-Fisher style expansion of the normal quantile;
+/// accurate to ~1e-3 for df >= 3, which is ample for stopping-rule use.
+double StudentTQuantile(double confidence, int df);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_UTIL_STATS_H_

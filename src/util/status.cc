@@ -1,0 +1,38 @@
+#include "util/status.h"
+
+namespace aujoin {
+namespace {
+
+const char* CodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "OK";
+    case StatusCode::kInvalidArgument:
+      return "InvalidArgument";
+    case StatusCode::kNotFound:
+      return "NotFound";
+    case StatusCode::kOutOfRange:
+      return "OutOfRange";
+    case StatusCode::kAlreadyExists:
+      return "AlreadyExists";
+    case StatusCode::kFailedPrecondition:
+      return "FailedPrecondition";
+    case StatusCode::kIoError:
+      return "IoError";
+    case StatusCode::kInternal:
+      return "Internal";
+  }
+  return "Unknown";
+}
+
+}  // namespace
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out = CodeName(code_);
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,31 @@
+#ifndef AUJOIN_UTIL_TIMER_H_
+#define AUJOIN_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace aujoin {
+
+/// Monotonic wall-clock stopwatch for the benchmark harnesses and the cost
+/// model calibration.
+class WallTimer {
+ public:
+  WallTimer() : start_(Clock::now()) {}
+
+  void Restart() { start_ = Clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double Seconds() const {
+    return std::chrono::duration<double>(Clock::now() - start_).count();
+  }
+
+  double Millis() const { return Seconds() * 1e3; }
+  double Micros() const { return Seconds() * 1e6; }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_UTIL_TIMER_H_

@@ -1,0 +1,127 @@
+#include <gtest/gtest.h>
+
+#include "baselines/adaptjoin.h"
+#include "baselines/combination.h"
+#include "baselines/kjoin.h"
+#include "baselines/pkduck.h"
+#include "test_fixtures.h"
+
+namespace aujoin {
+namespace {
+
+class BaselinesTest : public ::testing::Test {
+ protected:
+  BaselinesTest() {
+    const char* texts[] = {
+        "latte coffee",            // 0
+        "espresso coffee",         // 1: taxonomy-similar to 0
+        "coffee shop helsinki",    // 2
+        "cafe helsinki",           // 3: synonym-similar to 2
+        "helsingki cafe",          // 4: typo of 3 (reordered)
+        "totally unrelated words"  // 5
+    };
+    for (uint32_t i = 0; i < 6; ++i) {
+      records_.push_back(world_.MakeRec(i, texts[i]));
+    }
+  }
+
+  static bool HasPair(const BaselineResult& r, uint32_t a, uint32_t b) {
+    for (auto p : r.pairs) {
+      if ((p.first == a && p.second == b) ||
+          (p.first == b && p.second == a)) {
+        return true;
+      }
+    }
+    return false;
+  }
+
+  Figure1World world_;
+  std::vector<Record> records_;
+};
+
+TEST_F(BaselinesTest, KJoinFindsTaxonomyPairs) {
+  KJoin kjoin(world_.knowledge(), {.theta = 0.75});
+  BaselineResult r = kjoin.SelfJoin(records_);
+  EXPECT_TRUE(HasPair(r, 0, 1));   // latte ~ espresso + shared "coffee"
+  EXPECT_FALSE(HasPair(r, 2, 3));  // synonym pair invisible to K-Join
+  EXPECT_FALSE(HasPair(r, 0, 5));
+}
+
+TEST_F(BaselinesTest, KJoinSimilarityValues) {
+  KJoin kjoin(world_.knowledge(), {.theta = 0.5});
+  // "latte coffee" vs "espresso coffee": units {latte, coffee} /
+  // {espresso, coffee}; matching = 0.8 (latte/espresso) + 1.0 (coffee
+  // entity) over 2 units = 0.9.
+  EXPECT_NEAR(kjoin.Similarity(records_[0], records_[1]), 0.9, 1e-9);
+}
+
+TEST_F(BaselinesTest, AdaptJoinFindsTypoPairs) {
+  AdaptJoin adapt({.theta = 0.5, .q = 2});
+  BaselineResult r = adapt.SelfJoin(records_);
+  EXPECT_TRUE(HasPair(r, 3, 4));   // typo + reorder: gram overlap high
+  EXPECT_FALSE(HasPair(r, 0, 5));
+  EXPECT_GE(adapt.chosen_ell(), 1);
+}
+
+TEST_F(BaselinesTest, AdaptJoinMissesSemanticPairs) {
+  AdaptJoin adapt({.theta = 0.7, .q = 2});
+  BaselineResult r = adapt.SelfJoin(records_);
+  EXPECT_FALSE(HasPair(r, 0, 1));  // latte vs espresso share few grams
+}
+
+TEST_F(BaselinesTest, PkduckFindsSynonymPairs) {
+  PkduckJoin pkduck(world_.knowledge(), {.theta = 0.6});
+  BaselineResult r = pkduck.SelfJoin(records_);
+  EXPECT_TRUE(HasPair(r, 2, 3));  // "coffee shop" -> "cafe"
+  EXPECT_FALSE(HasPair(r, 0, 5));
+}
+
+TEST_F(BaselinesTest, PkduckSimilarityViaDerivation) {
+  PkduckJoin pkduck(world_.knowledge(), {.theta = 0.5});
+  // "coffee shop helsinki" derives to "cafe helsinki" => Jaccard 1 with
+  // record 3.
+  EXPECT_NEAR(pkduck.Similarity(records_[2], records_[3]), 1.0, 1e-12);
+  // Without applicable rules the similarity is plain token Jaccard.
+  EXPECT_DOUBLE_EQ(pkduck.Similarity(records_[0], records_[5]), 0.0);
+}
+
+TEST_F(BaselinesTest, PkduckDerivationsBounded) {
+  PkduckJoin pkduck(world_.knowledge(), {.theta = 0.5,
+                                         .max_derivations = 4});
+  // Must not blow up and still find the direct pair.
+  BaselineResult r = pkduck.SelfJoin(records_);
+  EXPECT_TRUE(HasPair(r, 2, 3));
+}
+
+TEST_F(BaselinesTest, CombinationUnionsAllThree) {
+  CombinationOptions options;
+  options.kjoin.theta = 0.75;
+  options.adaptjoin.theta = 0.5;
+  options.pkduck.theta = 0.6;
+  BaselineResult r =
+      CombinationJoin(world_.knowledge(), records_, options);
+  EXPECT_TRUE(HasPair(r, 0, 1));
+  EXPECT_TRUE(HasPair(r, 2, 3));
+  EXPECT_TRUE(HasPair(r, 3, 4));
+  EXPECT_FALSE(HasPair(r, 0, 5));
+}
+
+TEST_F(BaselinesTest, UnionPairsDeduplicates) {
+  std::vector<std::pair<uint32_t, uint32_t>> a{{1, 2}, {3, 4}};
+  std::vector<std::pair<uint32_t, uint32_t>> b{{2, 1}, {5, 6}};
+  auto merged = UnionPairs({&a, &b});
+  EXPECT_EQ(merged.size(), 3u);
+}
+
+TEST_F(BaselinesTest, EmptyInputs) {
+  std::vector<Record> empty;
+  KJoin kjoin(world_.knowledge(), {});
+  EXPECT_TRUE(kjoin.SelfJoin(empty).pairs.empty());
+  AdaptJoin adapt({});
+  EXPECT_TRUE(adapt.SelfJoin(empty).pairs.empty());
+  PkduckJoin pkduck(world_.knowledge(), {});
+  EXPECT_TRUE(pkduck.SelfJoin(empty).pairs.empty());
+}
+
+}  // namespace
+}  // namespace aujoin

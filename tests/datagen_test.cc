@@ -1,0 +1,193 @@
+#include <gtest/gtest.h>
+
+#include "core/usim.h"
+#include "datagen/corpus_gen.h"
+#include "datagen/synonym_gen.h"
+#include "datagen/taxonomy_gen.h"
+#include "datagen/words.h"
+
+namespace aujoin {
+namespace {
+
+TEST(WordFactoryTest, UniqueWordsAreUnique) {
+  Rng rng(5);
+  WordFactory f(&rng);
+  std::set<std::string> seen;
+  for (int i = 0; i < 2000; ++i) {
+    auto w = f.UniqueWord();
+    EXPECT_TRUE(seen.insert(w).second) << w;
+    EXPECT_GE(w.size(), 4u);
+  }
+}
+
+TEST(TaxonomyGenTest, RespectsNodeCountAndDepth) {
+  Vocabulary vocab;
+  TaxonomyGenOptions opts;
+  opts.num_nodes = 500;
+  opts.max_depth = 7;
+  Taxonomy tax = GenerateTaxonomy(opts, &vocab);
+  EXPECT_EQ(tax.num_nodes(), 500u);
+  EXPECT_LE(tax.max_depth(), 8);  // children of depth-7 nodes are excluded
+  // from further growth but a depth-7 parent may have depth-8 children.
+  for (NodeId n = 1; n < tax.num_nodes(); ++n) {
+    EXPECT_LT(tax.Parent(n), n);  // parents precede children
+    EXPECT_EQ(tax.Depth(n), tax.Depth(tax.Parent(n)) + 1);
+  }
+}
+
+TEST(TaxonomyGenTest, AverageDepthInPaperBallpark) {
+  Vocabulary vocab;
+  TaxonomyGenOptions opts;
+  opts.num_nodes = 2000;
+  Taxonomy tax = GenerateTaxonomy(opts, &vocab);
+  double sum = 0;
+  for (NodeId n = 0; n < tax.num_nodes(); ++n) sum += tax.Depth(n);
+  double avg = sum / static_cast<double>(tax.num_nodes());
+  // Table 6 reports average heights 5.1 / 6.2; accept a broad band.
+  EXPECT_GT(avg, 3.0);
+  EXPECT_LT(avg, 9.0);
+}
+
+TEST(TaxonomyGenTest, EntityNamesResolvable) {
+  Vocabulary vocab;
+  TaxonomyGenOptions opts;
+  opts.num_nodes = 200;
+  Taxonomy tax = GenerateTaxonomy(opts, &vocab);
+  for (NodeId n = 0; n < tax.num_nodes(); ++n) {
+    const auto& name = tax.Name(n);
+    auto hits = tax.FindEntity(TokenSpan(name.data(), name.size()));
+    EXPECT_FALSE(hits.empty());
+  }
+}
+
+TEST(SynonymGenTest, GeneratesRequestedRules) {
+  Vocabulary vocab;
+  Taxonomy tax = GenerateTaxonomy({.num_nodes = 100}, &vocab);
+  SynonymGenOptions opts;
+  opts.num_rules = 250;
+  RuleSet rules = GenerateSynonyms(opts, tax, &vocab);
+  EXPECT_EQ(rules.num_rules(), 250u);
+  EXPECT_LE(rules.max_side_tokens(), 3u);
+  for (RuleId r = 0; r < rules.num_rules(); ++r) {
+    EXPECT_GT(rules.rule(r).closeness, 0.84);
+    EXPECT_LE(rules.rule(r).closeness, 1.0);
+  }
+}
+
+TEST(SynonymGenTest, WorksWithoutTaxonomy) {
+  Vocabulary vocab;
+  Taxonomy empty;
+  RuleSet rules = GenerateSynonyms({.num_rules = 50}, empty, &vocab);
+  EXPECT_EQ(rules.num_rules(), 50u);
+}
+
+class CorpusGenTest : public ::testing::Test {
+ protected:
+  CorpusGenTest() {
+    taxonomy_ = GenerateTaxonomy({.num_nodes = 400}, &vocab_);
+    rules_ = GenerateSynonyms({.num_rules = 200}, taxonomy_, &vocab_);
+  }
+
+  Knowledge knowledge() { return Knowledge{&vocab_, &rules_, &taxonomy_}; }
+
+  Vocabulary vocab_;
+  Taxonomy taxonomy_;
+  RuleSet rules_;
+};
+
+TEST_F(CorpusGenTest, GeneratesRequestedCounts) {
+  CorpusGenerator gen(&vocab_, &taxonomy_, &rules_);
+  CorpusProfile profile;
+  profile.num_strings = 100;
+  GroundTruthOptions truth;
+  truth.num_pairs = 30;
+  Corpus corpus = gen.Generate(profile, truth);
+  EXPECT_EQ(corpus.records.size(), 130u);
+  EXPECT_EQ(corpus.truth_pairs.size(), 30u);
+  for (const auto& [a, b] : corpus.truth_pairs) {
+    EXPECT_LT(a, corpus.records.size());
+    EXPECT_LT(b, corpus.records.size());
+    EXPECT_NE(a, b);
+  }
+}
+
+TEST_F(CorpusGenTest, TokenLengthsWithinBounds) {
+  CorpusGenerator gen(&vocab_, &taxonomy_, &rules_);
+  CorpusProfile profile;
+  profile.num_strings = 200;
+  Corpus corpus = gen.Generate(profile, {.num_pairs = 0});
+  double sum = 0;
+  for (const auto& r : corpus.records) {
+    EXPECT_GE(static_cast<int>(r.num_tokens()), profile.min_tokens);
+    sum += static_cast<double>(r.num_tokens());
+  }
+  double avg = sum / static_cast<double>(corpus.records.size());
+  EXPECT_GT(avg, 4.0);
+  EXPECT_LT(avg, 14.0);
+}
+
+TEST_F(CorpusGenTest, TruthPairsAreActuallySimilar) {
+  CorpusGenerator gen(&vocab_, &taxonomy_, &rules_);
+  CorpusProfile profile;
+  profile.num_strings = 60;
+  GroundTruthOptions truth;
+  truth.num_pairs = 25;
+  Corpus corpus = gen.Generate(profile, truth);
+  UsimComputer computer(knowledge(), {});
+  int high = 0;
+  for (const auto& [a, b] : corpus.truth_pairs) {
+    if (computer.Approx(corpus.records[a], corpus.records[b]) >= 0.7) {
+      ++high;
+    }
+  }
+  // The generator applies bounded edits, so the vast majority of labelled
+  // pairs must clear the paper's lowest join threshold.
+  EXPECT_GE(high, static_cast<int>(corpus.truth_pairs.size() * 8 / 10));
+}
+
+TEST_F(CorpusGenTest, MedAndWikiProfilesDiffer) {
+  auto med = CorpusProfile::Med(100);
+  auto wiki = CorpusProfile::Wiki(100);
+  EXPECT_GT(wiki.entity_mention_prob, med.entity_mention_prob);
+  EXPECT_GT(med.synonym_mention_prob, wiki.synonym_mention_prob);
+}
+
+TEST_F(CorpusGenTest, DeterministicGivenSeed) {
+  CorpusGenerator gen1(&vocab_, &taxonomy_, &rules_);
+  CorpusGenerator gen2(&vocab_, &taxonomy_, &rules_);
+  CorpusProfile profile;
+  profile.num_strings = 20;
+  Corpus a = gen1.Generate(profile, {.num_pairs = 5});
+  Corpus b = gen2.Generate(profile, {.num_pairs = 5});
+  ASSERT_EQ(a.records.size(), b.records.size());
+  for (size_t i = 0; i < a.records.size(); ++i) {
+    EXPECT_EQ(a.records[i].text, b.records[i].text);
+  }
+}
+
+TEST(ComputePrfTest, PerfectMatch) {
+  std::vector<std::pair<uint32_t, uint32_t>> truth{{1, 2}, {3, 4}};
+  std::vector<std::pair<uint32_t, uint32_t>> found{{2, 1}, {3, 4}};
+  PrfScore s = ComputePrf(found, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 1.0);
+  EXPECT_DOUBLE_EQ(s.recall, 1.0);
+  EXPECT_DOUBLE_EQ(s.f_measure, 1.0);
+}
+
+TEST(ComputePrfTest, PartialMatch) {
+  std::vector<std::pair<uint32_t, uint32_t>> truth{{1, 2}, {3, 4}, {5, 6}};
+  std::vector<std::pair<uint32_t, uint32_t>> found{{1, 2}, {7, 8}};
+  PrfScore s = ComputePrf(found, truth);
+  EXPECT_DOUBLE_EQ(s.precision, 0.5);
+  EXPECT_NEAR(s.recall, 1.0 / 3.0, 1e-12);
+}
+
+TEST(ComputePrfTest, EmptyFound) {
+  PrfScore s = ComputePrf({}, {{1, 2}});
+  EXPECT_DOUBLE_EQ(s.precision, 0.0);
+  EXPECT_DOUBLE_EQ(s.recall, 0.0);
+  EXPECT_DOUBLE_EQ(s.f_measure, 0.0);
+}
+
+}  // namespace
+}  // namespace aujoin

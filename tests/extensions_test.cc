@@ -1,0 +1,192 @@
+// Tests for the production extensions: multi-threaded joins, gram-measure
+// variants (Cosine / Dice), and their interaction with the lossless-filter
+// guarantee.
+
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "datagen/corpus_gen.h"
+#include "datagen/synonym_gen.h"
+#include "datagen/taxonomy_gen.h"
+#include "join/join.h"
+#include "text/qgram.h"
+#include "util/parallel.h"
+
+namespace aujoin {
+namespace {
+
+TEST(GramMeasureTest, CosineKnownValue) {
+  // A = {ab, bc}, B = {bc, cd, de}: inter 1, cosine 1/sqrt(6).
+  std::vector<std::string> a{"ab", "bc"};
+  std::vector<std::string> b{"bc", "cd", "de"};
+  EXPECT_NEAR(CosineOfSortedSets(a, b), 1.0 / std::sqrt(6.0), 1e-12);
+}
+
+TEST(GramMeasureTest, DiceKnownValue) {
+  std::vector<std::string> a{"ab", "bc"};
+  std::vector<std::string> b{"bc", "cd", "de"};
+  EXPECT_NEAR(DiceOfSortedSets(a, b), 2.0 / 5.0, 1e-12);
+}
+
+TEST(GramMeasureTest, OrderingDiceGeJaccard) {
+  // Dice >= Jaccard always; Cosine between them for same-size sets.
+  std::vector<std::string> a{"ab", "bc", "cd"};
+  std::vector<std::string> b{"bc", "cd", "de"};
+  double j = JaccardOfSortedSets(a, b);
+  double c = CosineOfSortedSets(a, b);
+  double d = DiceOfSortedSets(a, b);
+  EXPECT_GE(d, c - 1e-12);
+  EXPECT_GE(c, j - 1e-12);
+}
+
+TEST(GramMeasureTest, IdenticalSetsScoreOneEverywhere) {
+  std::vector<std::string> a{"ab", "bc"};
+  EXPECT_DOUBLE_EQ(CosineOfSortedSets(a, a), 1.0);
+  EXPECT_DOUBLE_EQ(DiceOfSortedSets(a, a), 1.0);
+}
+
+TEST(GramMeasureTest, EmptyEdgeCases) {
+  std::vector<std::string> empty;
+  std::vector<std::string> a{"ab"};
+  EXPECT_DOUBLE_EQ(CosineOfSortedSets(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(CosineOfSortedSets(empty, a), 0.0);
+  EXPECT_DOUBLE_EQ(DiceOfSortedSets(empty, empty), 1.0);
+  EXPECT_DOUBLE_EQ(DiceOfSortedSets(empty, a), 0.0);
+}
+
+TEST(ParallelForTest, CoversRangeExactlyOnce) {
+  std::vector<int> hits(1000, 0);
+  ParallelFor(hits.size(), 4, [&](size_t begin, size_t end, int) {
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (int h : hits) EXPECT_EQ(h, 1);
+}
+
+TEST(ParallelForTest, SingleThreadRunsInline) {
+  int worker_seen = -1;
+  ParallelFor(10, 1, [&](size_t, size_t, int w) { worker_seen = w; });
+  EXPECT_EQ(worker_seen, 0);
+}
+
+TEST(ParallelForTest, EmptyRangeIsNoop) {
+  bool called = false;
+  ParallelFor(0, 4, [&](size_t, size_t, int) { called = true; });
+  EXPECT_FALSE(called);
+}
+
+TEST(ParallelForTest, ResolveThreads) {
+  EXPECT_GE(ResolveThreads(0), 1);
+  EXPECT_EQ(ResolveThreads(3), 3);
+  EXPECT_EQ(ResolveThreads(-5), 1);
+  EXPECT_EQ(ResolveThreads(9999), 256);
+}
+
+class JoinExtensionTest : public ::testing::Test {
+ protected:
+  JoinExtensionTest() {
+    taxonomy_ = GenerateTaxonomy({.num_nodes = 300}, &vocab_);
+    rules_ = GenerateSynonyms({.num_rules = 150}, taxonomy_, &vocab_);
+    knowledge_ = Knowledge{&vocab_, &rules_, &taxonomy_};
+    CorpusGenerator gen(&vocab_, &taxonomy_, &rules_);
+    CorpusProfile profile;
+    profile.num_strings = 150;
+    profile.seed = 91;
+    corpus_ = gen.Generate(profile, {.num_pairs = 40});
+  }
+
+  static std::set<std::pair<uint32_t, uint32_t>> Canon(
+      std::vector<std::pair<uint32_t, uint32_t>> v) {
+    std::set<std::pair<uint32_t, uint32_t>> out;
+    for (auto p : v) {
+      if (p.first > p.second) std::swap(p.first, p.second);
+      out.insert(p);
+    }
+    return out;
+  }
+
+  Vocabulary vocab_;
+  Taxonomy taxonomy_;
+  RuleSet rules_;
+  Knowledge knowledge_;
+  Corpus corpus_;
+};
+
+TEST_F(JoinExtensionTest, ParallelJoinMatchesSerial) {
+  JoinContext context(knowledge_, MsimOptions{});
+  context.Prepare(corpus_.records, nullptr);
+  JoinOptions serial;
+  serial.theta = 0.8;
+  serial.tau = 2;
+  serial.method = FilterMethod::kAuDp;
+  serial.num_threads = 1;
+  JoinOptions parallel = serial;
+  parallel.num_threads = 4;
+  JoinResult a = UnifiedJoin(context, serial);
+  JoinResult b = UnifiedJoin(context, parallel);
+  EXPECT_EQ(Canon(a.pairs), Canon(b.pairs));
+  EXPECT_EQ(a.stats.processed_pairs, b.stats.processed_pairs);
+  EXPECT_EQ(a.stats.candidates, b.stats.candidates);
+}
+
+TEST_F(JoinExtensionTest, ParallelVerifyIsDeterministicallySorted) {
+  JoinContext context(knowledge_, MsimOptions{});
+  context.Prepare(corpus_.records, nullptr);
+  JoinOptions options;
+  options.theta = 0.75;
+  options.num_threads = 4;
+  JoinResult result = UnifiedJoin(context, options);
+  EXPECT_TRUE(std::is_sorted(result.pairs.begin(), result.pairs.end()));
+}
+
+class GramMeasureJoinTest : public ::testing::TestWithParam<GramMeasure> {};
+
+TEST_P(GramMeasureJoinTest, FilterStaysLossless) {
+  Vocabulary vocab;
+  Taxonomy taxonomy = GenerateTaxonomy({.num_nodes = 300}, &vocab);
+  RuleSet rules = GenerateSynonyms({.num_rules = 150}, taxonomy, &vocab);
+  Knowledge knowledge{&vocab, &rules, &taxonomy};
+  CorpusGenerator gen(&vocab, &taxonomy, &rules);
+  CorpusProfile profile;
+  profile.num_strings = 60;
+  profile.seed = 55;
+  Corpus corpus = gen.Generate(profile, {.num_pairs = 20});
+
+  MsimOptions msim;
+  msim.gram_measure = GetParam();
+  JoinContext context(knowledge, msim);
+  context.Prepare(corpus.records, nullptr);
+  const double theta = 0.8;
+  JoinOptions options;
+  options.theta = theta;
+  options.tau = 2;
+  options.method = FilterMethod::kAuDp;
+  JoinResult result = UnifiedJoin(context, options);
+
+  UsimOptions usim_options;
+  usim_options.msim = msim;
+  UsimComputer computer(knowledge, usim_options);
+  std::set<std::pair<uint32_t, uint32_t>> expected;
+  for (uint32_t i = 0; i < corpus.records.size(); ++i) {
+    for (uint32_t j = i + 1; j < corpus.records.size(); ++j) {
+      if (computer.Approx(corpus.records[i], corpus.records[j]) >= theta) {
+        expected.insert({i, j});
+      }
+    }
+  }
+  std::set<std::pair<uint32_t, uint32_t>> got;
+  for (auto p : result.pairs) {
+    if (p.first > p.second) std::swap(p.first, p.second);
+    got.insert(p);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Measures, GramMeasureJoinTest,
+                         ::testing::Values(GramMeasure::kJaccard,
+                                           GramMeasure::kCosine,
+                                           GramMeasure::kDice));
+
+}  // namespace
+}  // namespace aujoin

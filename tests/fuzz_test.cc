@@ -1,0 +1,207 @@
+// Randomised stress tests: many small worlds with random knowledge and
+// records, checking the join-vs-brute-force equivalence and basic USIM
+// sanity under every configuration — including degenerate knowledge
+// (no rules, no taxonomy, empty strings).
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "core/usim.h"
+#include "datagen/corpus_gen.h"
+#include "datagen/synonym_gen.h"
+#include "datagen/taxonomy_gen.h"
+#include "join/join.h"
+#include "util/rng.h"
+
+namespace aujoin {
+namespace {
+
+using PairSet = std::set<std::pair<uint32_t, uint32_t>>;
+
+PairSet Canon(std::vector<std::pair<uint32_t, uint32_t>> v) {
+  PairSet out;
+  for (auto p : v) {
+    if (p.first > p.second) std::swap(p.first, p.second);
+    out.insert(p);
+  }
+  return out;
+}
+
+TEST(EmptyKnowledgeTest, PureGramJoinWorks) {
+  // No rules, no taxonomy: the unified join degrades to a gram join.
+  Vocabulary vocab;
+  RuleSet no_rules;
+  Taxonomy no_taxonomy;
+  Knowledge knowledge{&vocab, &no_rules, &no_taxonomy};
+
+  std::vector<Record> records;
+  records.push_back(MakeRecord(0, "hello world", &vocab));
+  records.push_back(MakeRecord(1, "helo world", &vocab));
+  records.push_back(MakeRecord(2, "different thing", &vocab));
+  records.push_back(MakeRecord(3, "hello world", &vocab));
+
+  JoinContext context(knowledge, MsimOptions{});
+  context.Prepare(records, nullptr);
+  JoinOptions options;
+  options.theta = 0.7;
+  options.tau = 2;
+  options.method = FilterMethod::kAuDp;
+  JoinResult result = UnifiedJoin(context, options);
+  PairSet got = Canon(result.pairs);
+  EXPECT_TRUE(got.count({0, 3}) > 0);  // identical
+  EXPECT_TRUE(got.count({0, 1}) > 0);  // typo
+  EXPECT_FALSE(got.count({0, 2}) > 0);
+}
+
+TEST(EmptyKnowledgeTest, UsimIsGramSimilarityPerToken) {
+  Vocabulary vocab;
+  RuleSet no_rules;
+  Taxonomy no_taxonomy;
+  Knowledge knowledge{&vocab, &no_rules, &no_taxonomy};
+  Record a = MakeRecord(0, "helsingki", &vocab);
+  Record b = MakeRecord(1, "helsinki", &vocab);
+  UsimComputer computer(knowledge, {});
+  EXPECT_NEAR(computer.Approx(a, b), 2.0 / 3.0, 1e-9);  // q=2 Jaccard
+}
+
+TEST(DegenerateRecordsTest, WhitespaceOnlyAndEmptyStrings) {
+  Vocabulary vocab;
+  RuleSet no_rules;
+  Taxonomy no_taxonomy;
+  Knowledge knowledge{&vocab, &no_rules, &no_taxonomy};
+  std::vector<Record> records;
+  records.push_back(MakeRecord(0, "", &vocab));
+  records.push_back(MakeRecord(1, "   ", &vocab));
+  records.push_back(MakeRecord(2, "word", &vocab));
+  JoinContext context(knowledge, MsimOptions{});
+  context.Prepare(records, nullptr);
+  JoinOptions options;
+  options.theta = 0.5;
+  JoinResult result = UnifiedJoin(context, options);
+  // Empty records never match anything (USIM defined as 0).
+  for (auto [a, b] : result.pairs) {
+    EXPECT_EQ(a, 2u);
+    EXPECT_EQ(b, 2u);
+  }
+}
+
+// Measure-restricted joins exercise the exact-pebble path (equality must
+// be witnessed by exact pebbles when grams are off).
+class RestrictedMeasureJoinTest : public ::testing::TestWithParam<uint32_t> {
+};
+
+TEST_P(RestrictedMeasureJoinTest, JoinEqualsBruteForce) {
+  uint32_t measures = GetParam();
+  Vocabulary vocab;
+  Taxonomy taxonomy = GenerateTaxonomy({.num_nodes = 300}, &vocab);
+  RuleSet rules = GenerateSynonyms({.num_rules = 150}, taxonomy, &vocab);
+  Knowledge knowledge{&vocab, &rules, &taxonomy};
+  CorpusGenerator gen(&vocab, &taxonomy, &rules);
+  CorpusProfile profile;
+  profile.num_strings = 50;
+  profile.seed = 321;
+  Corpus corpus = gen.Generate(profile, {.num_pairs = 15});
+
+  MsimOptions msim;
+  msim.measures = measures;
+  JoinContext context(knowledge, msim);
+  context.Prepare(corpus.records, nullptr);
+  const double theta = 0.8;
+  JoinOptions options;
+  options.theta = theta;
+  options.tau = 2;
+  options.method = FilterMethod::kAuDp;
+  JoinResult result = UnifiedJoin(context, options);
+
+  UsimOptions usim_options;
+  usim_options.msim = msim;
+  UsimComputer computer(knowledge, usim_options);
+  PairSet expected;
+  for (uint32_t i = 0; i < corpus.records.size(); ++i) {
+    for (uint32_t j = i + 1; j < corpus.records.size(); ++j) {
+      if (computer.Approx(corpus.records[i], corpus.records[j]) >= theta) {
+        expected.insert({i, j});
+      }
+    }
+  }
+  EXPECT_EQ(Canon(result.pairs), expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Measures, RestrictedMeasureJoinTest,
+    ::testing::Values(kMeasureTaxonomy, kMeasureSynonym,
+                      kMeasureTaxonomy | kMeasureSynonym, kMeasureJaccard));
+
+struct FuzzCase {
+  uint64_t seed;
+  double theta;
+  int tau;
+  FilterMethod method;
+};
+
+class JoinFuzzTest : public ::testing::TestWithParam<FuzzCase> {};
+
+TEST_P(JoinFuzzTest, JoinEqualsBruteForce) {
+  const FuzzCase& c = GetParam();
+  Rng rng(c.seed);
+  Vocabulary vocab;
+  Taxonomy taxonomy = GenerateTaxonomy(
+      {.num_nodes = static_cast<size_t>(rng.Uniform(50, 400)),
+       .seed = c.seed},
+      &vocab);
+  RuleSet rules = GenerateSynonyms(
+      {.num_rules = static_cast<size_t>(rng.Uniform(20, 200)),
+       .max_side_tokens = static_cast<int>(rng.Uniform(2, 4)),
+       .seed = c.seed + 1},
+      taxonomy, &vocab);
+  Knowledge knowledge{&vocab, &rules, &taxonomy};
+  CorpusGenerator gen(&vocab, &taxonomy, &rules);
+  CorpusProfile profile;
+  profile.num_strings = static_cast<size_t>(rng.Uniform(30, 60));
+  profile.avg_tokens = static_cast<int>(rng.Uniform(4, 10));
+  profile.seed = c.seed + 2;
+  GroundTruthOptions truth;
+  truth.num_pairs = 12;
+  truth.seed = c.seed + 3;
+  Corpus corpus = gen.Generate(profile, truth);
+
+  MsimOptions msim;
+  msim.q = static_cast<int>(rng.Uniform(2, 3));
+  JoinContext context(knowledge, msim);
+  context.Prepare(corpus.records, nullptr);
+  JoinOptions options;
+  options.theta = c.theta;
+  options.tau = c.tau;
+  options.method = c.method;
+  JoinResult result = UnifiedJoin(context, options);
+
+  UsimOptions usim_options;
+  usim_options.msim = msim;
+  UsimComputer computer(knowledge, usim_options);
+  PairSet expected;
+  for (uint32_t i = 0; i < corpus.records.size(); ++i) {
+    for (uint32_t j = i + 1; j < corpus.records.size(); ++j) {
+      if (computer.Approx(corpus.records[i], corpus.records[j]) >= c.theta) {
+        expected.insert({i, j});
+      }
+    }
+  }
+  EXPECT_EQ(Canon(result.pairs), expected)
+      << "seed=" << c.seed << " theta=" << c.theta << " tau=" << c.tau;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Cases, JoinFuzzTest,
+    ::testing::Values(
+        FuzzCase{101, 0.70, 1, FilterMethod::kUFilter},
+        FuzzCase{102, 0.75, 2, FilterMethod::kAuHeuristic},
+        FuzzCase{103, 0.80, 3, FilterMethod::kAuDp},
+        FuzzCase{104, 0.85, 4, FilterMethod::kAuDp},
+        FuzzCase{105, 0.90, 5, FilterMethod::kAuHeuristic},
+        FuzzCase{106, 0.95, 2, FilterMethod::kAuDp},
+        FuzzCase{107, 0.72, 6, FilterMethod::kAuDp},
+        FuzzCase{108, 0.88, 3, FilterMethod::kAuHeuristic}));
+
+}  // namespace
+}  // namespace aujoin

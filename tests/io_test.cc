@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include "datagen/synonym_gen.h"
+#include "datagen/taxonomy_gen.h"
+#include "synonym/rule_io.h"
+#include "taxonomy/taxonomy_io.h"
+#include "util/io.h"
+
+namespace aujoin {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+TEST(TaxonomyIoTest, RoundTripGeneratedTaxonomy) {
+  Vocabulary vocab;
+  Taxonomy original = GenerateTaxonomy({.num_nodes = 200}, &vocab);
+  std::string path = TempPath("tax_roundtrip.tsv");
+  ASSERT_TRUE(SaveTaxonomyToTsv(original, vocab, path).ok());
+
+  Vocabulary vocab2;
+  auto loaded = LoadTaxonomyFromTsv(path, &vocab2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_nodes(), original.num_nodes());
+  for (NodeId n = 0; n < original.num_nodes(); ++n) {
+    EXPECT_EQ(loaded->Parent(n), original.Parent(n));
+    EXPECT_EQ(loaded->Depth(n), original.Depth(n));
+    const auto& a = original.Name(n);
+    const auto& b = loaded->Name(n);
+    EXPECT_EQ(vocab.Render(TokenSpan(a.data(), a.size())),
+              vocab2.Render(TokenSpan(b.data(), b.size())));
+  }
+}
+
+TEST(TaxonomyIoTest, LoadHandwrittenFile) {
+  std::string path = TempPath("tax_hand.tsv");
+  ASSERT_TRUE(WriteLines(path, {"# comment", "0\t-1\twikipedia",
+                                "1\t0\tfood", "2\t1\tcoffee",
+                                "", "3\t2\tcoffee drinks"})
+                  .ok());
+  Vocabulary vocab;
+  auto tax = LoadTaxonomyFromTsv(path, &vocab);
+  ASSERT_TRUE(tax.ok());
+  EXPECT_EQ(tax->num_nodes(), 4u);
+  EXPECT_EQ(tax->Depth(3), 4);
+  EXPECT_EQ(tax->Name(3).size(), 2u);
+}
+
+TEST(TaxonomyIoTest, RejectsNonDenseIds) {
+  std::string path = TempPath("tax_bad_ids.tsv");
+  ASSERT_TRUE(WriteLines(path, {"0\t-1\troot", "2\t0\tskipped"}).ok());
+  Vocabulary vocab;
+  auto tax = LoadTaxonomyFromTsv(path, &vocab);
+  EXPECT_FALSE(tax.ok());
+  EXPECT_EQ(tax.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TaxonomyIoTest, RejectsMissingFields) {
+  std::string path = TempPath("tax_bad_fields.tsv");
+  ASSERT_TRUE(WriteLines(path, {"0\t-1"}).ok());
+  Vocabulary vocab;
+  EXPECT_FALSE(LoadTaxonomyFromTsv(path, &vocab).ok());
+}
+
+TEST(TaxonomyIoTest, RejectsEmptyFile) {
+  std::string path = TempPath("tax_empty.tsv");
+  ASSERT_TRUE(WriteLines(path, {"# only a comment"}).ok());
+  Vocabulary vocab;
+  EXPECT_FALSE(LoadTaxonomyFromTsv(path, &vocab).ok());
+}
+
+TEST(TaxonomyIoTest, MissingFileIsIoError) {
+  Vocabulary vocab;
+  auto tax = LoadTaxonomyFromTsv("/nonexistent/tax.tsv", &vocab);
+  EXPECT_FALSE(tax.ok());
+  EXPECT_EQ(tax.status().code(), StatusCode::kIoError);
+}
+
+TEST(RuleIoTest, RoundTripGeneratedRules) {
+  Vocabulary vocab;
+  Taxonomy tax = GenerateTaxonomy({.num_nodes = 50}, &vocab);
+  RuleSet original = GenerateSynonyms({.num_rules = 120}, tax, &vocab);
+  std::string path = TempPath("rules_roundtrip.tsv");
+  ASSERT_TRUE(SaveRulesToTsv(original, vocab, path).ok());
+
+  Vocabulary vocab2;
+  auto loaded = LoadRulesFromTsv(path, &vocab2);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ASSERT_EQ(loaded->num_rules(), original.num_rules());
+  for (RuleId r = 0; r < original.num_rules(); ++r) {
+    const auto& a = original.rule(r);
+    const auto& b = loaded->rule(r);
+    EXPECT_EQ(a.lhs.size(), b.lhs.size());
+    EXPECT_EQ(a.rhs.size(), b.rhs.size());
+    EXPECT_NEAR(a.closeness, b.closeness, 1e-6);
+  }
+}
+
+TEST(RuleIoTest, ClosenessDefaultsToOne) {
+  std::string path = TempPath("rules_default.tsv");
+  ASSERT_TRUE(WriteLines(path, {"coffee shop\tcafe"}).ok());
+  Vocabulary vocab;
+  auto rules = LoadRulesFromTsv(path, &vocab);
+  ASSERT_TRUE(rules.ok());
+  ASSERT_EQ(rules->num_rules(), 1u);
+  EXPECT_DOUBLE_EQ(rules->rule(0).closeness, 1.0);
+  EXPECT_EQ(rules->rule(0).lhs.size(), 2u);
+}
+
+TEST(RuleIoTest, RejectsBadCloseness) {
+  std::string path = TempPath("rules_bad.tsv");
+  ASSERT_TRUE(WriteLines(path, {"a\tb\t2.5"}).ok());
+  Vocabulary vocab;
+  EXPECT_FALSE(LoadRulesFromTsv(path, &vocab).ok());
+}
+
+TEST(RuleIoTest, RejectsMissingRhs) {
+  std::string path = TempPath("rules_missing.tsv");
+  ASSERT_TRUE(WriteLines(path, {"lonely"}).ok());
+  Vocabulary vocab;
+  EXPECT_FALSE(LoadRulesFromTsv(path, &vocab).ok());
+}
+
+}  // namespace
+}  // namespace aujoin

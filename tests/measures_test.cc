@@ -1,0 +1,142 @@
+#include <gtest/gtest.h>
+
+#include "core/measures.h"
+#include "core/segment.h"
+#include "test_fixtures.h"
+
+namespace aujoin {
+namespace {
+
+class MeasuresTest : public ::testing::Test {
+ protected:
+  MeasuresTest() : world_(), s_(world_.MakeRec(0, "coffee shop latte helsingki")),
+                   t_(world_.MakeRec(1, "espresso cafe helsinki")) {}
+
+  // Finds the well-defined segment with the given span.
+  static const WellDefinedSegment& Find(
+      const std::vector<WellDefinedSegment>& segs, uint32_t begin,
+      uint32_t end) {
+    for (const auto& s : segs) {
+      if (s.span.begin == begin && s.span.end == end) return s;
+    }
+    static WellDefinedSegment dummy;
+    ADD_FAILURE() << "segment [" << begin << "," << end << ") not found";
+    return dummy;
+  }
+
+  Figure1World world_;
+  Record s_, t_;
+};
+
+TEST_F(MeasuresTest, ParseMeasures) {
+  EXPECT_EQ(ParseMeasures("J"), kMeasureJaccard);
+  EXPECT_EQ(ParseMeasures("ts"), kMeasureTaxonomy | kMeasureSynonym);
+  EXPECT_EQ(ParseMeasures("TJS"), kMeasureAll);
+  EXPECT_EQ(ParseMeasures(""), kMeasureAll);
+  EXPECT_EQ(ParseMeasures("X"), kMeasureAll);
+}
+
+TEST_F(MeasuresTest, MeasuresToStringCanonicalOrder) {
+  EXPECT_EQ(MeasuresToString(kMeasureAll), "TJS");
+  EXPECT_EQ(MeasuresToString(kMeasureJaccard | kMeasureSynonym), "JS");
+  EXPECT_EQ(MeasuresToString(kMeasureTaxonomy), "T");
+}
+
+TEST_F(MeasuresTest, EnumerateSegmentsFindsWellDefinedOnes) {
+  auto segs = EnumerateSegments(s_, world_.knowledge());
+  // 4 singletons + "coffee shop" (rule lhs). "shop latte" must be absent.
+  ASSERT_EQ(segs.size(), 5u);
+  bool has_multi = false;
+  for (const auto& seg : segs) {
+    if (seg.span.size() == 2) {
+      has_multi = true;
+      EXPECT_EQ(seg.span.begin, 0u);
+      EXPECT_TRUE(seg.HasSynonym());
+    }
+  }
+  EXPECT_TRUE(has_multi);
+}
+
+TEST_F(MeasuresTest, SingleTokenSegmentsCarryTaxonomyMatches) {
+  auto segs = EnumerateSegments(t_, world_.knowledge());
+  const auto& espresso = Find(segs, 0, 1);
+  ASSERT_EQ(espresso.taxonomy_nodes.size(), 1u);
+  EXPECT_EQ(espresso.taxonomy_nodes[0], world_.espresso);
+}
+
+TEST_F(MeasuresTest, SynonymSimilarityAcrossRule) {
+  MsimEvaluator eval(world_.knowledge(), {});
+  auto s_segs = EnumerateSegments(s_, world_.knowledge());
+  auto t_segs = EnumerateSegments(t_, world_.knowledge());
+  const auto& coffee_shop = Find(s_segs, 0, 2);
+  const auto& cafe = Find(t_segs, 1, 2);
+  EXPECT_DOUBLE_EQ(eval.Synonym(coffee_shop, cafe), 1.0);
+  // Same side (lhs-lhs) must not match.
+  EXPECT_DOUBLE_EQ(eval.Synonym(coffee_shop, coffee_shop), 0.0);
+}
+
+TEST_F(MeasuresTest, TaxonomySimilarityLatteEspresso) {
+  MsimEvaluator eval(world_.knowledge(), {});
+  auto s_segs = EnumerateSegments(s_, world_.knowledge());
+  auto t_segs = EnumerateSegments(t_, world_.knowledge());
+  const auto& latte = Find(s_segs, 2, 3);
+  const auto& espresso = Find(t_segs, 0, 1);
+  EXPECT_NEAR(eval.Taxonomy(latte, espresso), 0.8, 1e-12);
+}
+
+TEST_F(MeasuresTest, JaccardBetweenSegments) {
+  MsimOptions options;
+  options.q = 2;
+  MsimEvaluator eval(world_.knowledge(), options);
+  auto s_segs = EnumerateSegments(s_, world_.knowledge());
+  auto t_segs = EnumerateSegments(t_, world_.knowledge());
+  const auto& helsingki = Find(s_segs, 3, 4);
+  const auto& helsinki = Find(t_segs, 2, 3);
+  EXPECT_NEAR(eval.Jaccard(s_, helsingki.span, t_, helsinki.span),
+              2.0 / 3.0, 1e-12);
+}
+
+TEST_F(MeasuresTest, MsimTakesTheMaximum) {
+  // Section 2.2: "cake" vs "apple cake": Jaccard 0.33, taxonomy 0.75.
+  Record cake_rec = world_.MakeRec(10, "cake");
+  Record apple_rec = world_.MakeRec(11, "apple cake");
+  MsimEvaluator eval(world_.knowledge(), {});
+  auto c_segs = EnumerateSegments(cake_rec, world_.knowledge());
+  auto a_segs = EnumerateSegments(apple_rec, world_.knowledge());
+  const auto& cake_seg = Find(c_segs, 0, 1);
+  const auto& apple_cake_seg = Find(a_segs, 0, 2);
+  EXPECT_NEAR(eval.Taxonomy(cake_seg, apple_cake_seg), 0.75, 1e-12);
+  double msim = eval.Msim(cake_rec, cake_seg, apple_rec, apple_cake_seg);
+  EXPECT_NEAR(msim, 0.75, 1e-12);
+}
+
+TEST_F(MeasuresTest, MsimRespectsDisabledMeasures) {
+  Record cake_rec = world_.MakeRec(10, "cake");
+  Record apple_rec = world_.MakeRec(11, "apple cake");
+  MsimOptions options;
+  options.measures = kMeasureJaccard;
+  MsimEvaluator eval(world_.knowledge(), options);
+  auto c_segs = EnumerateSegments(cake_rec, world_.knowledge());
+  auto a_segs = EnumerateSegments(apple_rec, world_.knowledge());
+  double msim = eval.Msim(cake_rec, c_segs[0], apple_rec,
+                          Find(a_segs, 0, 2));
+  // With taxonomy disabled only Jaccard applies: "cake" vs "apple cake".
+  EXPECT_LT(msim, 0.5);
+  EXPECT_GT(msim, 0.0);
+}
+
+TEST_F(MeasuresTest, ClawKReflectsKnowledge) {
+  EXPECT_EQ(world_.knowledge().ClawK(), 2u);
+  Knowledge bare;
+  EXPECT_EQ(bare.ClawK(), 1u);
+}
+
+TEST_F(MeasuresTest, SegmentOverlaps) {
+  Segment a{0, 2}, b{1, 3}, c{2, 4};
+  EXPECT_TRUE(a.Overlaps(b));
+  EXPECT_FALSE(a.Overlaps(c));
+  EXPECT_TRUE(b.Overlaps(c));
+}
+
+}  // namespace
+}  // namespace aujoin

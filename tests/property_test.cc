@@ -1,0 +1,202 @@
+// Cross-module property tests: invariants that tie the similarity layer,
+// the signature layer and the join together on randomised inputs.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/squareimp.h"
+#include "core/usim.h"
+#include "datagen/corpus_gen.h"
+#include "datagen/synonym_gen.h"
+#include "datagen/taxonomy_gen.h"
+#include "join/join.h"
+#include "test_fixtures.h"
+#include "util/rng.h"
+
+namespace aujoin {
+namespace {
+
+// Exhaustive maximum-weight independent set for small graphs.
+double BruteForceMisWeight(const PairGraph& g) {
+  const size_t n = g.num_vertices();
+  EXPECT_LE(n, 22u);
+  double best = 0.0;
+  for (uint64_t mask = 0; mask < (1ULL << n); ++mask) {
+    double w = 0.0;
+    bool ok = true;
+    for (size_t i = 0; i < n && ok; ++i) {
+      if (!(mask >> i & 1)) continue;
+      for (size_t j = i + 1; j < n && ok; ++j) {
+        if ((mask >> j & 1) && g.Conflicts(static_cast<uint32_t>(i),
+                                           static_cast<uint32_t>(j))) {
+          ok = false;
+        }
+      }
+      if (ok) w += g.vertices[i].weight;
+    }
+    if (ok) best = std::max(best, w);
+  }
+  return best;
+}
+
+class SquareImpQualityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(SquareImpQualityTest, WithinGuaranteeOfOptimum) {
+  // Random short strings over the Figure 1 vocabulary; graphs stay small
+  // enough for the exhaustive reference.
+  Figure1World world;
+  Rng rng(GetParam());
+  const char* pool[] = {"coffee", "shop", "latte", "espresso",
+                        "cafe",   "cake", "gateau"};
+  MsimEvaluator eval(world.knowledge(), {});
+  for (int trial = 0; trial < 20; ++trial) {
+    std::string a, b;
+    for (int i = static_cast<int>(rng.Uniform(1, 3)); i > 0; --i) {
+      a += std::string(pool[rng.Uniform(0, 6)]) + " ";
+    }
+    for (int i = static_cast<int>(rng.Uniform(1, 3)); i > 0; --i) {
+      b += std::string(pool[rng.Uniform(0, 6)]) + " ";
+    }
+    Record ra = world.MakeRec(0, a);
+    Record rb = world.MakeRec(1, b);
+    PairGraph g = BuildPairGraph(ra, rb, &eval);
+    if (g.num_vertices() > 20) continue;
+    double opt = BruteForceMisWeight(g);
+    SquareImpOptions options;
+    options.max_talons = 3;
+    double got = IndependentSetWeight(g, SquareImp(g, options));
+    EXPECT_LE(got, opt + 1e-9);
+    // The worst-case guarantee is (k+1)/2; on these tiny instances local
+    // search should land within a factor 2 comfortably.
+    EXPECT_GE(got, opt / 2.0 - 1e-9) << "a=" << a << " b=" << b;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SquareImpQualityTest,
+                         ::testing::Values(11, 22, 33));
+
+TEST(UsimBoundsTest, AlwaysWithinUnitInterval) {
+  Vocabulary vocab;
+  Taxonomy taxonomy = GenerateTaxonomy({.num_nodes = 200}, &vocab);
+  RuleSet rules = GenerateSynonyms({.num_rules = 100}, taxonomy, &vocab);
+  Knowledge knowledge{&vocab, &rules, &taxonomy};
+  CorpusGenerator gen(&vocab, &taxonomy, &rules);
+  Corpus corpus = gen.Generate(CorpusProfile::Med(40), {.num_pairs = 10});
+  UsimComputer computer(knowledge, {});
+  for (size_t i = 0; i < corpus.records.size(); i += 3) {
+    for (size_t j = i + 1; j < corpus.records.size(); j += 7) {
+      double sim = computer.Approx(corpus.records[i], corpus.records[j]);
+      EXPECT_GE(sim, 0.0);
+      EXPECT_LE(sim, 1.0 + 1e-9);
+    }
+  }
+}
+
+TEST(UsimBoundsTest, SelfSimilarityIsOne) {
+  Vocabulary vocab;
+  Taxonomy taxonomy = GenerateTaxonomy({.num_nodes = 100}, &vocab);
+  RuleSet rules = GenerateSynonyms({.num_rules = 50}, taxonomy, &vocab);
+  Knowledge knowledge{&vocab, &rules, &taxonomy};
+  CorpusGenerator gen(&vocab, &taxonomy, &rules);
+  Corpus corpus = gen.Generate(CorpusProfile::Med(15), {.num_pairs = 0});
+  UsimComputer computer(knowledge, {});
+  for (const Record& r : corpus.records) {
+    if (r.tokens.empty()) continue;
+    EXPECT_NEAR(computer.Approx(r, r), 1.0, 1e-9) << r.text;
+  }
+}
+
+TEST(EffectiveTauTest, NeverExceedsRequestedAndMonotone) {
+  Figure1World world;
+  std::vector<Record> records;
+  records.push_back(world.MakeRec(0, "coffee shop latte helsingki"));
+  records.push_back(world.MakeRec(1, "cake"));
+  records.push_back(world.MakeRec(2, "espresso cafe helsinki gateau food"));
+  MsimOptions msim;
+  PebbleGenerator gen(world.knowledge(), msim);
+  Vocabulary gram_dict;
+  GlobalOrder order;
+  std::vector<RecordPebbles> prepared;
+  for (const auto& r : records) {
+    prepared.push_back(gen.Generate(r, &gram_dict));
+  }
+  order.CountCollection(prepared);
+  order.Finalize();
+  for (auto& rp : prepared) order.SortPebbles(&rp);
+
+  for (size_t i = 0; i < records.size(); ++i) {
+    int prev_eff = 0;
+    for (int tau = 1; tau <= 8; ++tau) {
+      SignatureOptions opts;
+      opts.theta = 0.8;
+      opts.tau = tau;
+      opts.method = FilterMethod::kAuHeuristic;
+      Signature sig =
+          SelectSignature(prepared[i], records[i].num_tokens(), opts);
+      EXPECT_LE(sig.effective_tau, tau);
+      EXPECT_GE(sig.effective_tau, 1);
+      EXPECT_GE(sig.effective_tau, prev_eff);  // monotone in requested tau
+      prev_eff = sig.effective_tau;
+    }
+  }
+}
+
+TEST(ExactTruncationTest, FlagsInexactUnderTinyCaps) {
+  Figure1World world;
+  Record s = world.MakeRec(0, "coffee shop cake latte");
+  Record t = world.MakeRec(1, "cafe gateau espresso");
+  UsimComputer computer(world.knowledge(), {});
+  ExactOptions limits;
+  limits.max_pairs = 1;
+  auto res = computer.Exact(s, t, limits);
+  EXPECT_FALSE(res.exact);
+}
+
+// Filter losslessness across thetas on the WIKI-like profile (the MED
+// profile is exercised in join_test.cc).
+class WikiLosslessTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(WikiLosslessTest, JoinEqualsBruteForce) {
+  double theta = GetParam();
+  Vocabulary vocab;
+  Taxonomy taxonomy = GenerateTaxonomy({.num_nodes = 500}, &vocab);
+  RuleSet rules = GenerateSynonyms({.num_rules = 200}, taxonomy, &vocab);
+  Knowledge knowledge{&vocab, &rules, &taxonomy};
+  CorpusGenerator gen(&vocab, &taxonomy, &rules);
+  CorpusProfile profile = CorpusProfile::Wiki(50);
+  Corpus corpus = gen.Generate(profile, {.num_pairs = 15});
+
+  MsimOptions msim;
+  msim.q = 3;
+  JoinContext context(knowledge, msim);
+  context.Prepare(corpus.records, nullptr);
+  JoinOptions options;
+  options.theta = theta;
+  options.tau = 3;
+  options.method = FilterMethod::kAuDp;
+  JoinResult result = UnifiedJoin(context, options);
+
+  UsimOptions usim_options;
+  usim_options.msim = msim;
+  UsimComputer computer(knowledge, usim_options);
+  std::set<std::pair<uint32_t, uint32_t>> expected, got;
+  for (uint32_t i = 0; i < corpus.records.size(); ++i) {
+    for (uint32_t j = i + 1; j < corpus.records.size(); ++j) {
+      if (computer.Approx(corpus.records[i], corpus.records[j]) >= theta) {
+        expected.insert({i, j});
+      }
+    }
+  }
+  for (auto p : result.pairs) {
+    if (p.first > p.second) std::swap(p.first, p.second);
+    got.insert(p);
+  }
+  EXPECT_EQ(got, expected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Thetas, WikiLosslessTest,
+                         ::testing::Values(0.7, 0.8, 0.9));
+
+}  // namespace
+}  // namespace aujoin

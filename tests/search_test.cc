@@ -1,0 +1,131 @@
+#include <gtest/gtest.h>
+
+#include "datagen/corpus_gen.h"
+#include "datagen/synonym_gen.h"
+#include "datagen/taxonomy_gen.h"
+#include "join/search.h"
+#include "test_fixtures.h"
+
+namespace aujoin {
+namespace {
+
+TEST(SearchTest, FindsMixedSimilarityMatchesOnFigure1World) {
+  Figure1World world;
+  std::vector<Record> collection;
+  collection.push_back(world.MakeRec(0, "espresso cafe helsinki"));
+  collection.push_back(world.MakeRec(1, "cake bakery"));
+  collection.push_back(world.MakeRec(2, "unrelated words"));
+  UnifiedSearcher searcher(world.knowledge(), MsimOptions{.q = 1});
+  searcher.Index(&collection);
+
+  Record query = world.MakeRec(100, "coffee shop latte helsingki");
+  UnifiedSearcher::SearchOptions options;
+  options.theta = 0.8;
+  auto matches = searcher.Search(query, options);
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].id, 0u);
+  EXPECT_NEAR(matches[0].similarity, 0.892, 0.01);
+}
+
+TEST(SearchTest, EmptyBeforeIndexing) {
+  Figure1World world;
+  UnifiedSearcher searcher(world.knowledge(), MsimOptions{});
+  Record query = world.MakeRec(0, "espresso");
+  EXPECT_TRUE(searcher.Search(query, {}).empty());
+  EXPECT_EQ(searcher.num_indexed(), 0u);
+}
+
+class SearchCorpusTest : public ::testing::Test {
+ protected:
+  SearchCorpusTest() {
+    taxonomy_ = GenerateTaxonomy({.num_nodes = 300}, &vocab_);
+    rules_ = GenerateSynonyms({.num_rules = 150}, taxonomy_, &vocab_);
+    knowledge_ = Knowledge{&vocab_, &rules_, &taxonomy_};
+    CorpusGenerator gen(&vocab_, &taxonomy_, &rules_);
+    CorpusProfile profile;
+    profile.num_strings = 80;
+    profile.seed = 71;
+    corpus_ = gen.Generate(profile, {.num_pairs = 25});
+  }
+
+  Vocabulary vocab_;
+  Taxonomy taxonomy_;
+  RuleSet rules_;
+  Knowledge knowledge_;
+  Corpus corpus_;
+};
+
+TEST_F(SearchCorpusTest, SearchMatchesBruteForceScan) {
+  UnifiedSearcher searcher(knowledge_, MsimOptions{});
+  searcher.Index(&corpus_.records);
+  UsimComputer computer(knowledge_, {});
+
+  UnifiedSearcher::SearchOptions options;
+  options.theta = 0.8;
+  options.tau = 2;
+  for (size_t q = 0; q < corpus_.records.size(); q += 9) {
+    const Record& query = corpus_.records[q];
+    auto matches = searcher.Search(query, options);
+    std::set<uint32_t> got;
+    for (const auto& m : matches) got.insert(m.id);
+    std::set<uint32_t> expected;
+    for (uint32_t i = 0; i < corpus_.records.size(); ++i) {
+      if (computer.Approx(query, corpus_.records[i]) >= options.theta) {
+        expected.insert(i);
+      }
+    }
+    EXPECT_EQ(got, expected) << "query=" << query.text;
+  }
+}
+
+TEST_F(SearchCorpusTest, SelfQueryRanksFirst) {
+  UnifiedSearcher searcher(knowledge_, MsimOptions{});
+  searcher.Index(&corpus_.records);
+  UnifiedSearcher::SearchOptions options;
+  options.theta = 0.5;
+  auto matches = searcher.Search(corpus_.records[3], options);
+  ASSERT_FALSE(matches.empty());
+  EXPECT_EQ(matches[0].id, 3u);
+  EXPECT_NEAR(matches[0].similarity, 1.0, 1e-9);
+}
+
+TEST_F(SearchCorpusTest, ResultsSortedDescending) {
+  UnifiedSearcher searcher(knowledge_, MsimOptions{});
+  searcher.Index(&corpus_.records);
+  UnifiedSearcher::SearchOptions options;
+  options.theta = 0.4;
+  auto matches = searcher.Search(corpus_.records[0], options);
+  for (size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_GE(matches[i - 1].similarity, matches[i].similarity);
+  }
+}
+
+TEST_F(SearchCorpusTest, TopKTruncatesAndKeepsBest) {
+  UnifiedSearcher searcher(knowledge_, MsimOptions{});
+  searcher.Index(&corpus_.records);
+  UnifiedSearcher::SearchOptions options;
+  auto all = searcher.Search(corpus_.records[0], [&] {
+    UnifiedSearcher::SearchOptions o;
+    o.theta = 0.3;
+    return o;
+  }());
+  auto top2 = searcher.TopK(corpus_.records[0], 2, 0.3, options);
+  ASSERT_LE(top2.size(), 2u);
+  if (all.size() >= 2) {
+    ASSERT_EQ(top2.size(), 2u);
+    EXPECT_EQ(top2[0], all[0]);
+    EXPECT_EQ(top2[1], all[1]);
+  }
+}
+
+TEST_F(SearchCorpusTest, UnseenQueryTokensDoNotCrash) {
+  UnifiedSearcher searcher(knowledge_, MsimOptions{});
+  searcher.Index(&corpus_.records);
+  Record query = MakeRecord(999, "completely novel tokens here", &vocab_);
+  UnifiedSearcher::SearchOptions options;
+  options.theta = 0.9;
+  EXPECT_TRUE(searcher.Search(query, options).empty());
+}
+
+}  // namespace
+}  // namespace aujoin

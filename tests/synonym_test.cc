@@ -1,0 +1,101 @@
+#include <gtest/gtest.h>
+
+#include "synonym/rule_set.h"
+#include "text/vocabulary.h"
+
+namespace aujoin {
+namespace {
+
+class RuleSetTest : public ::testing::Test {
+ protected:
+  std::vector<TokenId> Ids(std::initializer_list<const char*> words) {
+    std::vector<TokenId> ids;
+    for (const char* w : words) ids.push_back(vocab_.Intern(w));
+    return ids;
+  }
+
+  TokenSpan Span(const std::vector<TokenId>& v) {
+    return TokenSpan(v.data(), v.size());
+  }
+
+  Vocabulary vocab_;
+  RuleSet rules_;
+};
+
+TEST_F(RuleSetTest, AddAndMatchLhs) {
+  auto id = rules_.AddRule(Ids({"coffee", "shop"}), Ids({"cafe"}), 1.0);
+  ASSERT_TRUE(id.ok());
+  auto lhs = Ids({"coffee", "shop"});
+  auto matches = rules_.Match(Span(lhs));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].rule, *id);
+  EXPECT_EQ(matches[0].side, RuleSide::kLhs);
+  EXPECT_EQ(rules_.OtherSide(matches[0]), Ids({"cafe"}));
+}
+
+TEST_F(RuleSetTest, MatchRhs) {
+  ASSERT_TRUE(rules_.AddRule(Ids({"cake"}), Ids({"gateau"}), 0.9).ok());
+  auto rhs = Ids({"gateau"});
+  auto matches = rules_.Match(Span(rhs));
+  ASSERT_EQ(matches.size(), 1u);
+  EXPECT_EQ(matches[0].side, RuleSide::kRhs);
+  EXPECT_EQ(rules_.MatchedSide(matches[0]), Ids({"gateau"}));
+}
+
+TEST_F(RuleSetTest, NoMatchReturnsEmpty) {
+  ASSERT_TRUE(rules_.AddRule(Ids({"cake"}), Ids({"gateau"})).ok());
+  auto q = Ids({"espresso"});
+  EXPECT_TRUE(rules_.Match(Span(q)).empty());
+}
+
+TEST_F(RuleSetTest, MultipleRulesOnSameSpan) {
+  ASSERT_TRUE(rules_.AddRule(Ids({"ny"}), Ids({"new", "york"})).ok());
+  ASSERT_TRUE(rules_.AddRule(Ids({"ny"}), Ids({"new", "year"})).ok());
+  auto q = Ids({"ny"});
+  EXPECT_EQ(rules_.Match(Span(q)).size(), 2u);
+}
+
+TEST_F(RuleSetTest, RejectsEmptySides) {
+  EXPECT_FALSE(rules_.AddRule({}, Ids({"x"})).ok());
+  EXPECT_FALSE(rules_.AddRule(Ids({"x"}), {}).ok());
+}
+
+TEST_F(RuleSetTest, RejectsBadCloseness) {
+  EXPECT_FALSE(rules_.AddRule(Ids({"a"}), Ids({"b"}), 0.0).ok());
+  EXPECT_FALSE(rules_.AddRule(Ids({"a"}), Ids({"b"}), 1.5).ok());
+  EXPECT_TRUE(rules_.AddRule(Ids({"a"}), Ids({"b"}), 1.0).ok());
+}
+
+TEST_F(RuleSetTest, MaxSideTokensTracksLongestSide) {
+  ASSERT_TRUE(rules_.AddRule(Ids({"a"}), Ids({"b"})).ok());
+  EXPECT_EQ(rules_.max_side_tokens(), 1u);
+  ASSERT_TRUE(
+      rules_.AddRule(Ids({"database", "management", "system"}), Ids({"dbms"}))
+          .ok());
+  EXPECT_EQ(rules_.max_side_tokens(), 3u);
+}
+
+TEST_F(RuleSetTest, SpanMatchingIsExact) {
+  ASSERT_TRUE(rules_.AddRule(Ids({"coffee", "shop"}), Ids({"cafe"})).ok());
+  // A prefix of the lhs must not match.
+  auto prefix = Ids({"coffee"});
+  EXPECT_TRUE(rules_.Match(Span(prefix)).empty());
+}
+
+TEST_F(RuleSetTest, ClosenessStored) {
+  auto id = rules_.AddRule(Ids({"a"}), Ids({"b"}), 0.37);
+  ASSERT_TRUE(id.ok());
+  EXPECT_DOUBLE_EQ(rules_.rule(*id).closeness, 0.37);
+}
+
+TEST_F(RuleSetTest, SameTokenBothSidesOfDifferentRules) {
+  // "ca" appears as lhs of one rule and rhs of another.
+  ASSERT_TRUE(rules_.AddRule(Ids({"ca"}), Ids({"california"})).ok());
+  ASSERT_TRUE(rules_.AddRule(Ids({"golden", "state"}), Ids({"ca"})).ok());
+  auto q = Ids({"ca"});
+  auto matches = rules_.Match(Span(q));
+  EXPECT_EQ(matches.size(), 2u);
+}
+
+}  // namespace
+}  // namespace aujoin

@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include "taxonomy/taxonomy.h"
+#include "text/vocabulary.h"
+
+namespace aujoin {
+namespace {
+
+// Builds Figure 1(a): Wikipedia -> food -> coffee -> {coffee drinks, cake}
+//                     coffee drinks -> {latte, espresso}; food -> apple cake
+class Figure1Taxonomy : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto name = [&](std::initializer_list<const char*> words) {
+      std::vector<TokenId> ids;
+      for (const char* w : words) ids.push_back(vocab_.Intern(w));
+      return ids;
+    };
+    root_ = tax_.AddRoot(name({"wikipedia"})).value();
+    food_ = tax_.AddNode(root_, name({"food"})).value();
+    coffee_ = tax_.AddNode(food_, name({"coffee"})).value();
+    drinks_ = tax_.AddNode(coffee_, name({"coffee", "drinks"})).value();
+    latte_ = tax_.AddNode(drinks_, name({"latte"})).value();
+    espresso_ = tax_.AddNode(drinks_, name({"espresso"})).value();
+    cake_ = tax_.AddNode(food_, name({"cake"})).value();
+    apple_cake_ = tax_.AddNode(cake_, name({"apple", "cake"})).value();
+  }
+
+  Vocabulary vocab_;
+  Taxonomy tax_;
+  NodeId root_, food_, coffee_, drinks_, latte_, espresso_, cake_,
+      apple_cake_;
+};
+
+TEST_F(Figure1Taxonomy, DepthsMatchFigure) {
+  EXPECT_EQ(tax_.Depth(root_), 1);
+  EXPECT_EQ(tax_.Depth(food_), 2);
+  EXPECT_EQ(tax_.Depth(coffee_), 3);
+  EXPECT_EQ(tax_.Depth(drinks_), 4);
+  EXPECT_EQ(tax_.Depth(latte_), 5);
+  EXPECT_EQ(tax_.max_depth(), 5);
+}
+
+TEST_F(Figure1Taxonomy, LcaOfSiblings) {
+  EXPECT_EQ(tax_.Lca(latte_, espresso_), drinks_);
+  EXPECT_EQ(tax_.Lca(latte_, cake_), food_);
+  EXPECT_EQ(tax_.Lca(latte_, latte_), latte_);
+  EXPECT_EQ(tax_.Lca(root_, espresso_), root_);
+}
+
+TEST_F(Figure1Taxonomy, PaperExample2TaxonomySimilarity) {
+  // Example 2(iii): simt(latte, espresso) = 4/5 = 0.8.
+  EXPECT_NEAR(tax_.Similarity(latte_, espresso_), 0.8, 1e-12);
+}
+
+TEST_F(Figure1Taxonomy, CakeVsAppleCake) {
+  // Section 2.2: taxonomy similarity of "cake" and "apple cake" is 0.75.
+  EXPECT_NEAR(tax_.Similarity(cake_, apple_cake_), 0.75, 1e-12);
+}
+
+TEST_F(Figure1Taxonomy, SimilarityIsSymmetricAndSelfIsOne) {
+  EXPECT_DOUBLE_EQ(tax_.Similarity(latte_, espresso_),
+                   tax_.Similarity(espresso_, latte_));
+  EXPECT_DOUBLE_EQ(tax_.Similarity(coffee_, coffee_), 1.0);
+}
+
+TEST_F(Figure1Taxonomy, AncestorsInclusiveChain) {
+  auto chain = tax_.AncestorsInclusive(latte_);
+  ASSERT_EQ(chain.size(), 5u);
+  EXPECT_EQ(chain.front(), latte_);
+  EXPECT_EQ(chain.back(), root_);
+}
+
+TEST_F(Figure1Taxonomy, FindEntityByName) {
+  std::vector<TokenId> q{vocab_.Find("coffee"), vocab_.Find("drinks")};
+  auto hits = tax_.FindEntity(TokenSpan(q.data(), q.size()));
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], drinks_);
+}
+
+TEST_F(Figure1Taxonomy, FindEntityMissReturnsEmpty) {
+  std::vector<TokenId> q{vocab_.Intern("tea")};
+  EXPECT_TRUE(tax_.FindEntity(TokenSpan(q.data(), q.size())).empty());
+}
+
+TEST_F(Figure1Taxonomy, MaxNameTokens) {
+  EXPECT_EQ(tax_.max_name_tokens(), 2u);
+}
+
+TEST(TaxonomyTest, AddNodeBeforeRootFails) {
+  Taxonomy tax;
+  auto r = tax.AddNode(0, {1});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST(TaxonomyTest, SecondRootFails) {
+  Taxonomy tax;
+  ASSERT_TRUE(tax.AddRoot({1}).ok());
+  EXPECT_FALSE(tax.AddRoot({2}).ok());
+}
+
+TEST(TaxonomyTest, BadParentFails) {
+  Taxonomy tax;
+  ASSERT_TRUE(tax.AddRoot({1}).ok());
+  auto r = tax.AddNode(99, {2});
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(TaxonomyTest, DuplicateEntityNamesBothFound) {
+  Taxonomy tax;
+  ASSERT_TRUE(tax.AddRoot({7}).ok());
+  ASSERT_TRUE(tax.AddNode(0, {5}).ok());
+  ASSERT_TRUE(tax.AddNode(0, {5}).ok());
+  uint32_t q[] = {5};
+  EXPECT_EQ(tax.FindEntity(TokenSpan(q, 1)).size(), 2u);
+}
+
+TEST(TaxonomyTest, DeepChainLca) {
+  Taxonomy tax;
+  ASSERT_TRUE(tax.AddRoot({0}).ok());
+  NodeId prev = 0;
+  for (TokenId i = 1; i <= 20; ++i) {
+    prev = tax.AddNode(prev, {i}).value();
+  }
+  EXPECT_EQ(tax.Depth(prev), 21);
+  EXPECT_EQ(tax.Lca(prev, 0), 0u);
+  EXPECT_NEAR(tax.Similarity(prev, tax.Parent(prev)), 20.0 / 21.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace aujoin

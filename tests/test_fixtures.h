@@ -1,0 +1,101 @@
+#ifndef AUJOIN_TESTS_TEST_FIXTURES_H_
+#define AUJOIN_TESTS_TEST_FIXTURES_H_
+
+#include <initializer_list>
+#include <string>
+#include <vector>
+
+#include "core/knowledge.h"
+#include "core/record.h"
+#include "synonym/rule_set.h"
+#include "taxonomy/taxonomy.h"
+#include "text/vocabulary.h"
+
+namespace aujoin {
+
+/// Shared test world reproducing Figure 1 of the paper:
+/// taxonomy  wikipedia -> food -> {coffee -> coffee drinks -> {latte,
+///           espresso}, cake -> apple cake}
+/// synonyms  "coffee shop" -> "cafe", "cake" -> "gateau"
+/// strings   S = "coffee shop latte helsingki",
+///           T = "espresso cafe helsinki"
+class Figure1World {
+ public:
+  Figure1World() {
+    auto name = [&](std::initializer_list<const char*> words) {
+      std::vector<TokenId> ids;
+      for (const char* w : words) ids.push_back(vocab.Intern(w));
+      return ids;
+    };
+    root = taxonomy.AddRoot(name({"wikipedia"})).value();
+    food = taxonomy.AddNode(root, name({"food"})).value();
+    coffee = taxonomy.AddNode(food, name({"coffee"})).value();
+    drinks = taxonomy.AddNode(coffee, name({"coffee", "drinks"})).value();
+    latte = taxonomy.AddNode(drinks, name({"latte"})).value();
+    espresso = taxonomy.AddNode(drinks, name({"espresso"})).value();
+    cake = taxonomy.AddNode(food, name({"cake"})).value();
+    apple_cake = taxonomy.AddNode(cake, name({"apple", "cake"})).value();
+
+    rule_cafe =
+        rules.AddRule(name({"coffee", "shop"}), name({"cafe"}), 1.0).value();
+    rule_gateau = rules.AddRule(name({"cake"}), name({"gateau"}), 1.0).value();
+  }
+
+  Knowledge knowledge() const {
+    Knowledge k;
+    k.vocab = &vocab;
+    k.rules = &rules;
+    k.taxonomy = &taxonomy;
+    return k;
+  }
+
+  Record MakeRec(uint32_t id, const std::string& text) {
+    return MakeRecord(id, text, &vocab);
+  }
+
+  Vocabulary vocab;
+  Taxonomy taxonomy;
+  RuleSet rules;
+  NodeId root, food, coffee, drinks, latte, espresso, cake, apple_cake;
+  RuleId rule_cafe, rule_gateau;
+};
+
+/// The synthetic instance of Example 5 / Figure 2: tokenised strings
+/// S = {a,b,c,d,e}, T = {f,g,h} and rules R1..R6 with the figure's vertex
+/// weights as closenesses.
+class Example5World {
+ public:
+  Example5World() {
+    auto name = [&](std::initializer_list<const char*> words) {
+      std::vector<TokenId> ids;
+      for (const char* w : words) ids.push_back(vocab.Intern(w));
+      return ids;
+    };
+    r1 = rules.AddRule(name({"b", "c", "d"}), name({"f"}), 0.30).value();
+    r2 = rules.AddRule(name({"b", "c"}), name({"f", "g"}), 0.13).value();
+    r3 = rules.AddRule(name({"c", "d"}), name({"f", "g"}), 0.22).value();
+    r4 = rules.AddRule(name({"a"}), name({"g"}), 0.09).value();
+    r5 = rules.AddRule(name({"d"}), name({"h"}), 0.27).value();
+    r6 = rules.AddRule(name({"z", "e", "f"}), name({"g"}), 0.5).value();
+    s = MakeRecord(0, "a b c d e", &vocab);
+    t = MakeRecord(1, "f g h", &vocab);
+  }
+
+  Knowledge knowledge() const {
+    Knowledge k;
+    k.vocab = &vocab;
+    k.rules = &rules;
+    k.taxonomy = &taxonomy;  // empty
+    return k;
+  }
+
+  Vocabulary vocab;
+  Taxonomy taxonomy;
+  RuleSet rules;
+  RuleId r1, r2, r3, r4, r5, r6;
+  Record s, t;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_TESTS_TEST_FIXTURES_H_

@@ -1,0 +1,156 @@
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/edits.h"
+#include "text/qgram.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+#include "util/rng.h"
+
+namespace aujoin {
+namespace {
+
+TEST(VocabularyTest, InternIsIdempotent) {
+  Vocabulary vocab;
+  TokenId a = vocab.Intern("coffee");
+  TokenId b = vocab.Intern("coffee");
+  EXPECT_EQ(a, b);
+  EXPECT_EQ(vocab.size(), 1u);
+  EXPECT_EQ(vocab.Spelling(a), "coffee");
+}
+
+TEST(VocabularyTest, FindWithoutIntern) {
+  Vocabulary vocab;
+  vocab.Intern("espresso");
+  EXPECT_NE(vocab.Find("espresso"), Vocabulary::kNotFound);
+  EXPECT_EQ(vocab.Find("latte"), Vocabulary::kNotFound);
+}
+
+TEST(VocabularyTest, RenderJoinsWithSpaces) {
+  Vocabulary vocab;
+  auto ids = vocab.InternAll({"coffee", "shop"});
+  EXPECT_EQ(vocab.Render(TokenSpan(ids.data(), ids.size())), "coffee shop");
+}
+
+TEST(TokenizerTest, SplitsOnWhitespaceAndLowercases) {
+  Vocabulary vocab;
+  auto ids = Tokenize("Coffee  Shop\tLatte", &vocab);
+  ASSERT_EQ(ids.size(), 3u);
+  EXPECT_EQ(vocab.Spelling(ids[0]), "coffee");
+  EXPECT_EQ(vocab.Spelling(ids[2]), "latte");
+}
+
+TEST(TokenizerTest, KeepsCaseWhenAsked) {
+  TokenizerOptions opts;
+  opts.lowercase = false;
+  auto tokens = TokenizeToStrings("Coffee Shop", opts);
+  ASSERT_EQ(tokens.size(), 2u);
+  EXPECT_EQ(tokens[0], "Coffee");
+}
+
+TEST(TokenizerTest, PunctuationSplitting) {
+  TokenizerOptions opts;
+  opts.split_punctuation = true;
+  auto tokens = TokenizeToStrings("coffee,shop.latte", opts);
+  ASSERT_EQ(tokens.size(), 3u);
+  EXPECT_EQ(tokens[1], "shop");
+}
+
+TEST(TokenizerTest, EmptyInput) {
+  EXPECT_TRUE(TokenizeToStrings("").empty());
+  EXPECT_TRUE(TokenizeToStrings("   \t\n").empty());
+}
+
+TEST(QGramTest, PaperExample2GramCounts) {
+  // Example 2: G("Helsingki", 2) has 8 grams, G("Helsinki", 2) has 7.
+  EXPECT_EQ(QGrams("helsingki", 2).size(), 8u);
+  EXPECT_EQ(QGrams("helsinki", 2).size(), 7u);
+}
+
+TEST(QGramTest, PaperExample2Jaccard) {
+  // Example 2: sim_j(Helsingki, Helsinki) = 6/9 = 2/3.
+  EXPECT_NEAR(JaccardQGram("helsingki", "helsinki", 2), 2.0 / 3.0, 1e-12);
+}
+
+TEST(QGramTest, Figure1JaccardValue) {
+  // Figure 1 reports (Helsingki, Helsinki) = 0.875 with q=1-style counts;
+  // our canonical q=2 gives 2/3 (Example 2). Check q=1 for the figure.
+  double q1 = JaccardQGram("helsingki", "helsinki", 1);
+  EXPECT_NEAR(q1, 0.875, 1e-12);
+}
+
+TEST(QGramTest, DuplicateGramsCollapse) {
+  // "aaaa" has a single distinct 2-gram "aa".
+  EXPECT_EQ(QGrams("aaaa", 2).size(), 1u);
+}
+
+TEST(QGramTest, ShortStringYieldsSelf) {
+  auto g = QGrams("a", 2);
+  ASSERT_EQ(g.size(), 1u);
+  EXPECT_EQ(g[0], "a");
+}
+
+TEST(QGramTest, IdenticalStringsJaccardOne) {
+  EXPECT_DOUBLE_EQ(JaccardQGram("espresso", "espresso", 2), 1.0);
+}
+
+TEST(QGramTest, DisjointStringsJaccardZero) {
+  EXPECT_DOUBLE_EQ(JaccardQGram("abab", "cdcd", 2), 0.0);
+}
+
+TEST(QGramTest, EmptyBothIsOne) {
+  EXPECT_DOUBLE_EQ(JaccardQGram("", "", 2), 1.0);
+}
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("", "abc"), 3);
+  EXPECT_EQ(EditDistance("abc", "abc"), 0);
+  EXPECT_EQ(EditDistance("helsingki", "helsinki"), 1);
+}
+
+TEST(ApplyTyposTest, ProducesBoundedEditDistance) {
+  Rng rng(13);
+  for (int trial = 0; trial < 200; ++trial) {
+    std::string word = "espresso";
+    std::string typo = ApplyTypos(word, 1, &rng);
+    // One edit op is at most edit distance 2 (transpose).
+    EXPECT_LE(EditDistance(word, typo), 2);
+    EXPECT_FALSE(typo.empty());
+  }
+}
+
+TEST(ApplyTyposTest, ZeroEditsIsIdentity) {
+  Rng rng(17);
+  EXPECT_EQ(ApplyTypos("latte", 0, &rng), "latte");
+}
+
+class QGramPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QGramPropertyTest, JaccardIsSymmetricAndBounded) {
+  int q = GetParam();
+  Rng rng(100 + q);
+  const std::string alphabet = "abcdef";
+  for (int trial = 0; trial < 50; ++trial) {
+    std::string a, b;
+    for (int i = rng.Uniform(0, 12); i > 0; --i) {
+      a += alphabet[rng.Uniform(0, 5)];
+    }
+    for (int i = rng.Uniform(0, 12); i > 0; --i) {
+      b += alphabet[rng.Uniform(0, 5)];
+    }
+    double ab = JaccardQGram(a, b, q);
+    double ba = JaccardQGram(b, a, q);
+    EXPECT_DOUBLE_EQ(ab, ba);
+    EXPECT_GE(ab, 0.0);
+    EXPECT_LE(ab, 1.0);
+    EXPECT_DOUBLE_EQ(JaccardQGram(a, a, q), 1.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Qs, QGramPropertyTest, ::testing::Values(1, 2, 3, 4));
+
+}  // namespace
+}  // namespace aujoin

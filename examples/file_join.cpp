@@ -1,25 +1,29 @@
 // File-driven workflow: join your own data with your own knowledge
 // sources. Reads a taxonomy TSV, a synonym-rule TSV and a strings file
-// (one record per line), runs the unified self-join, and writes matched
-// pairs to an output TSV.
+// (one record per line), runs a self-join through the Engine facade, and
+// streams matched pairs straight to an output TSV — no in-memory result
+// vector, demonstrating the MatchSink streaming path.
 //
 //   ./file_join --taxonomy=tax.tsv --rules=rules.tsv --strings=data.txt \
-//               --out=pairs.tsv [--theta=0.8] [--tau=0] [--threads=0]
+//               --out=pairs.tsv [--theta=0.8] [--tau=0] [--threads=0] \
+//               [--algorithm=unified]
 //
 // With --tau=0 the overlap constraint is chosen by Algorithm 7.
-// Run without arguments to see the demo: it generates a small world,
-// saves it to temporary files, and joins from those files — exercising
-// the exact path an adopter would use.
+// --algorithm accepts any registry name (unified, kjoin, pkduck,
+// adaptjoin, combination). Run without arguments to see the demo: it
+// generates a small world, saves it to temporary files, and joins from
+// those files — exercising the exact path an adopter would use.
 
 #include <cstdio>
+#include <fstream>
 #include <string>
 
+#include "api/engine.h"
 #include "datagen/corpus_gen.h"
 #include "datagen/synonym_gen.h"
 #include "datagen/taxonomy_gen.h"
 #include "synonym/rule_io.h"
 #include "taxonomy/taxonomy_io.h"
-#include "tuner/recommend.h"
 #include "util/flags.h"
 #include "util/io.h"
 
@@ -54,6 +58,7 @@ int main(int argc, char** argv) {
   double theta = flags.GetDouble("theta", 0.8);
   int tau = static_cast<int>(flags.GetInt("tau", 0));
   int threads = static_cast<int>(flags.GetInt("threads", 0));
+  std::string algorithm = flags.GetString("algorithm", "unified");
 
   if (tax_path.empty() || rule_path.empty() || strings_path.empty()) {
     std::printf("no input files given; running the self-contained demo\n");
@@ -85,48 +90,75 @@ int main(int argc, char** argv) {
               taxonomy->num_nodes(), rules->num_rules(), records.size());
 
   Knowledge knowledge{&vocab, &*rules, &*taxonomy};
-  JoinContext context(knowledge, MsimOptions{.q = 3});
-  context.Prepare(records, nullptr);
+  Engine engine = EngineBuilder()
+                      .SetKnowledge(knowledge)
+                      .SetMeasures("TJS")
+                      .SetQ(3)
+                      .SetThreads(threads)
+                      .Build();
+  engine.SetRecords(records);
 
-  JoinOptions options;
+  EngineJoinOptions options;
   options.theta = theta;
   options.method = FilterMethod::kAuDp;
-  options.num_threads = threads;
 
-  JoinResult result;
-  if (tau <= 0) {
+  std::ofstream out(out_path);
+  if (!out) {
+    std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  out << "# id_a\tid_b\ttext_a\ttext_b\n";
+
+  // Pairs are written as their verification batch completes — the full
+  // result is never materialised in memory.
+  uint64_t written = 0;
+  CallbackSink tsv_sink([&](uint32_t a, uint32_t b) {
+    out << a << '\t' << b << '\t' << records[a].text << '\t'
+        << records[b].text << '\n';
+    ++written;
+    return true;
+  });
+
+  JoinStats stats;
+  if (tau <= 0 && algorithm == "unified") {
     TunerOptions tuner;
     tuner.theta = theta;
     tuner.method = FilterMethod::kAuDp;
     tuner.sample_prob_s = 0.05;
     TauRecommendation rec;
-    result = JoinWithSuggestedTau(context, options, tuner, &rec);
+    Result<JoinResult> result =
+        engine.JoinWithSuggestedTau(options, tuner, &rec);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
     std::printf("Algorithm 7 suggested tau=%d (%.3fs)\n", rec.best_tau,
                 rec.seconds);
+    for (const auto& [a, b] : result->pairs) tsv_sink.OnMatch(a, b);
+    stats = result->stats;
   } else {
-    options.tau = tau;
-    result = UnifiedJoin(context, options);
+    options.tau = tau > 0 ? tau : 1;
+    Result<JoinStats> run = engine.Join(algorithm, options, &tsv_sink);
+    if (!run.ok()) {
+      std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    stats = *run;
   }
 
-  std::printf("join: %zu pairs (processed=%llu candidates=%llu) "
-              "filter=%.3fs verify=%.3fs\n",
-              result.pairs.size(),
-              static_cast<unsigned long long>(result.stats.processed_pairs),
-              static_cast<unsigned long long>(result.stats.candidates),
-              result.stats.signature_seconds + result.stats.filter_seconds,
-              result.stats.verify_seconds);
-
-  std::vector<std::string> out_lines;
-  out_lines.push_back("# id_a\tid_b\ttext_a\ttext_b");
-  for (const auto& [a, b] : result.pairs) {
-    out_lines.push_back(std::to_string(a) + "\t" + std::to_string(b) + "\t" +
-                        records[a].text + "\t" + records[b].text);
-  }
-  Status st = WriteLines(out_path, out_lines);
-  if (!st.ok()) {
-    std::fprintf(stderr, "error: %s\n", st.ToString().c_str());
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: failed writing %s\n", out_path.c_str());
     return 1;
   }
+  std::printf("join[%s]: %llu pairs (processed=%llu candidates=%llu) "
+              "filter=%.3fs verify=%.3fs\n",
+              algorithm.c_str(), static_cast<unsigned long long>(written),
+              static_cast<unsigned long long>(stats.processed_pairs),
+              static_cast<unsigned long long>(stats.candidates),
+              stats.signature_seconds + stats.filter_seconds,
+              stats.verify_seconds);
   std::printf("wrote %s\n", out_path.c_str());
   return 0;
 }

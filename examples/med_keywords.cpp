@@ -8,10 +8,10 @@
 
 #include <cstdio>
 
+#include "api/engine.h"
 #include "datagen/corpus_gen.h"
 #include "datagen/synonym_gen.h"
 #include "datagen/taxonomy_gen.h"
-#include "join/join.h"
 #include "util/flags.h"
 
 using namespace aujoin;
@@ -36,20 +36,26 @@ int main(int argc, char** argv) {
   std::printf("%-8s | %6s %6s %6s | %10s %10s\n", "measures", "P", "R", "F",
               "pairs", "time_s");
   for (const char* combo : {"J", "T", "S", "JS", "TJ", "TS", "TJS"}) {
-    MsimOptions msim;
-    msim.q = 3;
-    msim.measures = ParseMeasures(combo);
-    JoinContext context(knowledge, msim);
-    context.Prepare(corpus.records, nullptr);
-    JoinOptions options;
+    Engine engine = EngineBuilder()
+                        .SetKnowledge(knowledge)
+                        .SetMeasures(combo)
+                        .SetQ(3)
+                        .Build();
+    engine.SetRecords(corpus.records);
+    EngineJoinOptions options;
     options.theta = theta;
     options.tau = 2;
     options.method = FilterMethod::kAuDp;
-    JoinResult result = UnifiedJoin(context, options);
-    PrfScore score = ComputePrf(result.pairs, corpus.truth_pairs);
+    Result<JoinResult> result = engine.Join("unified", options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    PrfScore score = ComputePrf(result->pairs, corpus.truth_pairs);
     std::printf("%-8s | %6.2f %6.2f %6.2f | %10zu %10.3f\n", combo,
                 score.precision, score.recall, score.f_measure,
-                result.pairs.size(), result.stats.TotalSeconds());
+                result->pairs.size(), result->stats.TotalSeconds());
   }
 
   std::printf("\nExpected: each single measure misses the pairs whose edits "

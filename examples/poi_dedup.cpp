@@ -12,10 +12,10 @@
 #include <numeric>
 #include <vector>
 
+#include "api/engine.h"
 #include "datagen/corpus_gen.h"
 #include "datagen/synonym_gen.h"
 #include "datagen/taxonomy_gen.h"
-#include "tuner/recommend.h"
 #include "util/flags.h"
 
 using namespace aujoin;
@@ -53,10 +53,15 @@ int main(int argc, char** argv) {
   std::printf("POI collection: %zu records (%zu injected duplicates)\n",
               corpus.records.size(), corpus.truth_pairs.size());
 
-  // Join with the recommended overlap constraint.
-  JoinContext context(knowledge, MsimOptions{.q = 3});
-  context.Prepare(corpus.records, nullptr);
-  JoinOptions options;
+  // Join with the recommended overlap constraint, via the facade's tuner
+  // path (Algorithm 7 picks tau on the engine's prepared context).
+  Engine engine = EngineBuilder()
+                      .SetKnowledge(knowledge)
+                      .SetMeasures("TJS")
+                      .SetQ(3)
+                      .Build();
+  engine.SetRecords(corpus.records);
+  EngineJoinOptions options;
   options.theta = theta;
   options.method = FilterMethod::kAuDp;
   TunerOptions tuner;
@@ -64,7 +69,13 @@ int main(int argc, char** argv) {
   tuner.method = FilterMethod::kAuDp;
   tuner.sample_prob_s = 0.05;
   TauRecommendation rec;
-  JoinResult result = JoinWithSuggestedTau(context, options, tuner, &rec);
+  Result<JoinResult> joined =
+      engine.JoinWithSuggestedTau(options, tuner, &rec);
+  if (!joined.ok()) {
+    std::fprintf(stderr, "error: %s\n", joined.status().ToString().c_str());
+    return 1;
+  }
+  const JoinResult& result = *joined;
 
   std::printf("suggested tau=%d (%d sampling iterations, %.3fs)\n",
               rec.best_tau, rec.iterations, rec.seconds);

@@ -1,16 +1,23 @@
 // Quickstart: the paper's Figure 1 example, end to end.
 //
 // Builds a tiny taxonomy and synonym dictionary, computes the unified
-// similarity of two POI strings with Algorithm 1, and runs a similarity
-// self-join over a handful of records.
+// similarity of two POI strings with Algorithm 1, and runs similarity
+// self-joins through the Engine facade — the canonical entry point:
+//
+//   Engine engine = EngineBuilder().SetKnowledge(k).Build();
+//   engine.SetRecords(records);
+//   engine.Join("unified", {.theta = 0.7}, &sink);
+//
+// Any registered algorithm (see AlgorithmRegistry::Global().Names())
+// runs through the same call.
 //
 //   ./quickstart
 
 #include <cstdio>
 #include <vector>
 
+#include "api/engine.h"
 #include "core/usim.h"
-#include "join/join.h"
 
 using namespace aujoin;
 
@@ -50,7 +57,7 @@ int main() {
   std::printf("USIM(\"%s\", \"%s\") = %.3f   (paper: 0.892)\n",
               s.text.c_str(), t.text.c_str(), computer.Approx(s, t));
 
-  // 3. A small unified similarity self-join.
+  // 3. A small self-join through the Engine facade.
   std::vector<Record> pois;
   const char* texts[] = {
       "coffee shop latte helsingki", "espresso cafe helsinki",
@@ -60,22 +67,43 @@ int main() {
     pois.push_back(MakeRecord(i, texts[i], &vocab));
   }
 
-  JoinContext context(knowledge, MsimOptions{.q = 1});
-  context.Prepare(pois, nullptr);
-  JoinOptions join_options;
+  Engine engine = EngineBuilder()
+                      .SetKnowledge(knowledge)
+                      .SetMeasures("TJS")
+                      .SetQ(1)
+                      .Build();
+  engine.SetRecords(pois);
+
+  EngineJoinOptions join_options;
   join_options.theta = 0.7;
   join_options.tau = 2;
   join_options.method = FilterMethod::kAuDp;
-  JoinResult result = UnifiedJoin(context, join_options);
+  Result<JoinResult> result = engine.Join("unified", join_options);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf("\nself-join at theta=%.2f found %zu pairs "
               "(candidates=%llu, processed=%llu):\n",
-              join_options.theta, result.pairs.size(),
-              static_cast<unsigned long long>(result.stats.candidates),
-              static_cast<unsigned long long>(result.stats.processed_pairs));
-  for (const auto& [a, b] : result.pairs) {
+              join_options.theta, result->pairs.size(),
+              static_cast<unsigned long long>(result->stats.candidates),
+              static_cast<unsigned long long>(result->stats.processed_pairs));
+  for (const auto& [a, b] : result->pairs) {
     std::printf("  \"%s\"  <->  \"%s\"\n", pois[a].text.c_str(),
                 pois[b].text.c_str());
+  }
+
+  // 4. The same corpus through every registered algorithm: one facade,
+  // five algorithms (plus anything registered by extensions). Streaming
+  // sinks mean nothing is materialised unless you ask for it.
+  std::printf("\npairs found per registered algorithm at theta=0.7:\n");
+  for (const std::string& algo : AlgorithmRegistry::Global().Names()) {
+    CountingSink counter;
+    Result<JoinStats> stats = engine.Join(algo, join_options, &counter);
+    if (!stats.ok()) continue;
+    std::printf("  %-12s %llu\n", algo.c_str(),
+                static_cast<unsigned long long>(counter.count()));
   }
   return 0;
 }

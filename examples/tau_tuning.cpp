@@ -8,10 +8,10 @@
 
 #include <cstdio>
 
+#include "api/engine.h"
 #include "datagen/corpus_gen.h"
 #include "datagen/synonym_gen.h"
 #include "datagen/taxonomy_gen.h"
-#include "tuner/recommend.h"
 #include "util/flags.h"
 #include "util/stats.h"
 #include "util/timer.h"
@@ -32,8 +32,15 @@ int main(int argc, char** argv) {
   Corpus corpus =
       gen.Generate(CorpusProfile::Med(n), {.num_pairs = n / 8});
 
-  JoinContext context(knowledge, MsimOptions{.q = 3});
-  context.Prepare(corpus.records, nullptr);
+  // The engine owns the prepared context; the tracing loop below drives
+  // the filter stage on it directly (what PreparedContext() is for).
+  Engine engine = EngineBuilder()
+                      .SetKnowledge(knowledge)
+                      .SetMeasures("TJS")
+                      .SetQ(3)
+                      .Build();
+  engine.SetRecords(corpus.records);
+  JoinContext& context = engine.PreparedContext();
   JoinOptions join_opts;
   join_opts.theta = theta;
   join_opts.method = FilterMethod::kAuHeuristic;
@@ -99,13 +106,21 @@ int main(int argc, char** argv) {
   }
   if (chosen < 0) std::printf("hit the iteration cap without convergence\n");
 
-  // Validate against the true join times.
+  // Validate against the true join times, through the facade.
   std::printf("\nvalidation (full joins):\n%-6s %12s\n", "tau", "time_s");
   for (int64_t tau : universe) {
-    JoinOptions options = join_opts;
+    EngineJoinOptions options;
+    options.theta = theta;
+    options.method = FilterMethod::kAuHeuristic;
     options.tau = static_cast<int>(tau);
+    CountingSink sink;
     WallTimer timer;
-    UnifiedJoin(context, options);
+    Result<JoinStats> run = engine.Join("unified", options, &sink);
+    if (!run.ok()) {
+      std::printf("%-6lld %12s  %s\n", static_cast<long long>(tau), "err",
+                  run.status().ToString().c_str());
+      continue;
+    }
     std::printf("%-6lld %12.3f%s\n", static_cast<long long>(tau),
                 timer.Seconds(),
                 chosen == static_cast<int>(tau) ? "   <= suggested" : "");

@@ -1,0 +1,108 @@
+#include "api/engine.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <utility>
+
+namespace aujoin {
+
+void Engine::SetRecords(const std::vector<Record>& s,
+                        const std::vector<Record>* t) {
+  s_records_ = &s;
+  t_records_ = (t == &s) ? nullptr : t;
+  context_.reset();
+}
+
+JoinContext& Engine::PreparedContext() {
+  if (s_records_ == nullptr) {
+    // Returning a reference leaves no status channel; fail loudly rather
+    // than dereferencing null inside Prepare().
+    std::fprintf(stderr,
+                 "Engine::PreparedContext() called before SetRecords()\n");
+    std::abort();
+  }
+  if (context_ == nullptr) {
+    context_ =
+        std::make_unique<JoinContext>(options_.knowledge, options_.msim);
+    context_->Prepare(*s_records_, t_records_);
+  }
+  return *context_;
+}
+
+AlgorithmContext Engine::MakeAlgorithmContext() {
+  AlgorithmContext ctx;
+  ctx.knowledge = &options_.knowledge;
+  ctx.s_records = s_records_;
+  ctx.t_records = t_records_;
+  ctx.msim = options_.msim;
+  ctx.num_threads = options_.num_threads;
+  ctx.cache_evict_threshold = options_.cache_evict_threshold;
+  ctx.stream_batch_size = options_.stream_batch_size;
+  ctx.unified_context = [this]() -> JoinContext& {
+    return PreparedContext();
+  };
+  return ctx;
+}
+
+Result<JoinStats> Engine::Join(const std::string& algorithm,
+                               const EngineJoinOptions& options,
+                               MatchSink* sink) {
+  if (s_records_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Engine::Join called before SetRecords()");
+  }
+  if (sink == nullptr) {
+    return Status::InvalidArgument("Engine::Join requires a sink");
+  }
+  std::unique_ptr<JoinAlgorithm> algo =
+      AlgorithmRegistry::Global().Create(algorithm);
+  if (algo == nullptr) {
+    std::string known;
+    for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+      if (!known.empty()) known += ", ";
+      known += name;
+    }
+    return Status::NotFound("unknown join algorithm '" + algorithm +
+                            "' (registered: " + known + ")");
+  }
+  if (t_records_ != nullptr && !algo->SupportsRsJoin()) {
+    return Status::InvalidArgument("algorithm '" + algorithm +
+                                   "' supports self-joins only");
+  }
+  AlgorithmContext ctx = MakeAlgorithmContext();
+  JoinStats stats;
+  AUJOIN_RETURN_NOT_OK(algo->Run(ctx, options, sink, &stats));
+  return stats;
+}
+
+Result<JoinResult> Engine::Join(const std::string& algorithm,
+                                const EngineJoinOptions& options) {
+  CollectingSink sink;
+  Result<JoinStats> stats = Join(algorithm, options, &sink);
+  if (!stats.ok()) return stats.status();
+  JoinResult result;
+  result.pairs = std::move(sink.pairs);
+  result.stats = *stats;
+  return result;
+}
+
+Result<JoinResult> Engine::JoinWithSuggestedTau(
+    const EngineJoinOptions& options, const TunerOptions& tuner_options,
+    TauRecommendation* recommendation) {
+  if (s_records_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Engine::JoinWithSuggestedTau called before SetRecords()");
+  }
+  JoinOptions join_options;
+  join_options.theta = options.theta;
+  join_options.tau = options.tau;
+  join_options.method = options.method;
+  join_options.exact_min_partition = options.exact_min_partition;
+  join_options.usim = options.usim;
+  join_options.cache_evict_threshold = options_.cache_evict_threshold;
+  join_options.num_threads = options_.num_threads;
+  return aujoin::JoinWithSuggestedTau(PreparedContext(), join_options,
+                                      tuner_options, recommendation);
+}
+
+}  // namespace aujoin

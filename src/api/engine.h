@@ -1,0 +1,141 @@
+#ifndef AUJOIN_API_ENGINE_H_
+#define AUJOIN_API_ENGINE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "api/join_algorithm.h"
+#include "api/match_sink.h"
+#include "api/registry.h"
+#include "core/knowledge.h"
+#include "core/measures.h"
+#include "core/record.h"
+#include "join/join.h"
+#include "tuner/recommend.h"
+#include "util/status.h"
+
+namespace aujoin {
+
+/// Engine-level configuration assembled by EngineBuilder: the knowledge
+/// sources and measure selection shared by every join the engine runs,
+/// plus threading and memory policy.
+struct EngineOptions {
+  Knowledge knowledge;
+  /// Measures + q shared by filtering and verification.
+  MsimOptions msim;
+  /// Worker threads for every stage (1 = serial, 0 = all hardware
+  /// threads) — one policy across the unified join and all baselines.
+  int num_threads = 1;
+  /// Verification gram-cache eviction threshold (entries).
+  size_t cache_evict_threshold = 500000;
+  /// Candidate pairs verified per streaming flush to a MatchSink.
+  size_t stream_batch_size = 4096;
+};
+
+/// The unified facade over every join algorithm in the registry.
+///
+///   Engine engine = EngineBuilder()
+///                       .SetKnowledge(knowledge)
+///                       .SetMeasures("TJS")
+///                       .SetQ(3)
+///                       .SetThreads(0)
+///                       .Build();
+///   engine.SetRecords(records);
+///   CollectingSink sink;
+///   auto stats = engine.Join("unified", {.theta = 0.8, .tau = 2}, &sink);
+///
+/// The engine owns the prepared unified-join context (pebbles + global
+/// order), builds it lazily on first use, and reuses it across runs, so
+/// sweeping (theta, tau, algorithm) pays preparation once. Records are
+/// borrowed, not copied; they must outlive the engine's use of them.
+class Engine {
+ public:
+  explicit Engine(EngineOptions options) : options_(std::move(options)) {}
+
+  /// Binds the collection(s) to join. Pass `t == nullptr` for a
+  /// self-join. Invalidates any prepared context.
+  void SetRecords(const std::vector<Record>& s,
+                  const std::vector<Record>* t = nullptr);
+
+  /// Runs `algorithm` (a registry name — see AlgorithmRegistry) and
+  /// streams every matching pair to `sink` in ascending (first, second)
+  /// order. Returns the normalized stats, or an error when the name is
+  /// unknown, no records are bound, or the algorithm cannot handle the
+  /// bound record shape (baselines are self-join only).
+  Result<JoinStats> Join(const std::string& algorithm,
+                         const EngineJoinOptions& options, MatchSink* sink);
+
+  /// Collecting convenience: same as above with a CollectingSink, packed
+  /// into the classic JoinResult shape.
+  Result<JoinResult> Join(const std::string& algorithm,
+                          const EngineJoinOptions& options);
+
+  /// The tuner path: lets Algorithm 7 pick the overlap constraint tau on
+  /// the engine's prepared context, then runs the unified join with it.
+  /// Suggestion time is reported in stats.suggest_seconds.
+  Result<JoinResult> JoinWithSuggestedTau(
+      const EngineJoinOptions& options, const TunerOptions& tuner_options,
+      TauRecommendation* recommendation = nullptr);
+
+  /// The lazily-prepared unified JoinContext (pebbles + global order) for
+  /// the bound records. Exposed for benches/tuners that drive the filter
+  /// stage directly.
+  JoinContext& PreparedContext();
+
+  const EngineOptions& options() const { return options_; }
+  bool has_records() const { return s_records_ != nullptr; }
+
+ private:
+  AlgorithmContext MakeAlgorithmContext();
+
+  EngineOptions options_;
+  const std::vector<Record>* s_records_ = nullptr;
+  const std::vector<Record>* t_records_ = nullptr;
+  std::unique_ptr<JoinContext> context_;
+};
+
+/// Fluent construction of an Engine; every setter has a sensible default
+/// (all measures, q = 2, serial execution).
+class EngineBuilder {
+ public:
+  EngineBuilder& SetKnowledge(const Knowledge& knowledge) {
+    options_.knowledge = knowledge;
+    return *this;
+  }
+  /// Measure-combination string: "J", "TS", "TJS", ... (ParseMeasures).
+  EngineBuilder& SetMeasures(const std::string& spec) {
+    options_.msim.measures = ParseMeasures(spec);
+    return *this;
+  }
+  EngineBuilder& SetQ(int q) {
+    options_.msim.q = q;
+    return *this;
+  }
+  /// Full msim control (gram measure, exact-match bit, ...).
+  EngineBuilder& SetMsimOptions(const MsimOptions& msim) {
+    options_.msim = msim;
+    return *this;
+  }
+  EngineBuilder& SetThreads(int num_threads) {
+    options_.num_threads = num_threads;
+    return *this;
+  }
+  EngineBuilder& SetCacheEvictThreshold(size_t entries) {
+    options_.cache_evict_threshold = entries;
+    return *this;
+  }
+  EngineBuilder& SetStreamBatchSize(size_t pairs) {
+    options_.stream_batch_size = pairs;
+    return *this;
+  }
+
+  Engine Build() const { return Engine(options_); }
+
+ private:
+  EngineOptions options_;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_API_ENGINE_H_

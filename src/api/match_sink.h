@@ -1,0 +1,106 @@
+#ifndef AUJOIN_API_MATCH_SINK_H_
+#define AUJOIN_API_MATCH_SINK_H_
+
+#include <cstdint>
+#include <functional>
+#include <utility>
+#include <vector>
+
+#include "join/join.h"
+
+namespace aujoin {
+
+/// Streaming consumer of join results. Algorithms push each matching
+/// (first, second) pair as soon as its verification batch completes, so
+/// results no longer have to be fully materialised in one std::vector —
+/// a sink can count, write to disk, or feed a downstream operator with
+/// bounded memory. (The "unified" algorithm bounds peak result memory by
+/// its verification batch size; the baseline adapters wrap algorithms
+/// that materialise internally, so for them the sink bounds only the
+/// caller's copy.)
+///
+/// Contract (upheld by every registered JoinAlgorithm):
+///  - pairs arrive in ascending (first, second) order, each exactly once;
+///  - for self-joins, first < second;
+///  - OnMatch returning false requests early termination: the algorithm
+///    stops producing and returns with the stats accumulated so far.
+class MatchSink {
+ public:
+  virtual ~MatchSink() = default;
+
+  /// One matching pair. Return false to stop the join early.
+  virtual bool OnMatch(uint32_t first, uint32_t second) = 0;
+};
+
+/// Collects everything into a vector — the backward-compatible sink; its
+/// `pairs` is byte-for-byte what the pre-facade free functions returned.
+class CollectingSink final : public MatchSink {
+ public:
+  bool OnMatch(uint32_t first, uint32_t second) override {
+    pairs.emplace_back(first, second);
+    return true;
+  }
+
+  std::vector<std::pair<uint32_t, uint32_t>> pairs;
+};
+
+/// Adapts a callable; the callable's bool return follows the OnMatch
+/// contract.
+class CallbackSink final : public MatchSink {
+ public:
+  explicit CallbackSink(std::function<bool(uint32_t, uint32_t)> fn)
+      : fn_(std::move(fn)) {}
+
+  bool OnMatch(uint32_t first, uint32_t second) override {
+    return fn_(first, second);
+  }
+
+ private:
+  std::function<bool(uint32_t, uint32_t)> fn_;
+};
+
+/// Counts matches without storing them (cardinality-only workloads).
+/// With `limit` set, requests early termination once `limit` matches
+/// have been seen.
+class CountingSink final : public MatchSink {
+ public:
+  CountingSink() = default;
+  explicit CountingSink(uint64_t limit) : limit_(limit) {}
+
+  bool OnMatch(uint32_t /*first*/, uint32_t /*second*/) override {
+    ++count_;
+    return limit_ == 0 || count_ < limit_;
+  }
+
+  uint64_t count() const { return count_; }
+
+ private:
+  uint64_t count_ = 0;
+  uint64_t limit_ = 0;  // 0 = unlimited
+};
+
+/// Pull-style iteration over an already-collected result (the enumerator
+/// idiom): `while (e.Next(&p)) ...`. Does not own the vector.
+class PairEnumerator final {
+ public:
+  explicit PairEnumerator(
+      const std::vector<std::pair<uint32_t, uint32_t>>* pairs)
+      : pairs_(pairs) {}
+
+  void Reset() { pos_ = 0; }
+
+  bool Next(std::pair<uint32_t, uint32_t>* out) {
+    if (pairs_ == nullptr || pos_ >= pairs_->size()) return false;
+    if (out != nullptr) *out = (*pairs_)[pos_];
+    ++pos_;
+    return true;
+  }
+
+ private:
+  const std::vector<std::pair<uint32_t, uint32_t>>* pairs_ = nullptr;
+  size_t pos_ = 0;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_API_MATCH_SINK_H_

@@ -1,0 +1,46 @@
+#include "api/registry.h"
+
+namespace aujoin {
+
+AlgorithmRegistry& AlgorithmRegistry::Global() {
+  // Built-ins are registered through the passed pointer (not through
+  // Global()) so the static-local initialisation never re-enters itself.
+  static AlgorithmRegistry* instance = [] {
+    auto* registry = new AlgorithmRegistry();
+    RegisterBuiltinJoinAlgorithms(registry);
+    return registry;
+  }();
+  return *instance;
+}
+
+bool AlgorithmRegistry::Register(const std::string& name, Factory factory) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.emplace(name, std::move(factory)).second;
+}
+
+std::unique_ptr<JoinAlgorithm> AlgorithmRegistry::Create(
+    const std::string& name) const {
+  Factory factory;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = factories_.find(name);
+    if (it == factories_.end()) return nullptr;
+    factory = it->second;
+  }
+  return factory();
+}
+
+bool AlgorithmRegistry::Contains(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return factories_.count(name) > 0;
+}
+
+std::vector<std::string> AlgorithmRegistry::Names() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> names;
+  names.reserve(factories_.size());
+  for (const auto& [name, factory] : factories_) names.push_back(name);
+  return names;  // std::map iteration is already sorted
+}
+
+}  // namespace aujoin

@@ -1,0 +1,55 @@
+#ifndef AUJOIN_API_REGISTRY_H_
+#define AUJOIN_API_REGISTRY_H_
+
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "api/join_algorithm.h"
+
+namespace aujoin {
+
+/// String-keyed factory registry of join algorithms. The process-wide
+/// instance (`Global()`) always contains the built-in five — "unified",
+/// "kjoin", "pkduck", "adaptjoin", "combination" — and is open for
+/// extension: register a factory once at startup and every Engine (and
+/// registry-driven bench or test) can run it by name.
+///
+/// Thread-safe; factories must be callable concurrently.
+class AlgorithmRegistry {
+ public:
+  using Factory = std::function<std::unique_ptr<JoinAlgorithm>()>;
+
+  /// The process-wide registry, with built-ins pre-registered.
+  static AlgorithmRegistry& Global();
+
+  /// Registers `factory` under `name`. Returns false (and leaves the
+  /// existing entry) when the name is already taken.
+  bool Register(const std::string& name, Factory factory);
+
+  /// Instantiates the algorithm registered under `name`; nullptr when
+  /// unknown.
+  std::unique_ptr<JoinAlgorithm> Create(const std::string& name) const;
+
+  bool Contains(const std::string& name) const;
+
+  /// All registered names, sorted — the iteration order benches and
+  /// parity tests rely on.
+  std::vector<std::string> Names() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::string, Factory> factories_;
+};
+
+/// Registers the five built-in algorithms into `registry` (idempotent by
+/// construction: Register() refuses duplicates). Called automatically for
+/// Global(); exposed so tests can build isolated registries.
+void RegisterBuiltinJoinAlgorithms(AlgorithmRegistry* registry);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_API_REGISTRY_H_

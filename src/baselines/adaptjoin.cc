@@ -5,6 +5,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "baselines/parallel_verify.h"
 #include "text/qgram.h"
 #include "util/timer.h"
 
@@ -71,8 +72,10 @@ BaselineResult AdaptJoin::SelfJoin(const std::vector<Record>& records) const {
     });
   }
 
-  // One filter+verify pass with a given l over records [0, limit).
-  auto run = [&](int ell, size_t limit, bool emit,
+  // One filter pass with a given l over records [0, limit); candidate
+  // pairs are collected into `out` (when non-null) and verified later.
+  auto run = [&](int ell, size_t limit,
+                 std::vector<std::pair<uint32_t, uint32_t>>* out,
                  FilterCounts* counts) {
     std::unordered_map<uint32_t, std::vector<uint32_t>> index;
     std::unordered_map<uint32_t, int> seen;
@@ -99,9 +102,7 @@ BaselineResult AdaptJoin::SelfJoin(const std::vector<Record>& records) const {
           continue;
         }
         ++counts->candidates;
-        if (emit && JaccardIds(grams, gj) >= options_.theta) {
-          result.pairs.emplace_back(j, i);
-        }
+        if (out != nullptr) out->emplace_back(j, i);
       }
       for (size_t g = 0; g < p; ++g) index[grams[g]].push_back(i);
     }
@@ -115,7 +116,7 @@ BaselineResult AdaptJoin::SelfJoin(const std::vector<Record>& records) const {
   double best_cost = -1.0;
   for (int ell : options_.ell_candidates) {
     FilterCounts counts;
-    run(ell, sample, /*emit=*/false, &counts);
+    run(ell, sample, /*out=*/nullptr, &counts);
     double cost = static_cast<double>(counts.processed) +
                   32.0 * static_cast<double>(counts.candidates);
     if (best_cost < 0 || cost < best_cost) {
@@ -126,8 +127,21 @@ BaselineResult AdaptJoin::SelfJoin(const std::vector<Record>& records) const {
   chosen_ell_ = best_ell;
 
   FilterCounts counts;
-  run(best_ell, records.size(), /*emit=*/true, &counts);
+  std::vector<std::pair<uint32_t, uint32_t>> candidates;
+  run(best_ell, records.size(), &candidates, &counts);
   result.candidates = counts.candidates;
+  result.filter_seconds = timer.Seconds();
+
+  WallTimer verify_timer;
+  result.pairs = ParallelVerifyPairs(
+      candidates, options_.num_threads, [&](uint32_t a, uint32_t b) {
+        // Candidates are (indexed j, probing i); JaccardIds is asymmetric
+        // when grams repeat, so keep the probing record first as the
+        // fused filter+verify loop always did.
+        return JaccardIds(prepared[b].grams, prepared[a].grams) >=
+               options_.theta;
+      });
+  result.verify_seconds = verify_timer.Seconds();
   result.seconds = timer.Seconds();
   return result;
 }

@@ -21,6 +21,9 @@ struct AdaptJoinOptions {
   std::vector<int> ell_candidates = {1, 2, 3, 4};
   /// Records sampled for the cost estimate.
   size_t sample_size = 200;
+  /// Verification worker threads; follows JoinOptions::num_threads
+  /// semantics (1 = serial, 0 = all hardware threads).
+  int num_threads = 1;
 };
 
 class AdaptJoin {

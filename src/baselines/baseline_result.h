@@ -8,10 +8,16 @@
 namespace aujoin {
 
 /// Common output shape of the single-measure baseline joins (Section 5.5
-/// comparators): matched pairs + wall time + candidate count.
+/// comparators): matched pairs + wall time + candidate count. Pairs are
+/// deterministic: (first, second)-sorted with first < second, regardless
+/// of the verification thread count.
 struct BaselineResult {
   std::vector<std::pair<uint32_t, uint32_t>> pairs;
+  /// Total wall time, including the baseline's own index construction.
   double seconds = 0.0;
+  /// Breakdown: everything up to candidate generation vs. verification.
+  double filter_seconds = 0.0;
+  double verify_seconds = 0.0;
   uint64_t candidates = 0;
 };
 

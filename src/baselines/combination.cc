@@ -21,9 +21,15 @@ std::vector<std::pair<uint32_t, uint32_t>> UnionPairs(
 BaselineResult CombinationJoin(const Knowledge& knowledge,
                                const std::vector<Record>& records,
                                const CombinationOptions& options) {
-  KJoin kjoin(knowledge, options.kjoin);
-  AdaptJoin adaptjoin(options.adaptjoin);
-  PkduckJoin pkduck(knowledge, options.pkduck);
+  CombinationOptions opts = options;
+  if (options.num_threads >= 0) {
+    opts.kjoin.num_threads = options.num_threads;
+    opts.adaptjoin.num_threads = options.num_threads;
+    opts.pkduck.num_threads = options.num_threads;
+  }
+  KJoin kjoin(knowledge, opts.kjoin);
+  AdaptJoin adaptjoin(opts.adaptjoin);
+  PkduckJoin pkduck(knowledge, opts.pkduck);
 
   BaselineResult k = kjoin.SelfJoin(records);
   BaselineResult a = adaptjoin.SelfJoin(records);
@@ -32,6 +38,10 @@ BaselineResult CombinationJoin(const Knowledge& knowledge,
   BaselineResult out;
   out.pairs = UnionPairs({&k.pairs, &a.pairs, &p.pairs});
   out.seconds = k.seconds + a.seconds + p.seconds;
+  out.filter_seconds =
+      k.filter_seconds + a.filter_seconds + p.filter_seconds;
+  out.verify_seconds =
+      k.verify_seconds + a.verify_seconds + p.verify_seconds;
   out.candidates = k.candidates + a.candidates + p.candidates;
   return out;
 }

@@ -17,6 +17,9 @@ struct CombinationOptions {
   KJoinOptions kjoin;
   AdaptJoinOptions adaptjoin;
   PkduckOptions pkduck;
+  /// When >= 0, overrides the per-component num_threads so the whole
+  /// combination follows one thread policy (0 = all hardware threads).
+  int num_threads = -1;
 };
 
 BaselineResult CombinationJoin(const Knowledge& knowledge,

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "baselines/parallel_verify.h"
 #include "core/hungarian.h"
 #include "core/segment.h"
 #include "util/timer.h"
@@ -128,6 +129,7 @@ BaselineResult KJoin::SelfJoin(const std::vector<Record>& records) const {
     signature[i].assign(keys[i].begin(), keys[i].begin() + prefix);
   }
 
+  std::vector<std::pair<uint32_t, uint32_t>> candidates;
   for (uint32_t i = 0; i < records.size(); ++i) {
     std::unordered_map<uint32_t, int> seen;
     for (uint64_t k : signature[i]) {
@@ -135,14 +137,18 @@ BaselineResult KJoin::SelfJoin(const std::vector<Record>& records) const {
       if (it == index.end()) continue;
       for (uint32_t j : it->second) ++seen[j];
     }
-    for (const auto& [j, cnt] : seen) {
-      ++result.candidates;
-      if (Similarity(records[i], records[j]) >= options_.theta) {
-        result.pairs.emplace_back(j, i);
-      }
-    }
+    for (const auto& [j, cnt] : seen) candidates.emplace_back(j, i);
     for (uint64_t k : signature[i]) index[k].push_back(i);
   }
+  result.candidates = candidates.size();
+  result.filter_seconds = timer.Seconds();
+
+  WallTimer verify_timer;
+  result.pairs = ParallelVerifyPairs(
+      candidates, options_.num_threads, [&](uint32_t a, uint32_t b) {
+        return Similarity(records[a], records[b]) >= options_.theta;
+      });
+  result.verify_seconds = verify_timer.Seconds();
   result.seconds = timer.Seconds();
   return result;
 }

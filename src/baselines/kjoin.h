@@ -19,6 +19,9 @@ namespace aujoin {
 /// so that ancestor (plus rare leftover tokens) forms the signature.
 struct KJoinOptions {
   double theta = 0.8;
+  /// Verification worker threads; follows JoinOptions::num_threads
+  /// semantics (1 = serial, 0 = all hardware threads).
+  int num_threads = 1;
 };
 
 class KJoin {

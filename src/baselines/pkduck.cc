@@ -4,6 +4,7 @@
 #include <cmath>
 #include <unordered_map>
 
+#include "baselines/parallel_verify.h"
 #include "core/segment.h"
 #include "util/timer.h"
 
@@ -136,6 +137,7 @@ BaselineResult PkduckJoin::SelfJoin(
 
   std::unordered_map<TokenId, std::vector<uint32_t>> index;
   std::unordered_map<uint32_t, char> seen;
+  std::vector<std::pair<uint32_t, uint32_t>> candidates;
   for (uint32_t i = 0; i < records.size(); ++i) {
     std::vector<TokenId> sig = signature_of(i);
     seen.clear();
@@ -144,14 +146,18 @@ BaselineResult PkduckJoin::SelfJoin(
       if (it == index.end()) continue;
       for (uint32_t j : it->second) seen.emplace(j, 1);
     }
-    for (const auto& [j, _] : seen) {
-      ++result.candidates;
-      if (Similarity(records[i], records[j]) >= options_.theta) {
-        result.pairs.emplace_back(j, i);
-      }
-    }
+    for (const auto& [j, _] : seen) candidates.emplace_back(j, i);
     for (TokenId t : sig) index[t].push_back(i);
   }
+  result.candidates = candidates.size();
+  result.filter_seconds = timer.Seconds();
+
+  WallTimer verify_timer;
+  result.pairs = ParallelVerifyPairs(
+      candidates, options_.num_threads, [&](uint32_t a, uint32_t b) {
+        return Similarity(records[a], records[b]) >= options_.theta;
+      });
+  result.verify_seconds = verify_timer.Seconds();
   result.seconds = timer.Seconds();
   return result;
 }

@@ -19,6 +19,9 @@ struct PkduckOptions {
   double theta = 0.8;
   /// Cap on enumerated derivations per record (DFS order).
   size_t max_derivations = 16;
+  /// Verification worker threads; follows JoinOptions::num_threads
+  /// semantics (1 = serial, 0 = all hardware threads).
+  int num_threads = 1;
 };
 
 class PkduckJoin {

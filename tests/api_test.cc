@@ -1,0 +1,279 @@
+// Tests for the Engine facade: registry round-trips, MatchSink streaming
+// vs. collecting parity, agreement of all algorithms under theta = 1.0
+// exact matching, and the guarantee that the collecting sink reproduces
+// the pre-facade UnifiedJoin output exactly.
+
+#include <algorithm>
+#include <set>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "api/engine.h"
+#include "baselines/combination.h"
+#include "join/join.h"
+#include "test_fixtures.h"
+
+namespace aujoin {
+namespace {
+
+using PairVec = std::vector<std::pair<uint32_t, uint32_t>>;
+
+bool IsSortedSelfJoinOutput(const PairVec& pairs) {
+  if (!std::is_sorted(pairs.begin(), pairs.end())) return false;
+  for (const auto& [a, b] : pairs) {
+    if (a >= b) return false;
+  }
+  return true;
+}
+
+class ApiTest : public ::testing::Test {
+ protected:
+  ApiTest() {
+    texts_ = {
+        "coffee shop latte helsingki",
+        "espresso cafe helsinki",
+        "cake gateau",
+        "apple cake",
+        "latte espresso coffee",
+        "random words here",
+        "espresso cafe helsinki",  // exact duplicate of record 1
+        "coffee shop latte helsinki",
+    };
+    for (size_t i = 0; i < texts_.size(); ++i) {
+      records_.push_back(world_.MakeRec(static_cast<uint32_t>(i), texts_[i]));
+    }
+  }
+
+  Engine MakeEngine(int num_threads = 1) {
+    Engine engine = EngineBuilder()
+                        .SetKnowledge(world_.knowledge())
+                        .SetMeasures("TJS")
+                        .SetQ(2)
+                        .SetThreads(num_threads)
+                        .Build();
+    engine.SetRecords(records_);
+    return engine;
+  }
+
+  Figure1World world_;
+  std::vector<std::string> texts_;
+  std::vector<Record> records_;
+};
+
+TEST_F(ApiTest, RegistryContainsTheBuiltinFive) {
+  std::vector<std::string> names = AlgorithmRegistry::Global().Names();
+  EXPECT_EQ(names, (std::vector<std::string>{"adaptjoin", "combination",
+                                             "kjoin", "pkduck", "unified"}));
+}
+
+TEST_F(ApiTest, RegistryRoundTripEveryNameConstructsAndRuns) {
+  Engine engine = MakeEngine();
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    std::unique_ptr<JoinAlgorithm> algo =
+        AlgorithmRegistry::Global().Create(name);
+    ASSERT_NE(algo, nullptr) << name;
+    EXPECT_EQ(algo->name(), name);
+
+    CollectingSink sink;
+    Result<JoinStats> stats =
+        engine.Join(name, {.theta = 0.7, .tau = 2}, &sink);
+    ASSERT_TRUE(stats.ok()) << name << ": " << stats.status().ToString();
+    EXPECT_EQ(stats->results, sink.pairs.size()) << name;
+    EXPECT_TRUE(IsSortedSelfJoinOutput(sink.pairs)) << name;
+  }
+}
+
+TEST_F(ApiTest, UnknownAlgorithmIsNotFound) {
+  Engine engine = MakeEngine();
+  CollectingSink sink;
+  Result<JoinStats> stats = engine.Join("nope", {}, &sink);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kNotFound);
+}
+
+TEST_F(ApiTest, JoinBeforeSetRecordsIsFailedPrecondition) {
+  Engine engine =
+      EngineBuilder().SetKnowledge(world_.knowledge()).Build();
+  CollectingSink sink;
+  Result<JoinStats> stats = engine.Join("unified", {}, &sink);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(ApiTest, BaselinesRejectRsJoinsButUnifiedAccepts) {
+  std::vector<Record> others = {world_.MakeRec(0, "espresso cafe helsinki")};
+  Engine engine = MakeEngine();
+  engine.SetRecords(records_, &others);
+  CollectingSink sink;
+  Result<JoinStats> kjoin = engine.Join("kjoin", {.theta = 0.7}, &sink);
+  ASSERT_FALSE(kjoin.ok());
+  EXPECT_EQ(kjoin.status().code(), StatusCode::kInvalidArgument);
+
+  Result<JoinStats> unified =
+      engine.Join("unified", {.theta = 0.9, .tau = 1}, &sink);
+  EXPECT_TRUE(unified.ok()) << unified.status().ToString();
+}
+
+// The acceptance-criterion parity test: a collecting sink must reproduce
+// the pre-redesign JoinResult::pairs exactly (same content, same order).
+TEST_F(ApiTest, CollectingSinkReproducesUnifiedJoinExactly) {
+  JoinOptions join_options;
+  join_options.theta = 0.7;
+  join_options.tau = 2;
+  join_options.method = FilterMethod::kAuDp;
+  JoinContext context(world_.knowledge(), MsimOptions{.q = 2});
+  context.Prepare(records_, nullptr);
+  JoinResult legacy = UnifiedJoin(context, join_options);
+
+  Engine engine = MakeEngine();
+  Result<JoinResult> facade =
+      engine.Join("unified", {.theta = 0.7, .tau = 2});
+  ASSERT_TRUE(facade.ok()) << facade.status().ToString();
+  EXPECT_EQ(facade->pairs, legacy.pairs);
+  EXPECT_EQ(facade->stats.candidates, legacy.stats.candidates);
+  EXPECT_EQ(facade->stats.processed_pairs, legacy.stats.processed_pairs);
+  EXPECT_EQ(facade->stats.results, legacy.stats.results);
+}
+
+// Baseline adapters must agree with direct baseline calls.
+TEST_F(ApiTest, BaselineAdaptersMatchDirectCalls) {
+  Engine engine = MakeEngine();
+
+  KJoin kjoin(world_.knowledge(), {.theta = 0.7});
+  Result<JoinResult> k = engine.Join("kjoin", {.theta = 0.7});
+  ASSERT_TRUE(k.ok());
+  EXPECT_EQ(k->pairs, kjoin.SelfJoin(records_).pairs);
+
+  PkduckJoin pkduck(world_.knowledge(), {.theta = 0.7});
+  Result<JoinResult> p = engine.Join("pkduck", {.theta = 0.7});
+  ASSERT_TRUE(p.ok());
+  EXPECT_EQ(p->pairs, pkduck.SelfJoin(records_).pairs);
+
+  AdaptJoin adaptjoin({.theta = 0.7});
+  Result<JoinResult> a = engine.Join("adaptjoin", {.theta = 0.7});
+  ASSERT_TRUE(a.ok());
+  EXPECT_EQ(a->pairs, adaptjoin.SelfJoin(records_).pairs);
+
+  CombinationOptions combo;
+  combo.kjoin.theta = combo.adaptjoin.theta = combo.pkduck.theta = 0.7;
+  Result<JoinResult> c = engine.Join("combination", {.theta = 0.7});
+  ASSERT_TRUE(c.ok());
+  EXPECT_EQ(c->pairs,
+            CombinationJoin(world_.knowledge(), records_, combo).pairs);
+}
+
+// Streaming through a CallbackSink with a tiny verification batch must
+// see exactly the collected pairs, in the same sorted order.
+TEST_F(ApiTest, StreamingAndCollectingSinksAgree) {
+  Engine tiny_batches = EngineBuilder()
+                            .SetKnowledge(world_.knowledge())
+                            .SetMeasures("TJS")
+                            .SetQ(2)
+                            .SetStreamBatchSize(2)
+                            .Build();
+  tiny_batches.SetRecords(records_);
+
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    PairVec streamed;
+    CallbackSink callback([&](uint32_t a, uint32_t b) {
+      streamed.emplace_back(a, b);
+      return true;
+    });
+    Result<JoinStats> stats =
+        tiny_batches.Join(name, {.theta = 0.7, .tau = 2}, &callback);
+    ASSERT_TRUE(stats.ok()) << name;
+
+    Result<JoinResult> collected =
+        tiny_batches.Join(name, {.theta = 0.7, .tau = 2});
+    ASSERT_TRUE(collected.ok()) << name;
+    EXPECT_EQ(streamed, collected->pairs) << name;
+  }
+}
+
+TEST_F(ApiTest, SinkEarlyTerminationStopsTheJoin) {
+  Engine engine = EngineBuilder()
+                      .SetKnowledge(world_.knowledge())
+                      .SetMeasures("TJS")
+                      .SetQ(2)
+                      .SetStreamBatchSize(1)
+                      .Build();
+  engine.SetRecords(records_);
+
+  Result<JoinResult> all = engine.Join("unified", {.theta = 0.7, .tau = 2});
+  ASSERT_TRUE(all.ok());
+  ASSERT_GE(all->pairs.size(), 2u);
+
+  CountingSink limited(1);
+  Result<JoinStats> stats =
+      engine.Join("unified", {.theta = 0.7, .tau = 2}, &limited);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(limited.count(), 1u);
+  EXPECT_EQ(stats->results, 1u);
+}
+
+TEST_F(ApiTest, ThreadCountDoesNotChangeAnyAlgorithmsOutput) {
+  Engine serial = MakeEngine(1);
+  Engine parallel = MakeEngine(0);
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    Result<JoinResult> a = serial.Join(name, {.theta = 0.7, .tau = 2});
+    Result<JoinResult> b = parallel.Join(name, {.theta = 0.7, .tau = 2});
+    ASSERT_TRUE(a.ok()) << name;
+    ASSERT_TRUE(b.ok()) << name;
+    EXPECT_EQ(a->pairs, b->pairs) << name;
+  }
+}
+
+TEST_F(ApiTest, PairEnumeratorWalksACollectedResult) {
+  Engine engine = MakeEngine();
+  Result<JoinResult> result = engine.Join("unified", {.theta = 0.7, .tau = 2});
+  ASSERT_TRUE(result.ok());
+  PairEnumerator enumerator(&result->pairs);
+  PairVec walked;
+  std::pair<uint32_t, uint32_t> p;
+  while (enumerator.Next(&p)) walked.push_back(p);
+  EXPECT_EQ(walked, result->pairs);
+  EXPECT_FALSE(enumerator.Next(&p));
+  enumerator.Reset();
+  EXPECT_TRUE(enumerator.Next(&p));
+  EXPECT_EQ(p, result->pairs.front());
+}
+
+// Under exact matching (theta = 1.0) every algorithm — unified and all
+// four baselines — must find precisely the exact-duplicate pairs, making
+// registry-driven parity comparable across algorithms.
+TEST(ApiExactMatchTest, AllAlgorithmsAgreeAtThetaOne) {
+  Vocabulary vocab;
+  RuleSet rules;        // empty: no synonym rewrites can bridge strings
+  Taxonomy taxonomy;    // empty: no entity similarity either
+  Knowledge knowledge{&vocab, &rules, &taxonomy};
+
+  std::vector<Record> records;
+  const char* texts[] = {
+      "alpha beta gamma",
+      "delta epsilon",
+      "alpha beta gamma",  // duplicate of 0
+      "zeta eta theta iota",
+      "delta epsilon",     // duplicate of 1
+  };
+  for (uint32_t i = 0; i < 5; ++i) {
+    records.push_back(MakeRecord(i, texts[i], &vocab));
+  }
+  const PairVec expected = {{0, 2}, {1, 4}};
+
+  Engine engine = EngineBuilder()
+                      .SetKnowledge(knowledge)
+                      .SetMeasures("TJS")
+                      .SetQ(2)
+                      .Build();
+  engine.SetRecords(records);
+  for (const std::string& name : AlgorithmRegistry::Global().Names()) {
+    Result<JoinResult> result = engine.Join(name, {.theta = 1.0, .tau = 1});
+    ASSERT_TRUE(result.ok()) << name;
+    EXPECT_EQ(result->pairs, expected) << name;
+  }
+}
+
+}  // namespace
+}  // namespace aujoin

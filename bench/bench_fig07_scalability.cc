@@ -1,12 +1,15 @@
 // Reproduces Figure 7: scalability of the three join algorithms with the
-// dataset size.
+// dataset size — now recorded as BENCH_fig07.json runs (variant = filter
+// method, num_records = dataset size) alongside the printed table.
 //
 // Expected shape (paper): all grow roughly linearly (not quadratically);
 // AU-DP scales best, U-Filter worst.
 
 #include <cstdio>
+#include <string>
 
 #include "bench_common.h"
+#include "harness.h"
 #include "join/join.h"
 #include "util/timer.h"
 
@@ -16,6 +19,7 @@ int main(int argc, char** argv) {
   auto sizes = flags.GetIntList("sizes", {300, 600, 900, 1200});
   double theta = flags.GetDouble("theta", 0.90);
   int tau = static_cast<int>(flags.GetInt("tau", 3));
+  std::string out = flags.GetString("out", "BENCH_fig07.json");
 
   PrintBanner("E7 scalability", "Figure 7",
               "join time grows near-linearly; AU-DP < AU-heuristic < "
@@ -23,24 +27,59 @@ int main(int argc, char** argv) {
   std::printf("theta=%.2f tau=%d\n", theta, tau);
   std::printf("%-8s | %12s %14s %12s\n", "size", "U-Filter",
               "AU-heuristic", "AU-DP");
+
+  // Multi-size sweep: the top-level num_records stays 0; each run
+  // carries its own corpus size.
+  BenchReport report;
+  report.name = "fig07";
+  report.profile = "med";
+
+  constexpr struct {
+    FilterMethod method;
+    const char* label;
+  } kMethods[] = {
+      {FilterMethod::kUFilter, "U-Filter"},
+      {FilterMethod::kAuHeuristic, "AU-heuristic"},
+      {FilterMethod::kAuDp, "AU-DP"},
+  };
+
   for (int64_t size : sizes) {
     auto world = BuildWorld("med", static_cast<size_t>(size), size / 10);
     JoinContext context(world->knowledge(), MsimOptions{.q = 3});
     context.Prepare(world->corpus.records, nullptr);
     std::printf("%-8lld |", static_cast<long long>(size));
-    for (FilterMethod method :
-         {FilterMethod::kUFilter, FilterMethod::kAuHeuristic,
-          FilterMethod::kAuDp}) {
+    for (const auto& entry : kMethods) {
       JoinOptions options;
       options.theta = theta;
-      options.tau = method == FilterMethod::kUFilter ? 1 : tau;
-      options.method = method;
+      options.tau = entry.method == FilterMethod::kUFilter ? 1 : tau;
+      options.method = entry.method;
       WallTimer timer;
-      UnifiedJoin(context, options);
-      double w = method == FilterMethod::kAuHeuristic ? 14 : 12;
-      std::printf(" %*.3f", static_cast<int>(w), timer.Seconds());
+      JoinResult result = UnifiedJoin(context, options);
+      double seconds = timer.Seconds();
+      double w = entry.method == FilterMethod::kAuHeuristic ? 14 : 12;
+      std::printf(" %*.3f", static_cast<int>(w), seconds);
+
+      BenchRun run;
+      run.algorithm = "unified";
+      run.variant = entry.label;
+      run.measures = "TJS";
+      run.theta = theta;
+      run.tau = options.tau;
+      run.threads = 1;
+      run.num_records = world->corpus.records.size();
+      run.ok = true;
+      run.stats = result.stats;
+      run.total_seconds = seconds;
+      run.wall_seconds = seconds;
+      run.peak_rss_bytes = CurrentPeakRssBytes();
+      report.runs.push_back(std::move(run));
     }
     std::printf("\n");
   }
+  if (!report.WriteJsonFile(out)) {
+    std::fprintf(stderr, "FAILED to write %s\n", out.c_str());
+    return 2;
+  }
+  std::printf("\nwrote %s (%zu runs)\n", out.c_str(), report.runs.size());
   return 0;
 }

@@ -1,8 +1,8 @@
 // Reproduces Table 13: join effectiveness (P/R/F against labelled ground
 // truth) of K-Join, AdaptJoin, PKduck, their Combination, and our unified
-// join (TJS) — every method driven through the Engine facade by a loop
-// over the algorithm registry, so newly registered algorithms show up in
-// the table automatically.
+// join (TJS) — every method driven through the benchmark harness by a
+// grid over the algorithm registry, so newly registered algorithms show
+// up in the table (and in BENCH_table13.json) automatically.
 //
 // Expected shape (paper): each baseline captures only one similarity type
 // (low recall); Combination improves recall but still loses to Ours,
@@ -13,8 +13,8 @@
 #include <string>
 #include <vector>
 
-#include "api/engine.h"
 #include "bench_common.h"
+#include "harness.h"
 
 namespace aujoin {
 namespace {
@@ -38,13 +38,8 @@ const char* PaperLabel(const std::string& name) {
   return name.c_str();
 }
 
-void PrintRow(const char* name, const PrfScore& score) {
-  std::printf("%-12s | %6.2f %6.2f %6.2f\n", name, score.precision,
-              score.recall, score.f_measure);
-}
-
 void RunDataset(const std::string& dataset, size_t n, size_t pairs,
-                double theta) {
+                double theta, BenchReport* report) {
   auto world = BuildWorld(dataset, n, pairs);
   const auto& records = world->corpus.records;
   const auto& truth = world->corpus.truth_pairs;
@@ -53,35 +48,32 @@ void RunDataset(const std::string& dataset, size_t n, size_t pairs,
               records.size(), theta);
   std::printf("%-12s | %6s %6s %6s\n", "method", "P", "R", "F");
 
-  Engine engine = EngineBuilder()
-                      .SetKnowledge(world->knowledge())
-                      .SetMeasures("TJS")
-                      .SetQ(3)
-                      .SetThreads(0)  // quality-only bench: use all cores
-                      .Build();
-  engine.SetRecords(records);
-
   // Each algorithm runs independently, which re-executes the three
   // single-measure baselines inside "combination" — the price of rows
   // being uniform registry entries; acceptable for a quality-only bench.
-  std::vector<std::string> names = AlgorithmRegistry::Global().Names();
-  std::sort(names.begin(), names.end(),
-            [](const std::string& a, const std::string& b) {
-              int ra = PaperRank(a), rb = PaperRank(b);
-              return ra != rb ? ra < rb : a < b;
+  BenchGrid grid;
+  grid.thetas = {theta};
+  grid.taus = {2};
+  grid.threads = {0};  // quality-only bench: use all cores
+  grid.measures = "TJS";
+  grid.q = 3;
+  BenchHarness harness(world->knowledge(), &records);
+  std::vector<BenchRun> runs = harness.RunGrid(grid, &truth);
+  std::sort(runs.begin(), runs.end(),
+            [](const BenchRun& a, const BenchRun& b) {
+              int ra = PaperRank(a.algorithm), rb = PaperRank(b.algorithm);
+              return ra != rb ? ra < rb : a.algorithm < b.algorithm;
             });
-  for (const std::string& name : names) {
-    EngineJoinOptions options;
-    options.theta = theta;
-    options.tau = 2;
-    options.method = FilterMethod::kAuDp;
-    Result<JoinResult> result = engine.Join(name, options);
-    if (!result.ok()) {
-      std::printf("%-12s | error: %s\n", PaperLabel(name),
-                  result.status().ToString().c_str());
-      continue;
+  for (BenchRun& run : runs) {
+    if (!run.ok) {
+      std::printf("%-12s | error: %s\n", PaperLabel(run.algorithm),
+                  run.error.c_str());
+    } else {
+      std::printf("%-12s | %6.2f %6.2f %6.2f\n", PaperLabel(run.algorithm),
+                  run.prf.precision, run.prf.recall, run.prf.f_measure);
     }
-    PrintRow(PaperLabel(name), ComputePrf(result->pairs, truth));
+    run.variant = dataset;
+    report->runs.push_back(std::move(run));
   }
 }
 
@@ -93,12 +85,23 @@ int main(int argc, char** argv) {
   size_t n = static_cast<size_t>(flags.GetInt("strings", 600));
   size_t pairs = static_cast<size_t>(flags.GetInt("pairs", 120));
   auto thetas = flags.GetDoubleList("theta", {0.70, 0.75});
+  std::string out = flags.GetString("out", "BENCH_table13.json");
   aujoin::PrintBanner("E12 effectiveness vs baselines", "Table 13",
                       "baselines low recall; Combination better; Ours(TJS) "
                       "best F");
+  aujoin::BenchReport report;
+  report.name = "table13";
+  report.profile = "med+wiki";
+  report.num_records = n + pairs;
+  report.num_truth_pairs = pairs;
   for (double theta : thetas) {
-    aujoin::RunDataset("med", n, pairs, theta);
-    aujoin::RunDataset("wiki", n, pairs, theta);
+    aujoin::RunDataset("med", n, pairs, theta, &report);
+    aujoin::RunDataset("wiki", n, pairs, theta, &report);
   }
+  if (!report.WriteJsonFile(out)) {
+    std::fprintf(stderr, "FAILED to write %s\n", out.c_str());
+    return 2;
+  }
+  std::printf("\nwrote %s (%zu runs)\n", out.c_str(), report.runs.size());
   return 0;
 }

@@ -2,8 +2,9 @@
 // baselines, grouped so each comparison uses the same single measure
 // (K-Join vs Ours(T); AdaptJoin vs Ours(J); PKduck vs Ours(S);
 // Combination vs Ours(TJS)). Both sides of every group run through the
-// Engine facade: the baseline by its registry name, ours as "unified"
-// with the group's measure selection.
+// benchmark harness: the baseline by its registry name, ours as
+// "unified" with the group's measure selection — and every cell lands in
+// BENCH_table14.json for trend tracking.
 //
 // Times are JoinStats::TotalSeconds(include_prepare = true), so our
 // pebble preparation is charged the same way the baselines' own index
@@ -16,8 +17,8 @@
 #include <string>
 #include <vector>
 
-#include "api/engine.h"
 #include "bench_common.h"
+#include "harness.h"
 
 namespace aujoin {
 namespace {
@@ -45,40 +46,46 @@ int main(int argc, char** argv) {
   Flags flags(argc, argv);
   size_t n = static_cast<size_t>(flags.GetInt("strings", 600));
   auto thetas = flags.GetDoubleList("theta", {0.75, 0.85, 0.95});
+  std::string out = flags.GetString("out", "BENCH_table14.json");
 
   PrintBanner("E13 join time vs baselines (seconds)", "Table 14",
               "Ours(X) competitive with the X-specialised baseline in each "
               "group");
   auto world = BuildWorld("med", n, n / 10);
   const auto& records = world->corpus.records;
+  BenchHarness harness(world->knowledge(), &records);
+
+  BenchReport report;
+  report.name = "table14";
+  report.profile = "med";
+  report.num_records = records.size();
+  report.num_truth_pairs = world->corpus.truth_pairs.size();
 
   std::printf("%-14s", "method");
   for (double theta : thetas) std::printf(" %9.2f", theta);
   std::printf("\n");
 
-  // Each row runs one registry algorithm across the theta sweep on its
-  // own engine (so Ours(X) gets the group's measure selection).
+  // Each row is one harness grid: one registry algorithm across the
+  // theta sweep with the group's measure selection.
   auto row = [&](const char* label, const std::string& algorithm,
                  const char* measures) {
-    Engine engine = EngineBuilder()
-                        .SetKnowledge(world->knowledge())
-                        .SetMeasures(measures)
-                        .SetQ(3)
-                        .Build();
-    engine.SetRecords(records);
+    BenchGrid grid;
+    grid.algorithms = {algorithm};
+    grid.thetas = thetas;
+    grid.taus = {2};
+    grid.threads = {1};
+    grid.measures = measures;
+    grid.q = 3;
+    std::vector<BenchRun> runs = harness.RunGrid(grid);
     std::printf("%-14s", label);
-    for (double theta : thetas) {
-      EngineJoinOptions options;
-      options.theta = theta;
-      options.tau = 2;
-      options.method = FilterMethod::kAuDp;
-      CountingSink sink;
-      Result<JoinStats> stats = engine.Join(algorithm, options, &sink);
-      if (!stats.ok()) {
+    for (BenchRun& run : runs) {
+      if (!run.ok) {
         std::printf(" %9s", "err");
-        continue;
+      } else {
+        std::printf(" %9.3f", run.total_seconds);
       }
-      std::printf(" %9.3f", stats->TotalSeconds(/*include_prepare=*/true));
+      run.variant = label;
+      report.runs.push_back(std::move(run));
     }
     std::printf("\n");
   };
@@ -88,5 +95,10 @@ int main(int argc, char** argv) {
     std::string ours_label = std::string("Ours(") + group.measures + ")";
     row(ours_label.c_str(), "unified", group.measures);
   }
+  if (!report.WriteJsonFile(out)) {
+    std::fprintf(stderr, "FAILED to write %s\n", out.c_str());
+    return 2;
+  }
+  std::printf("\nwrote %s (%zu runs)\n", out.c_str(), report.runs.size());
   return 0;
 }

@@ -1,0 +1,262 @@
+#include "harness.h"
+
+#include <cinttypes>
+#include <cstdio>
+#include <cstring>
+#include <map>
+
+#include "util/timer.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/resource.h>
+#endif
+
+namespace aujoin {
+namespace {
+
+/// Appends a JSON string literal (quotes, backslashes and control bytes
+/// escaped).
+void AppendJsonString(const std::string& value, std::string* out) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendDouble(double value, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  // %g never emits a decimal point for integral values; keep the output
+  // unambiguously numeric JSON either way (1e+06 and 42 are both valid).
+  *out += buf;
+}
+
+void AppendUint(uint64_t value, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  *out += buf;
+}
+
+}  // namespace
+
+uint64_t CurrentPeakRssBytes() {
+#if defined(__unix__) || defined(__APPLE__)
+  struct rusage usage;
+  if (getrusage(RUSAGE_SELF, &usage) != 0) return 0;
+#if defined(__APPLE__)
+  return static_cast<uint64_t>(usage.ru_maxrss);  // bytes on macOS
+#else
+  return static_cast<uint64_t>(usage.ru_maxrss) * 1024;  // KiB on Linux
+#endif
+#else
+  return 0;
+#endif
+}
+
+std::string BenchReport::ToJson() const {
+  std::string out;
+  out.reserve(1024 + runs.size() * 512);
+  out += "{\n  \"schema_version\": 1,\n  \"name\": ";
+  AppendJsonString(name, &out);
+  out += ",\n  \"profile\": ";
+  AppendJsonString(profile, &out);
+  out += ",\n  \"num_records\": ";
+  AppendUint(num_records, &out);
+  out += ",\n  \"num_truth_pairs\": ";
+  AppendUint(num_truth_pairs, &out);
+  out += ",\n  \"runs\": [";
+  for (size_t i = 0; i < runs.size(); ++i) {
+    const BenchRun& run = runs[i];
+    out += i == 0 ? "\n" : ",\n";
+    out += "    {\"algorithm\": ";
+    AppendJsonString(run.algorithm, &out);
+    out += ", \"variant\": ";
+    AppendJsonString(run.variant, &out);
+    out += ", \"measures\": ";
+    AppendJsonString(run.measures, &out);
+    out += ",\n     \"theta\": ";
+    AppendDouble(run.theta, &out);
+    out += ", \"tau\": ";
+    AppendDouble(run.tau, &out);
+    out += ", \"threads\": ";
+    AppendDouble(run.threads, &out);
+    out += ", \"max_partition_records\": ";
+    AppendUint(run.max_partition_records, &out);
+    out += ", \"num_records\": ";
+    AppendUint(run.num_records, &out);
+    out += ",\n     \"ok\": ";
+    out += run.ok ? "true" : "false";
+    out += ", \"error\": ";
+    AppendJsonString(run.error, &out);
+    out += ",\n     \"prepare_seconds\": ";
+    AppendDouble(run.stats.prepare_seconds, &out);
+    out += ", \"signature_seconds\": ";
+    AppendDouble(run.stats.signature_seconds, &out);
+    out += ", \"filter_seconds\": ";
+    AppendDouble(run.stats.filter_seconds, &out);
+    out += ", \"verify_seconds\": ";
+    AppendDouble(run.stats.verify_seconds, &out);
+    out += ", \"suggest_seconds\": ";
+    AppendDouble(run.stats.suggest_seconds, &out);
+    out += ", \"total_seconds\": ";
+    AppendDouble(run.total_seconds, &out);
+    out += ", \"wall_seconds\": ";
+    AppendDouble(run.wall_seconds, &out);
+    out += ",\n     \"processed_pairs\": ";
+    AppendUint(run.stats.processed_pairs, &out);
+    out += ", \"candidates\": ";
+    AppendUint(run.stats.candidates, &out);
+    out += ", \"results\": ";
+    AppendUint(run.stats.results, &out);
+    out += ", \"partitions\": ";
+    AppendUint(run.stats.partitions, &out);
+    out += ", \"partition_blocks\": ";
+    AppendUint(run.stats.partition_blocks, &out);
+    out += ", \"peak_rss_bytes\": ";
+    AppendUint(run.peak_rss_bytes, &out);
+    if (run.has_prf) {
+      out += ",\n     \"precision\": ";
+      AppendDouble(run.prf.precision, &out);
+      out += ", \"recall\": ";
+      AppendDouble(run.prf.recall, &out);
+      out += ", \"f_measure\": ";
+      AppendDouble(run.prf.f_measure, &out);
+    }
+    out += "}";
+  }
+  out += "\n  ]\n}\n";
+  return out;
+}
+
+bool BenchReport::WriteJsonFile(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) return false;
+  std::string json = ToJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  bool ok = written == json.size();
+  ok = std::fclose(file) == 0 && ok;
+  return ok;
+}
+
+uint64_t BenchReport::TotalResults(const std::string& algorithm) const {
+  uint64_t total = 0;
+  for (const BenchRun& run : runs) {
+    if (run.ok && run.algorithm == algorithm) total += run.stats.results;
+  }
+  return total;
+}
+
+std::vector<std::string> BenchReport::ZeroResultConfigurations() const {
+  std::map<std::string, uint64_t> totals;
+  for (const BenchRun& run : runs) {
+    char label[160];
+    std::snprintf(label, sizeof(label), "%s partition=%zu threads=%d",
+                  run.algorithm.c_str(), run.max_partition_records,
+                  run.threads);
+    // Failed runs seed the group with zero (not skip it), so a
+    // configuration that errors on every cell still trips the gate.
+    totals[label] += run.ok ? run.stats.results : 0;
+  }
+  std::vector<std::string> zero;
+  for (const auto& [label, total] : totals) {
+    if (total == 0) zero.push_back(label);
+  }
+  return zero;
+}
+
+std::vector<BenchRun> BenchHarness::RunGrid(
+    const BenchGrid& grid,
+    const std::vector<std::pair<uint32_t, uint32_t>>* truth) {
+  std::vector<std::string> algorithms = grid.algorithms;
+  if (algorithms.empty()) {
+    algorithms = AlgorithmRegistry::Global().Names();
+  }
+  std::vector<int> taus = grid.taus.empty() ? std::vector<int>{1} : grid.taus;
+  std::vector<BenchRun> runs;
+  for (int num_threads : grid.threads) {
+    for (size_t partition_limit : grid.partition_limits) {
+      Engine engine = EngineBuilder()
+                          .SetKnowledge(knowledge_)
+                          .SetMeasures(grid.measures)
+                          .SetQ(grid.q)
+                          .SetThreads(num_threads)
+                          .SetMaxPartitionRecords(partition_limit)
+                          .Build();
+      engine.SetRecords(*records_);
+      if (partition_limit == 0) {
+        // Build the lazily-prepared context up front so the first
+        // unified cell's wall_seconds measures the join, not the
+        // one-time preparation (which stats.prepare_seconds reports
+        // separately). Partitioned engines never use this context —
+        // blocks prepare their own, charged to every run alike.
+        engine.PreparedContext();
+      }
+      for (const std::string& algorithm : algorithms) {
+        // tau only shapes the unified AU filters; one value is enough
+        // for everything else.
+        size_t tau_count = algorithm == "unified" ? taus.size() : size_t{1};
+        for (double theta : grid.thetas) {
+          for (size_t t = 0; t < tau_count; ++t) {
+            BenchRun run;
+            run.algorithm = algorithm;
+            run.measures = grid.measures;
+            run.theta = theta;
+            run.tau = taus[t];
+            run.threads = num_threads;
+            run.max_partition_records = partition_limit;
+            run.num_records = records_->size();
+
+            EngineJoinOptions options;
+            options.theta = theta;
+            options.tau = taus[t];
+            WallTimer wall;
+            Result<JoinResult> result = engine.Join(algorithm, options);
+            run.wall_seconds = wall.Seconds();
+            if (result.ok()) {
+              run.ok = true;
+              run.stats = result->stats;
+              run.total_seconds =
+                  result->stats.TotalSeconds(/*include_prepare=*/true);
+              if (truth != nullptr) {
+                run.has_prf = true;
+                run.prf = ComputePrf(result->pairs, *truth);
+              }
+            } else {
+              run.error = result.status().ToString();
+            }
+            run.peak_rss_bytes = CurrentPeakRssBytes();
+            runs.push_back(std::move(run));
+          }
+        }
+      }
+    }
+  }
+  return runs;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,116 @@
+#ifndef AUJOIN_BENCH_HARNESS_H_
+#define AUJOIN_BENCH_HARNESS_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "api/engine.h"
+#include "datagen/corpus_gen.h"
+
+namespace aujoin {
+
+/// Process-wide peak resident set size in bytes (0 where unsupported).
+/// Monotone over the process lifetime, so per-run values record the
+/// high-water mark up to that run, not the run's own footprint.
+uint64_t CurrentPeakRssBytes();
+
+/// One benchmark grid: the cross product of every listed dimension. The
+/// tau dimension only configures the unified join's AU filters, so the
+/// harness collapses it to its first value for the four baselines rather
+/// than re-running identical work.
+struct BenchGrid {
+  /// Registry names; empty = every registered algorithm.
+  std::vector<std::string> algorithms;
+  std::vector<double> thetas = {0.7};
+  std::vector<int> taus = {2};
+  /// EngineOptions::num_threads values (0 = all hardware threads).
+  std::vector<int> threads = {1};
+  /// EngineOptions::max_partition_records values (0 = monolithic).
+  std::vector<size_t> partition_limits = {0};
+  /// Measure-combination string and gram length for every engine.
+  std::string measures = "TJS";
+  int q = 3;
+};
+
+/// One grid cell's outcome: the configuration, the normalized JoinStats,
+/// and optional quality scores against labelled truth pairs.
+struct BenchRun {
+  std::string algorithm;
+  /// Free-form sub-configuration label (e.g. a filter-method name) for
+  /// benches that sweep dimensions outside the standard grid.
+  std::string variant;
+  std::string measures;
+  double theta = 0.0;
+  int tau = 0;
+  int threads = 0;
+  size_t max_partition_records = 0;
+  size_t num_records = 0;
+
+  bool ok = false;
+  std::string error;
+  JoinStats stats;
+  /// TotalSeconds(include_prepare = true): comparable across algorithms
+  /// that do their own indexing. On partitioned runs the per-stage times
+  /// are summed across blocks, so this is aggregate work, not elapsed
+  /// time — use wall_seconds to judge thread scaling.
+  double total_seconds = 0.0;
+  /// Elapsed wall-clock seconds of the whole Join call.
+  double wall_seconds = 0.0;
+  uint64_t peak_rss_bytes = 0;
+
+  bool has_prf = false;
+  PrfScore prf;
+};
+
+/// A machine-readable benchmark report, serialised as BENCH_<name>.json
+/// so CI (and later PRs) can track the perf trajectory. Schema documented
+/// in README.md ("Benchmark harness" section).
+struct BenchReport {
+  std::string name;
+  std::string profile;
+  size_t num_records = 0;
+  size_t num_truth_pairs = 0;
+  std::vector<BenchRun> runs;
+
+  std::string ToJson() const;
+  /// Writes ToJson() to `path`; false on I/O failure.
+  bool WriteJsonFile(const std::string& path) const;
+
+  /// Sum of results over every successful run of `algorithm` — the CI
+  /// smoke job fails when this is zero for an algorithm the parity tests
+  /// expect to find matches.
+  uint64_t TotalResults(const std::string& algorithm) const;
+
+  /// Per-configuration smoke gate: labels of every (algorithm ×
+  /// partitioning × threads) group whose successful runs all returned
+  /// zero matches. Grouping per configuration (not a grand total per
+  /// algorithm) means a regression that empties only the partitioned or
+  /// only the threaded cells still trips the gate.
+  std::vector<std::string> ZeroResultConfigurations() const;
+};
+
+/// Runs benchmark grids over one bound corpus through the Engine facade.
+/// Engines are rebuilt per (threads × partition limit) combination and
+/// reused across algorithms and thetas, so prepared-context reuse matches
+/// how a sweeping caller would drive the engine.
+class BenchHarness {
+ public:
+  BenchHarness(const Knowledge& knowledge, const std::vector<Record>* records)
+      : knowledge_(knowledge), records_(records) {}
+
+  /// Runs every cell of `grid`; with `truth` given, scores each run's
+  /// pair set against it (precision / recall / F).
+  std::vector<BenchRun> RunGrid(
+      const BenchGrid& grid,
+      const std::vector<std::pair<uint32_t, uint32_t>>* truth = nullptr);
+
+ private:
+  Knowledge knowledge_;
+  const std::vector<Record>* records_;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_BENCH_HARNESS_H_

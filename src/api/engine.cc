@@ -4,6 +4,8 @@
 #include <cstdlib>
 #include <utility>
 
+#include "join/pipeline.h"
+
 namespace aujoin {
 
 void Engine::SetRecords(const std::vector<Record>& s,
@@ -71,6 +73,17 @@ Result<JoinStats> Engine::Join(const std::string& algorithm,
   }
   AlgorithmContext ctx = MakeAlgorithmContext();
   JoinStats stats;
+  if (options_.max_partition_records > 0) {
+    PipelineOptions pipeline_options;
+    pipeline_options.max_partition_records = options_.max_partition_records;
+    pipeline_options.num_threads = options_.num_threads;
+    AUJOIN_RETURN_NOT_OK(RunPartitionedJoin(
+        [&algorithm] {
+          return AlgorithmRegistry::Global().Create(algorithm);
+        },
+        ctx, options, pipeline_options, sink, &stats));
+    return stats;
+  }
   AUJOIN_RETURN_NOT_OK(algo->Run(ctx, options, sink, &stats));
   return stats;
 }

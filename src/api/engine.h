@@ -31,6 +31,14 @@ struct EngineOptions {
   size_t cache_evict_threshold = 500000;
   /// Candidate pairs verified per streaming flush to a MatchSink.
   size_t stream_batch_size = 4096;
+  /// When > 0, every Join runs through the partitioned pipeline: the
+  /// bound collection(s) are sharded into partitions of at most this many
+  /// records and partition-pair blocks execute in parallel on a shared
+  /// thread pool, bounding prepared-context memory by the blocks in
+  /// flight instead of the whole collection (see join/pipeline.h). 0 runs
+  /// the monolithic path. Either way the match set and its emission order
+  /// are identical.
+  size_t max_partition_records = 0;
 };
 
 /// The unified facade over every join algorithm in the registry.
@@ -127,6 +135,11 @@ class EngineBuilder {
   }
   EngineBuilder& SetStreamBatchSize(size_t pairs) {
     options_.stream_batch_size = pairs;
+    return *this;
+  }
+  /// 0 = monolithic; > 0 = partitioned pipeline with this record bound.
+  EngineBuilder& SetMaxPartitionRecords(size_t records) {
+    options_.max_partition_records = records;
     return *this;
   }
 

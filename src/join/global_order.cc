@@ -15,7 +15,8 @@ void GlobalOrder::CountRecord(const RecordPebbles& rp) {
   finalized_ = false;
 }
 
-void GlobalOrder::CountCollection(const std::vector<RecordPebbles>& collection) {
+void GlobalOrder::CountCollection(
+    const std::vector<RecordPebbles>& collection) {
   for (const auto& rp : collection) CountRecord(rp);
 }
 

@@ -41,6 +41,11 @@ struct JoinStats {
   uint64_t candidates = 0;
   uint64_t results = 0;
   double avg_signature_pebbles = 0.0;
+  /// Partitioned-pipeline shape: how many partitions the bound
+  /// collection(s) were sharded into and how many partition-pair blocks
+  /// ran. Zero on the monolithic path.
+  uint64_t partitions = 0;
+  uint64_t partition_blocks = 0;
 
   /// Sums the per-phase times. Preparation (pebble generation + global
   /// ordering) happens once per JoinContext and is amortised across runs,

@@ -1,0 +1,39 @@
+#include "join/partition.h"
+
+namespace aujoin {
+
+PartitionPlan PartitionPlan::Shard(size_t num_records,
+                                   size_t max_partition_records) {
+  PartitionPlan plan;
+  if (num_records == 0) return plan;
+  size_t parts = 1;
+  if (max_partition_records > 0 && max_partition_records < num_records) {
+    parts = (num_records + max_partition_records - 1) / max_partition_records;
+  }
+  // Balanced split: the first `num_records % parts` partitions take one
+  // extra record, so every size is floor or ceil of num_records / parts
+  // (and the ceil never exceeds max_partition_records by construction).
+  size_t base = num_records / parts;
+  size_t extra = num_records % parts;
+  plan.partitions.reserve(parts);
+  uint32_t begin = 0;
+  for (size_t p = 0; p < parts; ++p) {
+    uint32_t size = static_cast<uint32_t>(base + (p < extra ? 1 : 0));
+    plan.partitions.push_back(Partition{begin, begin + size});
+    begin += size;
+  }
+  return plan;
+}
+
+std::vector<PartitionBlock> EnumerateBlocks(size_t s_parts, size_t t_parts,
+                                            bool self_join) {
+  std::vector<PartitionBlock> blocks;
+  for (uint32_t i = 0; i < s_parts; ++i) {
+    for (uint32_t j = self_join ? i : 0; j < t_parts; ++j) {
+      blocks.push_back(PartitionBlock{i, j});
+    }
+  }
+  return blocks;
+}
+
+}  // namespace aujoin

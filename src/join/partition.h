@@ -1,0 +1,56 @@
+#ifndef AUJOIN_JOIN_PARTITION_H_
+#define AUJOIN_JOIN_PARTITION_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace aujoin {
+
+/// A contiguous index range [begin, end) of one bound record collection.
+struct Partition {
+  uint32_t begin = 0;
+  uint32_t end = 0;
+
+  uint32_t size() const { return end - begin; }
+};
+
+/// A size-bounded sharding of one collection into contiguous partitions.
+/// Contiguity keeps the partition→global index mapping a single offset
+/// add, and lets the pipeline emit globally sorted matches stripe by
+/// stripe (all firsts of stripe i precede all firsts of stripe i + 1).
+struct PartitionPlan {
+  std::vector<Partition> partitions;
+
+  size_t num_partitions() const { return partitions.size(); }
+
+  /// Shards [0, num_records) into the fewest balanced partitions of at
+  /// most `max_partition_records` records each (sizes differ by at most
+  /// one, so no straggler shard). `max_partition_records == 0` — and any
+  /// bound at or above the collection size — yields one partition: the
+  /// monolithic path.
+  static PartitionPlan Shard(size_t num_records, size_t max_partition_records);
+};
+
+/// One unit of pipeline work: the cross product of an S partition and a
+/// T partition (for self-joins, of two partitions of the same plan).
+struct PartitionBlock {
+  uint32_t s_part = 0;
+  uint32_t t_part = 0;
+
+  /// Self-join block over one partition (s_part == t_part); cross blocks
+  /// keep only pairs straddling the two partitions, which is what makes
+  /// partition-boundary dedup structural rather than hash-set based.
+  bool diagonal() const { return s_part == t_part; }
+};
+
+/// Enumerates the blocks covering every record pair exactly once, in
+/// stripe order (sorted by s_part, then t_part). Self-joins use the
+/// upper triangle s_part <= t_part of one plan; R-S joins use the full
+/// s_parts × t_parts grid.
+std::vector<PartitionBlock> EnumerateBlocks(size_t s_parts, size_t t_parts,
+                                            bool self_join);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_JOIN_PARTITION_H_

@@ -1,0 +1,273 @@
+#include "join/pipeline.h"
+
+#include <algorithm>
+#include <atomic>
+#include <condition_variable>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+#include "util/parallel.h"
+
+namespace aujoin {
+namespace {
+
+using PairVec = std::vector<std::pair<uint32_t, uint32_t>>;
+
+/// Copies one partition's records, renumbering ids to local indexes so an
+/// algorithm that reads Record::id agrees with the pair indexes it emits.
+std::vector<Record> SliceRecords(const std::vector<Record>& records,
+                                 const Partition& part) {
+  std::vector<Record> out;
+  out.reserve(part.size());
+  for (uint32_t i = part.begin; i < part.end; ++i) {
+    Record r = records[i];
+    r.id = i - part.begin;
+    out.push_back(std::move(r));
+  }
+  return out;
+}
+
+/// Everything one block produces. `weight` is the block's record count,
+/// used to average avg_signature_pebbles across blocks.
+struct BlockResult {
+  Status status = Status::OK();
+  PairVec pairs;
+  JoinStats stats;
+  double weight = 0.0;
+  bool done = false;
+};
+
+/// Runs one partition block to completion: builds the block's record
+/// slices, lazily prepares a block-local JoinContext, runs a fresh
+/// algorithm instance serially, and maps the local pairs back to global
+/// indexes. Cross blocks of a self-join keep only pairs straddling the
+/// two partitions — the structural half of boundary dedup.
+void RunBlock(const AlgorithmFactory& factory,
+              const AlgorithmContext& base_context,
+              const EngineJoinOptions& options, const PartitionBlock& block,
+              const PartitionPlan& s_plan, const PartitionPlan& t_plan,
+              BlockResult* result) {
+  const std::vector<Record>& s = *base_context.s_records;
+  const bool self = base_context.self_join();
+  const std::vector<Record>& t = self ? s : *base_context.t_records;
+  const Partition& ps = s_plan.partitions[block.s_part];
+  const Partition& pt = t_plan.partitions[block.t_part];
+
+  std::unique_ptr<JoinAlgorithm> algo = factory();
+  if (algo == nullptr) {
+    result->status = Status::Internal("algorithm factory returned null");
+    return;
+  }
+
+  // Blocks run serially inside; parallelism comes from the block pool.
+  AlgorithmContext ctx;
+  ctx.knowledge = base_context.knowledge;
+  ctx.msim = base_context.msim;
+  ctx.num_threads = 1;
+  ctx.cache_evict_threshold = base_context.cache_evict_threshold;
+  ctx.stream_batch_size = base_context.stream_batch_size;
+
+  std::vector<Record> local_s, local_t;
+  // Offset added to a local (first, second) pair to globalise it; the
+  // concatenated self-join case additionally shifts `second` down by
+  // |local_s| first.
+  uint32_t first_offset = ps.begin;
+  uint32_t second_offset = pt.begin;
+  bool concatenated = false;
+
+  if (self && block.diagonal()) {
+    local_s = SliceRecords(s, ps);
+    ctx.s_records = &local_s;
+    ctx.t_records = nullptr;
+  } else if (self && !algo->SupportsRsJoin()) {
+    // Self-join-only algorithm on a cross block: self-join the
+    // concatenation [partition s_part ++ partition t_part] and keep only
+    // the straddling pairs below.
+    local_s = SliceRecords(s, ps);
+    std::vector<Record> tail = SliceRecords(s, pt);
+    for (Record& r : tail) {
+      r.id += static_cast<uint32_t>(local_s.size());
+      local_s.push_back(std::move(r));
+    }
+    ctx.s_records = &local_s;
+    ctx.t_records = nullptr;
+    concatenated = true;
+  } else {
+    // R-S block: either a genuine R-S join, or the cross block of a
+    // self-join run as S-partition × T-partition (pairs come out with
+    // first in s_part and second in t_part, already deduped).
+    local_s = SliceRecords(s, ps);
+    local_t = SliceRecords(t, pt);
+    ctx.s_records = &local_s;
+    ctx.t_records = &local_t;
+  }
+
+  std::unique_ptr<JoinContext> block_join_context;
+  ctx.unified_context = [&ctx, &block_join_context]() -> JoinContext& {
+    if (block_join_context == nullptr) {
+      block_join_context =
+          std::make_unique<JoinContext>(*ctx.knowledge, ctx.msim);
+      block_join_context->Prepare(*ctx.s_records, ctx.t_records);
+    }
+    return *block_join_context;
+  };
+
+  CollectingSink collected;
+  result->status = algo->Run(ctx, options, &collected, &result->stats);
+  if (!result->status.ok()) return;
+  if (block_join_context != nullptr) {
+    result->stats.prepare_seconds = block_join_context->prepare_seconds();
+  }
+  result->weight = static_cast<double>(local_s.size() + local_t.size());
+
+  const uint32_t cut = concatenated
+                           ? static_cast<uint32_t>(ps.size())
+                           : 0;  // unused unless concatenated
+  result->pairs.reserve(collected.pairs.size());
+  for (const auto& [a, b] : collected.pairs) {
+    if (concatenated) {
+      // Within-partition pairs belong to the two diagonal blocks.
+      if (a >= cut || b < cut) continue;
+      result->pairs.emplace_back(a + first_offset, (b - cut) + second_offset);
+    } else {
+      result->pairs.emplace_back(a + first_offset, b + second_offset);
+    }
+  }
+  // The local order is already ascending and the index maps are monotone,
+  // but sort anyway: stripe merging relies on it, not on every algorithm
+  // upholding the contract perfectly.
+  std::sort(result->pairs.begin(), result->pairs.end());
+}
+
+}  // namespace
+
+Status RunPartitionedJoin(const AlgorithmFactory& factory,
+                          const AlgorithmContext& context,
+                          const EngineJoinOptions& options,
+                          const PipelineOptions& pipeline_options,
+                          MatchSink* sink, JoinStats* stats) {
+  if (context.s_records == nullptr) {
+    return Status::FailedPrecondition("pipeline requires bound records");
+  }
+  if (sink == nullptr || stats == nullptr) {
+    return Status::InvalidArgument("pipeline requires a sink and stats");
+  }
+  if (pipeline_options.max_partition_records == 0) {
+    return Status::InvalidArgument(
+        "max_partition_records must be > 0 for the partitioned pipeline");
+  }
+
+  const bool self = context.self_join();
+  PartitionPlan s_plan = PartitionPlan::Shard(
+      context.s_records->size(), pipeline_options.max_partition_records);
+  PartitionPlan t_plan =
+      self ? s_plan
+           : PartitionPlan::Shard(context.t_records->size(),
+                                  pipeline_options.max_partition_records);
+  std::vector<PartitionBlock> blocks = EnumerateBlocks(
+      s_plan.num_partitions(), t_plan.num_partitions(), self);
+
+  stats->partitions =
+      s_plan.num_partitions() + (self ? 0 : t_plan.num_partitions());
+  stats->partition_blocks = blocks.size();
+
+  if (blocks.size() <= 1) {
+    // One block covers everything: run the monolithic path directly (and
+    // through the engine's shared prepared context, not a block copy).
+    std::unique_ptr<JoinAlgorithm> algo = factory();
+    if (algo == nullptr) {
+      return Status::Internal("algorithm factory returned null");
+    }
+    uint64_t partitions = stats->partitions;
+    uint64_t partition_blocks = stats->partition_blocks;
+    Status status = algo->Run(context, options, sink, stats);
+    stats->partitions = partitions;
+    stats->partition_blocks = partition_blocks;
+    return status;
+  }
+
+  std::vector<BlockResult> results(blocks.size());
+  std::mutex done_mutex;
+  std::condition_variable done_cv;
+  std::atomic<bool> cancel{false};
+
+  // One shared pool runs every block: context preparation, candidate
+  // generation and verification all execute inside the block task.
+  ThreadPool pool(pipeline_options.num_threads);
+  for (size_t b = 0; b < blocks.size(); ++b) {
+    pool.Submit([&, b] {
+      if (!cancel.load(std::memory_order_relaxed)) {
+        RunBlock(factory, context, options, blocks[b], s_plan, t_plan,
+                 &results[b]);
+      }
+      {
+        std::lock_guard<std::mutex> lock(done_mutex);
+        results[b].done = true;
+      }
+      done_cv.notify_all();
+    });
+  }
+
+  // Emit stripe by stripe: once every block of S-partition i has
+  // finished, the union of their (disjoint) sorted pair lists is the
+  // complete, globally contiguous run of results whose first component
+  // lies in partition i.
+  Status status = Status::OK();
+  double pebble_weight = 0.0, pebble_weighted_sum = 0.0;
+  bool terminated = false;
+  size_t next = 0;
+  while (next < blocks.size() && status.ok() && !terminated) {
+    size_t stripe_begin = next;
+    uint32_t stripe = blocks[next].s_part;
+    while (next < blocks.size() && blocks[next].s_part == stripe) ++next;
+    {
+      std::unique_lock<std::mutex> lock(done_mutex);
+      done_cv.wait(lock, [&] {
+        for (size_t b = stripe_begin; b < next; ++b) {
+          if (!results[b].done) return false;
+        }
+        return true;
+      });
+    }
+
+    PairVec merged;
+    for (size_t b = stripe_begin; b < next; ++b) {
+      BlockResult& r = results[b];
+      if (!r.status.ok()) {
+        status = r.status;
+        break;
+      }
+      stats->prepare_seconds += r.stats.prepare_seconds;
+      stats->signature_seconds += r.stats.signature_seconds;
+      stats->filter_seconds += r.stats.filter_seconds;
+      stats->verify_seconds += r.stats.verify_seconds;
+      stats->processed_pairs += r.stats.processed_pairs;
+      stats->candidates += r.stats.candidates;
+      pebble_weighted_sum += r.stats.avg_signature_pebbles * r.weight;
+      pebble_weight += r.weight;
+      merged.insert(merged.end(), r.pairs.begin(), r.pairs.end());
+      PairVec().swap(r.pairs);  // release stripe memory as we go
+    }
+    if (!status.ok()) break;
+    std::sort(merged.begin(), merged.end());
+    for (const auto& [first, second] : merged) {
+      ++stats->results;
+      if (!sink->OnMatch(first, second)) {
+        terminated = true;
+        break;
+      }
+    }
+  }
+
+  // Stop feeding queued blocks and drain in-flight ones before the
+  // results vector goes out of scope.
+  cancel.store(true, std::memory_order_relaxed);
+  pool.WaitIdle();
+  if (pebble_weight > 0.0) {
+    stats->avg_signature_pebbles = pebble_weighted_sum / pebble_weight;
+  }
+  return status;
+}
+
+}  // namespace aujoin

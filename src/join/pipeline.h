@@ -1,0 +1,69 @@
+#ifndef AUJOIN_JOIN_PIPELINE_H_
+#define AUJOIN_JOIN_PIPELINE_H_
+
+#include <functional>
+#include <memory>
+
+#include "api/join_algorithm.h"
+#include "api/match_sink.h"
+#include "join/partition.h"
+#include "util/status.h"
+
+namespace aujoin {
+
+/// Creates one algorithm instance; the pipeline calls it once per
+/// partition block so stateful algorithms never run concurrently with
+/// themselves. The Engine passes a registry lookup here, which keeps this
+/// layer free of a registry dependency.
+using AlgorithmFactory = std::function<std::unique_ptr<JoinAlgorithm>()>;
+
+/// Execution policy of the partitioned join pipeline.
+struct PipelineOptions {
+  /// Upper bound on records per partition; both sides of an R-S join are
+  /// sharded with the same bound. Must be > 0 (0 selects the monolithic
+  /// path at the Engine level and never reaches the pipeline).
+  size_t max_partition_records = 0;
+  /// Worker count of the shared pool that runs partition blocks
+  /// (ResolveThreads semantics: 0 = all hardware threads). Each block is
+  /// single-threaded internally; parallelism comes from running blocks
+  /// concurrently.
+  int num_threads = 1;
+};
+
+/// Runs one join as a pipeline of partition blocks.
+///
+/// The bound collection(s) are sharded into contiguous, size-bounded
+/// partitions (PartitionPlan::Shard) and every partition pair becomes an
+/// independent block: a self-contained prepare → candidate generation →
+/// batched verification run over just that pair's records, executed on a
+/// shared ThreadPool. Peak prepared-state memory is therefore bounded by
+/// the blocks in flight (O(num_threads × max_partition_records) prepared
+/// records) instead of the whole collection.
+///
+/// Result parity with the monolithic path is structural:
+///  - self-joins run the upper triangle of blocks; a diagonal block
+///    contributes its within-partition pairs, a cross block only pairs
+///    straddling its two partitions (via an R-S run when the algorithm
+///    supports it, otherwise a concatenated self-join whose
+///    within-partition pairs are dropped) — so every pair is produced by
+///    exactly one block and boundary dedup needs no hash set;
+///  - blocks are merged a stripe (one S partition) at a time and each
+///    stripe's union is sorted before emission, so the sink still
+///    observes the MatchSink contract: globally ascending (first,
+///    second), each pair exactly once, early termination honoured.
+///
+/// Stats: per-stage seconds are summed across blocks (aggregate work, not
+/// wall time — with N pool workers the wall time is roughly the sum
+/// divided by N), counts are summed, and `partitions` /
+/// `partition_blocks` record the plan shape. On early termination the
+/// stats cover the stripes emitted so far, mirroring the monolithic
+/// contract.
+Status RunPartitionedJoin(const AlgorithmFactory& factory,
+                          const AlgorithmContext& context,
+                          const EngineJoinOptions& options,
+                          const PipelineOptions& pipeline_options,
+                          MatchSink* sink, JoinStats* stats);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_JOIN_PIPELINE_H_

@@ -1,0 +1,106 @@
+#include "util/parallel.h"
+
+#include <atomic>
+#include <memory>
+#include <utility>
+
+namespace aujoin {
+
+ThreadPool::ThreadPool(int num_threads) {
+  int workers = ResolveThreads(num_threads);
+  workers_.reserve(workers);
+  for (int w = 0; w < workers; ++w) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& t : workers_) t.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    queue_.push_back(std::move(task));
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::WaitIdle() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  idle_cv_.wait(lock, [this] { return queue_.empty() && active_ == 0; });
+}
+
+void ThreadPool::WorkerLoop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      work_cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      // Drain remaining work even when stopping, so the destructor's
+      // contract ("drains outstanding tasks") holds.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++active_;
+    }
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      --active_;
+    }
+    idle_cv_.notify_all();
+  }
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, const std::function<void(size_t, size_t, int)>& fn) {
+  if (n == 0) return;
+  size_t workers = std::min<size_t>(static_cast<size_t>(num_workers()), n);
+  if (workers <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+  // Private completion state: WaitIdle would also wait on unrelated
+  // queued tasks, so each loop tracks its own chunks.
+  struct LoopState {
+    std::mutex mutex;
+    std::condition_variable done_cv;
+    size_t remaining;
+  };
+  auto state = std::make_shared<LoopState>();
+  size_t chunk = (n + workers - 1) / workers;
+  size_t chunks = 0;
+  for (size_t begin = 0; begin < n; begin += chunk) ++chunks;
+  state->remaining = chunks;
+  for (size_t w = 0, begin = 0; begin < n; ++w, begin += chunk) {
+    size_t end = std::min(n, begin + chunk);
+    Submit([&fn, state, begin, end, w] {
+      fn(begin, end, static_cast<int>(w));
+      std::lock_guard<std::mutex> lock(state->mutex);
+      if (--state->remaining == 0) state->done_cv.notify_all();
+    });
+  }
+  std::unique_lock<std::mutex> lock(state->mutex);
+  state->done_cv.wait(lock, [&state] { return state->remaining == 0; });
+}
+
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t, size_t, int)>& fn) {
+  if (n == 0) return;
+  int workers =
+      static_cast<int>(std::min<size_t>(ResolveThreads(num_threads), n));
+  if (workers <= 1) {
+    fn(0, n, 0);
+    return;
+  }
+  ThreadPool pool(workers);
+  pool.ParallelFor(n, fn);
+}
+
+}  // namespace aujoin

@@ -2,7 +2,10 @@
 #define AUJOIN_UTIL_PARALLEL_H_
 
 #include <algorithm>
+#include <condition_variable>
+#include <deque>
 #include <functional>
+#include <mutex>
 #include <thread>
 #include <vector>
 
@@ -18,31 +21,65 @@ inline int ResolveThreads(int requested) {
   return std::clamp(requested, 1, 256);
 }
 
+/// A fixed-size worker pool draining a FIFO work queue. This is the one
+/// parallel-execution primitive in the codebase: ParallelFor below chunks
+/// onto a pool, and the partitioned join pipeline shares a single pool
+/// across context preparation, candidate generation and verification of
+/// every partition block.
+///
+/// Tasks must not call blocking pool operations (Submit-and-wait,
+/// WaitIdle, ParallelFor) on the pool that runs them: with every worker
+/// blocked waiting for queued work, no worker is left to drain the queue.
+/// Nested data-parallel loops should run serially inside a task instead
+/// (the pipeline runs per-block work with num_threads = 1 for exactly
+/// this reason).
+class ThreadPool {
+ public:
+  /// Spawns ResolveThreads(num_threads) workers.
+  explicit ThreadPool(int num_threads);
+
+  /// Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues one task; returns immediately.
+  void Submit(std::function<void()> task);
+
+  /// Blocks until the queue is empty and every worker is idle.
+  void WaitIdle();
+
+  /// Runs fn(begin, end, chunk_index) over [0, n) split into contiguous
+  /// chunks, one per worker, and blocks until all chunks finish. Safe to
+  /// call while unrelated tasks are queued; chunk indexes are dense in
+  /// [0, num_workers()).
+  void ParallelFor(size_t n,
+                   const std::function<void(size_t, size_t, int)>& fn);
+
+  int num_workers() const { return static_cast<int>(workers_.size()); }
+
+ private:
+  void WorkerLoop();
+
+  std::vector<std::thread> workers_;
+  std::deque<std::function<void()>> queue_;
+  mutable std::mutex mutex_;
+  std::condition_variable work_cv_;  // signalled when work arrives / stops
+  std::condition_variable idle_cv_;  // signalled when a task completes
+  size_t active_ = 0;
+  bool stop_ = false;
+};
+
 /// Runs fn(begin, end, worker_index) over [0, n) split into contiguous
 /// chunks, one per worker. Blocks until all workers finish. With one
 /// worker (or tiny n) the call runs inline — no thread is spawned, which
-/// keeps single-threaded paths allocation-free and easy to debug.
-inline void ParallelFor(
-    size_t n, int num_threads,
-    const std::function<void(size_t, size_t, int)>& fn) {
-  num_threads = ResolveThreads(num_threads);
-  if (n == 0) return;
-  size_t workers = std::min<size_t>(static_cast<size_t>(num_threads), n);
-  if (workers <= 1) {
-    fn(0, n, 0);
-    return;
-  }
-  std::vector<std::thread> threads;
-  threads.reserve(workers);
-  size_t chunk = (n + workers - 1) / workers;
-  for (size_t w = 0; w < workers; ++w) {
-    size_t begin = w * chunk;
-    size_t end = std::min(n, begin + chunk);
-    if (begin >= end) break;
-    threads.emplace_back(fn, begin, end, static_cast<int>(w));
-  }
-  for (auto& t : threads) t.join();
-}
+/// keeps single-threaded paths allocation-free and easy to debug. Larger
+/// runs delegate to a transient ThreadPool; long-lived callers that fan
+/// out repeatedly should hold their own pool and use
+/// ThreadPool::ParallelFor to amortise thread creation.
+void ParallelFor(size_t n, int num_threads,
+                 const std::function<void(size_t, size_t, int)>& fn);
 
 }  // namespace aujoin
 

@@ -89,7 +89,8 @@ double StudentTQuantile(double confidence, int df) {
   double z3 = z * z * z;
   double z5 = z3 * z * z;
   double z7 = z5 * z * z;
-  double t = z + (z3 + z) / (4 * n) + (5 * z5 + 16 * z3 + 3 * z) / (96 * n * n) +
+  double t = z + (z3 + z) / (4 * n) +
+             (5 * z5 + 16 * z3 + 3 * z) / (96 * n * n) +
              (3 * z7 + 19 * z5 + 17 * z3 - 15 * z) / (384 * n * n * n);
   return t;
 }

@@ -9,8 +9,10 @@ namespace {
 
 class MeasuresTest : public ::testing::Test {
  protected:
-  MeasuresTest() : world_(), s_(world_.MakeRec(0, "coffee shop latte helsingki")),
-                   t_(world_.MakeRec(1, "espresso cafe helsinki")) {}
+  MeasuresTest()
+      : world_(),
+        s_(world_.MakeRec(0, "coffee shop latte helsingki")),
+        t_(world_.MakeRec(1, "espresso cafe helsinki")) {}
 
   // Finds the well-defined segment with the given span.
   static const WellDefinedSegment& Find(

@@ -1,4 +1,6 @@
+#include <atomic>
 #include <cmath>
+#include <mutex>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -6,12 +8,84 @@
 #include "util/flags.h"
 #include "util/hash.h"
 #include "util/io.h"
+#include "util/parallel.h"
 #include "util/rng.h"
 #include "util/stats.h"
 #include "util/status.h"
 
 namespace aujoin {
 namespace {
+
+TEST(ThreadPoolTest, SubmittedTasksAllRunAndWaitIdleBlocks) {
+  ThreadPool pool(4);
+  EXPECT_EQ(pool.num_workers(), 4);
+  std::atomic<int> counter{0};
+  for (int i = 0; i < 100; ++i) {
+    pool.Submit([&counter] { ++counter; });
+  }
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 100);
+  // The pool is reusable after draining.
+  pool.Submit([&counter] { ++counter; });
+  pool.WaitIdle();
+  EXPECT_EQ(counter.load(), 101);
+}
+
+TEST(ThreadPoolTest, DestructorDrainsOutstandingTasks) {
+  std::atomic<int> counter{0};
+  {
+    ThreadPool pool(2);
+    for (int i = 0; i < 50; ++i) {
+      pool.Submit([&counter] { ++counter; });
+    }
+  }
+  EXPECT_EQ(counter.load(), 50);
+}
+
+TEST(ThreadPoolTest, PoolParallelForCoversTheRangeOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(1000);
+  pool.ParallelFor(hits.size(), [&](size_t begin, size_t end, int worker) {
+    EXPECT_GE(worker, 0);
+    EXPECT_LT(worker, pool.num_workers());
+    for (size_t i = begin; i < end; ++i) ++hits[i];
+  });
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPoolTest, ParallelForRunsWhileUnrelatedTasksAreQueued) {
+  ThreadPool pool(4);
+  std::atomic<int> background{0};
+  for (int i = 0; i < 20; ++i) {
+    pool.Submit([&background] { ++background; });
+  }
+  std::atomic<uint64_t> sum{0};
+  pool.ParallelFor(100, [&](size_t begin, size_t end, int /*worker*/) {
+    for (size_t i = begin; i < end; ++i) sum += i;
+  });
+  EXPECT_EQ(sum.load(), 4950u);
+  pool.WaitIdle();
+  EXPECT_EQ(background.load(), 20);
+}
+
+TEST(ParallelForTest, FreeFunctionMatchesSerialExecution) {
+  for (int threads : {1, 2, 4, 0}) {
+    std::vector<int> hits(257, 0);
+    std::mutex mutex;
+    ParallelFor(hits.size(), threads,
+                [&](size_t begin, size_t end, int /*worker*/) {
+                  std::lock_guard<std::mutex> lock(mutex);
+                  for (size_t i = begin; i < end; ++i) ++hits[i];
+                });
+    for (int h : hits) EXPECT_EQ(h, 1);
+  }
+}
+
+TEST(ParallelForTest, ZeroItemsIsANoOp) {
+  bool called = false;
+  ParallelFor(0, 4, [&](size_t, size_t, int) { called = true; });
+  EXPECT_FALSE(called);
+}
 
 TEST(StatusTest, OkByDefault) {
   Status s;

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "bench_common.h"
+#include "dataset/manifest.h"
 #include "harness.h"
 
 namespace aujoin {
@@ -98,6 +99,12 @@ int Run(int argc, char** argv) {
   report.profile = profile;
   report.num_records = world->corpus.records.size();
   report.num_truth_pairs = world->corpus.truth_pairs.size();
+  DatasetManifest manifest =
+      BuildManifest(world->corpus.records, world->vocab, &world->rules,
+                    &world->taxonomy);
+  manifest.source = "datagen:" + profile;
+  manifest.format = "generated";
+  report.dataset_manifest_json = manifest.ToJson();
   report.runs = harness.RunGrid(grid, &world->corpus.truth_pairs);
 
   for (const BenchRun& run : report.runs) PrintRun(run);

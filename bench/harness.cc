@@ -1,10 +1,10 @@
 #include "harness.h"
 
-#include <cinttypes>
 #include <cstdio>
 #include <cstring>
 #include <map>
 
+#include "util/json.h"
 #include "util/timer.h"
 
 #if defined(__unix__) || defined(__APPLE__)
@@ -12,57 +12,6 @@
 #endif
 
 namespace aujoin {
-namespace {
-
-/// Appends a JSON string literal (quotes, backslashes and control bytes
-/// escaped).
-void AppendJsonString(const std::string& value, std::string* out) {
-  out->push_back('"');
-  for (char c : value) {
-    switch (c) {
-      case '"':
-        *out += "\\\"";
-        break;
-      case '\\':
-        *out += "\\\\";
-        break;
-      case '\n':
-        *out += "\\n";
-        break;
-      case '\t':
-        *out += "\\t";
-        break;
-      case '\r':
-        *out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
-          *out += buf;
-        } else {
-          out->push_back(c);
-        }
-    }
-  }
-  out->push_back('"');
-}
-
-void AppendDouble(double value, std::string* out) {
-  char buf[40];
-  std::snprintf(buf, sizeof(buf), "%.9g", value);
-  // %g never emits a decimal point for integral values; keep the output
-  // unambiguously numeric JSON either way (1e+06 and 42 are both valid).
-  *out += buf;
-}
-
-void AppendUint(uint64_t value, std::string* out) {
-  char buf[24];
-  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
-  *out += buf;
-}
-
-}  // namespace
 
 uint64_t CurrentPeakRssBytes() {
 #if defined(__unix__) || defined(__APPLE__)
@@ -86,9 +35,13 @@ std::string BenchReport::ToJson() const {
   out += ",\n  \"profile\": ";
   AppendJsonString(profile, &out);
   out += ",\n  \"num_records\": ";
-  AppendUint(num_records, &out);
+  AppendJsonUint(num_records, &out);
   out += ",\n  \"num_truth_pairs\": ";
-  AppendUint(num_truth_pairs, &out);
+  AppendJsonUint(num_truth_pairs, &out);
+  if (!dataset_manifest_json.empty()) {
+    out += ",\n  \"dataset\": ";
+    out += dataset_manifest_json;
+  }
   out += ",\n  \"runs\": [";
   for (size_t i = 0; i < runs.size(); ++i) {
     const BenchRun& run = runs[i];
@@ -100,52 +53,52 @@ std::string BenchReport::ToJson() const {
     out += ", \"measures\": ";
     AppendJsonString(run.measures, &out);
     out += ",\n     \"theta\": ";
-    AppendDouble(run.theta, &out);
+    AppendJsonDouble(run.theta, &out);
     out += ", \"tau\": ";
-    AppendDouble(run.tau, &out);
+    AppendJsonDouble(run.tau, &out);
     out += ", \"threads\": ";
-    AppendDouble(run.threads, &out);
+    AppendJsonDouble(run.threads, &out);
     out += ", \"max_partition_records\": ";
-    AppendUint(run.max_partition_records, &out);
+    AppendJsonUint(run.max_partition_records, &out);
     out += ", \"num_records\": ";
-    AppendUint(run.num_records, &out);
+    AppendJsonUint(run.num_records, &out);
     out += ",\n     \"ok\": ";
     out += run.ok ? "true" : "false";
     out += ", \"error\": ";
     AppendJsonString(run.error, &out);
     out += ",\n     \"prepare_seconds\": ";
-    AppendDouble(run.stats.prepare_seconds, &out);
+    AppendJsonDouble(run.stats.prepare_seconds, &out);
     out += ", \"signature_seconds\": ";
-    AppendDouble(run.stats.signature_seconds, &out);
+    AppendJsonDouble(run.stats.signature_seconds, &out);
     out += ", \"filter_seconds\": ";
-    AppendDouble(run.stats.filter_seconds, &out);
+    AppendJsonDouble(run.stats.filter_seconds, &out);
     out += ", \"verify_seconds\": ";
-    AppendDouble(run.stats.verify_seconds, &out);
+    AppendJsonDouble(run.stats.verify_seconds, &out);
     out += ", \"suggest_seconds\": ";
-    AppendDouble(run.stats.suggest_seconds, &out);
+    AppendJsonDouble(run.stats.suggest_seconds, &out);
     out += ", \"total_seconds\": ";
-    AppendDouble(run.total_seconds, &out);
+    AppendJsonDouble(run.total_seconds, &out);
     out += ", \"wall_seconds\": ";
-    AppendDouble(run.wall_seconds, &out);
+    AppendJsonDouble(run.wall_seconds, &out);
     out += ",\n     \"processed_pairs\": ";
-    AppendUint(run.stats.processed_pairs, &out);
+    AppendJsonUint(run.stats.processed_pairs, &out);
     out += ", \"candidates\": ";
-    AppendUint(run.stats.candidates, &out);
+    AppendJsonUint(run.stats.candidates, &out);
     out += ", \"results\": ";
-    AppendUint(run.stats.results, &out);
+    AppendJsonUint(run.stats.results, &out);
     out += ", \"partitions\": ";
-    AppendUint(run.stats.partitions, &out);
+    AppendJsonUint(run.stats.partitions, &out);
     out += ", \"partition_blocks\": ";
-    AppendUint(run.stats.partition_blocks, &out);
+    AppendJsonUint(run.stats.partition_blocks, &out);
     out += ", \"peak_rss_bytes\": ";
-    AppendUint(run.peak_rss_bytes, &out);
+    AppendJsonUint(run.peak_rss_bytes, &out);
     if (run.has_prf) {
       out += ",\n     \"precision\": ";
-      AppendDouble(run.prf.precision, &out);
+      AppendJsonDouble(run.prf.precision, &out);
       out += ", \"recall\": ";
-      AppendDouble(run.prf.recall, &out);
+      AppendJsonDouble(run.prf.recall, &out);
       out += ", \"f_measure\": ";
-      AppendDouble(run.prf.f_measure, &out);
+      AppendJsonDouble(run.prf.f_measure, &out);
     }
     out += "}";
   }

@@ -72,6 +72,11 @@ struct BenchReport {
   std::string profile;
   size_t num_records = 0;
   size_t num_truth_pairs = 0;
+  /// Optional corpus manifest (DatasetManifest::ToJson()); embedded
+  /// verbatim as the report's "dataset" object when non-empty, so a
+  /// result always names the corpus it ran on. The aujoin CLI and
+  /// bench_harness both fill this.
+  std::string dataset_manifest_json;
   std::vector<BenchRun> runs;
 
   std::string ToJson() const;

@@ -1,18 +1,21 @@
 // File-driven workflow: join your own data with your own knowledge
-// sources. Reads a taxonomy TSV, a synonym-rule TSV and a strings file
-// (one record per line), runs a self-join through the Engine facade, and
-// streams matched pairs straight to an output TSV — no in-memory result
-// vector, demonstrating the MatchSink streaming path.
+// sources, end to end through the dataset ingestion layer. A single
+// LoadDataset call reads the records file (any supported format), the
+// synonym-rule TSV and the taxonomy TSV into one shared vocabulary;
+// the join then streams matched pairs straight to an output TSV via a
+// MatchSink — the full result is never materialised in memory.
 //
-//   ./file_join --taxonomy=tax.tsv --rules=rules.tsv --strings=data.txt \
-//               --out=pairs.tsv [--theta=0.8] [--tau=0] [--threads=0] \
+//   ./file_join --strings=data.txt --rules=rules.tsv --taxonomy=tax.tsv
+//               --out=pairs.tsv [--theta=0.8] [--tau=0] [--threads=0]
 //               [--algorithm=unified]
 //
 // With --tau=0 the overlap constraint is chosen by Algorithm 7.
 // --algorithm accepts any registry name (unified, kjoin, pkduck,
 // adaptjoin, combination). Run without arguments to see the demo: it
 // generates a small world, saves it to temporary files, and joins from
-// those files — exercising the exact path an adopter would use.
+// those files — exercising the exact path an adopter would use. For
+// the full-featured driver (CSV/JSONL column selection, stats JSON,
+// R x S joins) use the aujoin CLI instead: docs/cli.md.
 
 #include <cstdio>
 #include <fstream>
@@ -22,6 +25,7 @@
 #include "datagen/corpus_gen.h"
 #include "datagen/synonym_gen.h"
 #include "datagen/taxonomy_gen.h"
+#include "dataset/dataset.h"
 #include "synonym/rule_io.h"
 #include "taxonomy/taxonomy_io.h"
 #include "util/flags.h"
@@ -68,35 +72,26 @@ int main(int argc, char** argv) {
     WriteDemoFiles(tax_path, rule_path, strings_path);
   }
 
-  // Load everything into one shared vocabulary.
-  Vocabulary vocab;
-  auto taxonomy = LoadTaxonomyFromTsv(tax_path, &vocab);
-  if (!taxonomy.ok()) {
-    std::fprintf(stderr, "error: %s\n", taxonomy.status().ToString().c_str());
+  // One call ingests everything into one shared vocabulary: records
+  // (format resolved from the extension), synonym rules and taxonomy.
+  DatasetSpec spec;
+  spec.records_path = strings_path;
+  spec.rules_path = rule_path;
+  spec.taxonomy_path = tax_path;
+  Result<Dataset> dataset = LoadDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
     return 1;
   }
-  auto rules = LoadRulesFromTsv(rule_path, &vocab);
-  if (!rules.ok()) {
-    std::fprintf(stderr, "error: %s\n", rules.status().ToString().c_str());
-    return 1;
-  }
-  auto lines = ReadLines(strings_path);
-  if (!lines.ok()) {
-    std::fprintf(stderr, "error: %s\n", lines.status().ToString().c_str());
-    return 1;
-  }
-  std::vector<Record> records = MakeRecords(*lines, &vocab);
-  std::printf("loaded: %zu taxonomy nodes, %zu rules, %zu strings\n",
-              taxonomy->num_nodes(), rules->num_rules(), records.size());
+  std::printf("ingested: %s\n", dataset->manifest.ToJson().c_str());
 
-  Knowledge knowledge{&vocab, &*rules, &*taxonomy};
   Engine engine = EngineBuilder()
-                      .SetKnowledge(knowledge)
+                      .SetKnowledge(dataset->knowledge())
                       .SetMeasures("TJS")
                       .SetQ(3)
                       .SetThreads(threads)
                       .Build();
-  engine.SetRecords(records);
+  engine.SetRecords(dataset->records);
 
   EngineJoinOptions options;
   options.theta = theta;
@@ -111,6 +106,7 @@ int main(int argc, char** argv) {
 
   // Pairs are written as their verification batch completes — the full
   // result is never materialised in memory.
+  const std::vector<Record>& records = dataset->records;
   uint64_t written = 0;
   CallbackSink tsv_sink([&](uint32_t a, uint32_t b) {
     out << a << '\t' << b << '\t' << records[a].text << '\t'

@@ -18,12 +18,28 @@
 
 #include "api/engine.h"
 #include "core/usim.h"
+#include "dataset/dataset.h"
 
 using namespace aujoin;
 
 int main() {
-  // 1. Shared vocabulary + knowledge sources.
-  Vocabulary vocab;
+  // 1. Ingest the corpus through the dataset API. MakeDatasetFromLines
+  // is the in-memory twin of LoadDataset (which reads CSV/TSV/JSONL
+  // files — see examples/file_join.cpp); both give back a Dataset whose
+  // vocabulary, records and knowledge slots all share one interner.
+  Result<Dataset> ingested = MakeDatasetFromLines(
+      {"coffee shop latte helsingki", "espresso cafe helsinki",
+       "latte coffee shop", "cake bakery", "gateau bakery",
+       "totally different place"});
+  if (!ingested.ok()) {
+    std::fprintf(stderr, "error: %s\n",
+                 ingested.status().ToString().c_str());
+    return 1;
+  }
+  Dataset& dataset = *ingested;
+
+  // Knowledge sources are interned into the same shared vocabulary.
+  Vocabulary& vocab = dataset.vocab;
   auto name = [&](std::initializer_list<const char*> words) {
     std::vector<TokenId> ids;
     for (const char* w : words) ids.push_back(vocab.Intern(w));
@@ -32,7 +48,7 @@ int main() {
 
   // Taxonomy of Figure 1(a):
   //   wikipedia -> food -> coffee -> coffee drinks -> {latte, espresso}
-  Taxonomy taxonomy;
+  Taxonomy& taxonomy = dataset.taxonomy;
   NodeId root = taxonomy.AddRoot(name({"wikipedia"})).value();
   NodeId food = taxonomy.AddNode(root, name({"food"})).value();
   NodeId coffee = taxonomy.AddNode(food, name({"coffee"})).value();
@@ -41,11 +57,13 @@ int main() {
   taxonomy.AddNode(drinks, name({"espresso"})).value();
 
   // Synonym rules of Figure 1(b).
-  RuleSet rules;
+  RuleSet& rules = dataset.rules;
   rules.AddRule(name({"coffee", "shop"}), name({"cafe"}), 1.0).value();
   rules.AddRule(name({"cake"}), name({"gateau"}), 1.0).value();
 
-  Knowledge knowledge{&vocab, &rules, &taxonomy};
+  dataset.RefreshManifest();
+  std::printf("dataset: %s\n\n", dataset.manifest.ToJson().c_str());
+  Knowledge knowledge = dataset.knowledge();
 
   // 2. Unified similarity of the two POI strings (Example 3).
   Record s = MakeRecord(0, "coffee shop latte Helsingki", &vocab);
@@ -57,15 +75,9 @@ int main() {
   std::printf("USIM(\"%s\", \"%s\") = %.3f   (paper: 0.892)\n",
               s.text.c_str(), t.text.c_str(), computer.Approx(s, t));
 
-  // 3. A small self-join through the Engine facade.
-  std::vector<Record> pois;
-  const char* texts[] = {
-      "coffee shop latte helsingki", "espresso cafe helsinki",
-      "latte coffee shop", "cake bakery", "gateau bakery",
-      "totally different place"};
-  for (uint32_t i = 0; i < 6; ++i) {
-    pois.push_back(MakeRecord(i, texts[i], &vocab));
-  }
+  // 3. A small self-join through the Engine facade, over the ingested
+  // records.
+  const std::vector<Record>& pois = dataset.records;
 
   Engine engine = EngineBuilder()
                       .SetKnowledge(knowledge)

@@ -1,3 +1,10 @@
+/// \file
+/// The Engine facade — the canonical entry point of the library.
+/// Assemble options with EngineBuilder, bind records, then run any
+/// registered algorithm by name with Engine::Join; results stream to a
+/// MatchSink (see api/match_sink.h) and come back as normalized
+/// JoinStats. File-based inputs arrive via dataset/dataset.h.
+
 #ifndef AUJOIN_API_ENGINE_H_
 #define AUJOIN_API_ENGINE_H_
 

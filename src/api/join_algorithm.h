@@ -1,3 +1,9 @@
+/// \file
+/// The algorithm plug-in surface: JoinAlgorithm (implement + register
+/// in AlgorithmRegistry to appear in the Engine facade, the benches
+/// and the aujoin CLI), the per-run EngineJoinOptions, and the
+/// AlgorithmContext an algorithm receives for one run.
+
 #ifndef AUJOIN_API_JOIN_ALGORITHM_H_
 #define AUJOIN_API_JOIN_ALGORITHM_H_
 

@@ -1,3 +1,8 @@
+/// \file
+/// Streaming result consumption: the MatchSink interface every join
+/// algorithm emits matching pairs through, plus the stock sinks
+/// (collecting, callback, counting) and a pull-style enumerator.
+
 #ifndef AUJOIN_API_MATCH_SINK_H_
 #define AUJOIN_API_MATCH_SINK_H_
 

@@ -1,0 +1,93 @@
+#include "dataset/dataset.h"
+
+#include <utility>
+
+#include "synonym/rule_io.h"
+#include "taxonomy/taxonomy_io.h"
+
+namespace aujoin {
+
+void Dataset::RefreshManifest() {
+  DatasetManifest fresh = BuildManifest(records, vocab, &rules, &taxonomy);
+  fresh.source = manifest.source;
+  fresh.format = manifest.format;
+  fresh.rows_skipped = manifest.rows_skipped;
+  fresh.num_records_t = records2.size();
+  manifest = fresh;
+}
+
+Result<Dataset> LoadDataset(const DatasetSpec& spec) {
+  if (spec.records_path.empty()) {
+    return Status::InvalidArgument("DatasetSpec::records_path is required");
+  }
+  Dataset dataset;
+
+  // Knowledge files first: interning rule/taxonomy phrases before the
+  // corpus gives knowledge tokens the low ids, but any order would work —
+  // ids only need to be consistent within the one shared vocabulary.
+  if (!spec.taxonomy_path.empty()) {
+    Result<Taxonomy> taxonomy = LoadTaxonomyFromTsv(
+        spec.taxonomy_path, &dataset.vocab, spec.tokenizer);
+    if (!taxonomy.ok()) return taxonomy.status();
+    dataset.taxonomy = std::move(*taxonomy);
+  }
+  if (!spec.rules_path.empty()) {
+    Result<RuleSet> rules =
+        LoadRulesFromTsv(spec.rules_path, &dataset.vocab, spec.tokenizer);
+    if (!rules.ok()) return rules.status();
+    dataset.rules = std::move(*rules);
+  }
+
+  auto read_collection = [&](const std::string& path,
+                             std::vector<Record>* out) {
+    return ReadRecordsFromFile(path, spec.reader, [&](std::string&& text) {
+      out->push_back(MakeRecord(static_cast<uint32_t>(out->size()),
+                                std::move(text), &dataset.vocab,
+                                spec.tokenizer));
+      return true;
+    });
+  };
+
+  Result<ReaderStats> stats =
+      read_collection(spec.records_path, &dataset.records);
+  if (!stats.ok()) return stats.status();
+  if (dataset.records.empty()) {
+    return Status::InvalidArgument("records file yielded no records: " +
+                                   spec.records_path);
+  }
+  size_t rows_skipped = stats->rows_skipped;
+
+  if (!spec.records2_path.empty()) {
+    Result<ReaderStats> stats2 =
+        read_collection(spec.records2_path, &dataset.records2);
+    if (!stats2.ok()) return stats2.status();
+    if (dataset.records2.empty()) {
+      return Status::InvalidArgument("records file yielded no records: " +
+                                     spec.records2_path);
+    }
+    rows_skipped += stats2->rows_skipped;
+  }
+
+  dataset.manifest = BuildManifest(dataset.records, dataset.vocab,
+                                   &dataset.rules, &dataset.taxonomy);
+  dataset.manifest.source = spec.records_path;
+  dataset.manifest.format = DatasetFormatName(
+      ResolveFormat(spec.reader.format, spec.records_path));
+  dataset.manifest.rows_skipped = rows_skipped;
+  dataset.manifest.num_records_t = dataset.records2.size();
+  return dataset;
+}
+
+Result<Dataset> MakeDatasetFromLines(const std::vector<std::string>& lines,
+                                     const TokenizerOptions& tokenizer) {
+  if (lines.empty()) {
+    return Status::InvalidArgument("no record lines given");
+  }
+  Dataset dataset;
+  dataset.records = MakeRecords(lines, &dataset.vocab, tokenizer);
+  dataset.manifest = BuildManifest(dataset.records, dataset.vocab,
+                                   &dataset.rules, &dataset.taxonomy);
+  return dataset;
+}
+
+}  // namespace aujoin

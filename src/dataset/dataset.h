@@ -1,0 +1,100 @@
+/// \file
+/// Dataset ingestion: LoadDataset turns a records file plus optional
+/// synonym-rule and taxonomy TSVs into an Engine-ready Dataset — one
+/// shared Vocabulary, tokenised records, knowledge sources and a
+/// manifest. See docs/cli.md for the file formats and the aujoin CLI
+/// built on this layer.
+
+#ifndef AUJOIN_DATASET_DATASET_H_
+#define AUJOIN_DATASET_DATASET_H_
+
+#include <string>
+#include <vector>
+
+#include "core/knowledge.h"
+#include "core/record.h"
+#include "dataset/manifest.h"
+#include "dataset/record_reader.h"
+#include "synonym/rule_set.h"
+#include "taxonomy/taxonomy.h"
+#include "text/tokenizer.h"
+#include "text/vocabulary.h"
+
+namespace aujoin {
+
+/// Everything LoadDataset needs to turn files into an Engine-ready
+/// world: the records file plus optional synonym-rule and taxonomy
+/// files, with reader and tokenizer settings.
+struct DatasetSpec {
+  /// The records file. Format resolves per ReaderOptions::format
+  /// (kAuto = by extension).
+  std::string records_path;
+  ReaderOptions reader;
+
+  /// Optional second collection for an R×S join (Engine::SetRecords(s,
+  /// &t)). Read with the same ReaderOptions and interned into the same
+  /// vocabulary; its record ids are 0-based within the collection.
+  std::string records2_path;
+
+  /// Optional knowledge sources, in the TSV formats of
+  /// synonym/rule_io.h and taxonomy/taxonomy_io.h. Empty = none (the
+  /// corresponding measure simply finds no matches to expand).
+  std::string rules_path;
+  std::string taxonomy_path;
+
+  /// Normalisation applied before interning; one policy across the
+  /// records AND the knowledge files so "Cafe" in a rule matches "cafe"
+  /// in a record.
+  TokenizerOptions tokenizer;
+};
+
+/// An owning, self-contained join input: records, knowledge sources and
+/// the one shared Vocabulary they were all interned into, plus the
+/// manifest summarising them. Produced by LoadDataset /
+/// MakeDatasetFromLines; hand `knowledge()` to EngineBuilder and
+/// `records` to Engine::SetRecords:
+///
+///   auto dataset = LoadDataset({.records_path = "pois.csv"});
+///   Engine engine =
+///       EngineBuilder().SetKnowledge(dataset->knowledge()).Build();
+///   engine.SetRecords(dataset->records);
+///
+/// The dataset must outlive every Engine borrowing from it (Knowledge
+/// and records are non-owning views). Movable; a move invalidates
+/// previously-obtained Knowledge views, so call knowledge() after the
+/// dataset reaches its final home.
+struct Dataset {
+  Vocabulary vocab;
+  Taxonomy taxonomy;
+  RuleSet rules;
+  std::vector<Record> records;
+  /// Second collection of an R×S join; empty for self-join datasets.
+  std::vector<Record> records2;
+  DatasetManifest manifest;
+
+  /// Non-owning view over the members, ready for EngineBuilder.
+  Knowledge knowledge() const { return Knowledge{&vocab, &rules, &taxonomy}; }
+
+  /// Recomputes the manifest's record/vocab/knowledge statistics after
+  /// mutating members in place (source, format and rows_skipped are
+  /// kept).
+  void RefreshManifest();
+};
+
+/// Loads a dataset end to end: taxonomy file, rule file, then the
+/// records file streamed through the format reader, each record
+/// tokenised into the shared vocabulary as it arrives. Errors on I/O
+/// failure, malformed knowledge files, malformed rows (under
+/// MalformedRowPolicy::kFail), or a records file that yields zero
+/// records.
+Result<Dataset> LoadDataset(const DatasetSpec& spec);
+
+/// In-memory ingestion: builds a Dataset (records + manifest) from raw
+/// record texts over a fresh vocabulary. Knowledge sources start empty;
+/// populate `taxonomy` / `rules` afterwards (before knowledge() use).
+Result<Dataset> MakeDatasetFromLines(const std::vector<std::string>& lines,
+                                     const TokenizerOptions& tokenizer = {});
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_DATASET_DATASET_H_

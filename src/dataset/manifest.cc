@@ -1,0 +1,80 @@
+#include "dataset/manifest.h"
+
+#include <algorithm>
+
+#include "core/knowledge.h"
+#include "util/json.h"
+
+namespace aujoin {
+
+std::string DatasetManifest::ToJson() const {
+  std::string out = "{";
+  AppendJsonKey("source", &out);
+  AppendJsonString(source, &out);
+  out += ", ";
+  AppendJsonKey("format", &out);
+  AppendJsonString(format, &out);
+  out += ", ";
+  AppendJsonKey("num_records", &out);
+  AppendJsonUint(num_records, &out);
+  out += ", ";
+  AppendJsonKey("num_records_t", &out);
+  AppendJsonUint(num_records_t, &out);
+  out += ", ";
+  AppendJsonKey("rows_skipped", &out);
+  AppendJsonUint(rows_skipped, &out);
+  out += ", ";
+  AppendJsonKey("total_tokens", &out);
+  AppendJsonUint(total_tokens, &out);
+  out += ", ";
+  AppendJsonKey("min_tokens", &out);
+  AppendJsonUint(min_tokens, &out);
+  out += ", ";
+  AppendJsonKey("max_tokens", &out);
+  AppendJsonUint(max_tokens, &out);
+  out += ", ";
+  AppendJsonKey("avg_tokens", &out);
+  AppendJsonDouble(avg_tokens, &out);
+  out += ", ";
+  AppendJsonKey("vocab_size", &out);
+  AppendJsonUint(vocab_size, &out);
+  out += ", ";
+  AppendJsonKey("num_rules", &out);
+  AppendJsonUint(num_rules, &out);
+  out += ", ";
+  AppendJsonKey("num_taxonomy_nodes", &out);
+  AppendJsonUint(num_taxonomy_nodes, &out);
+  out += ", ";
+  AppendJsonKey("claw_k", &out);
+  AppendJsonUint(claw_k, &out);
+  out += "}";
+  return out;
+}
+
+DatasetManifest BuildManifest(const std::vector<Record>& records,
+                              const Vocabulary& vocab, const RuleSet* rules,
+                              const Taxonomy* taxonomy) {
+  DatasetManifest manifest;
+  manifest.source = "<memory>";
+  manifest.format = "memory";
+  manifest.num_records = records.size();
+  bool first = true;
+  for (const Record& record : records) {
+    size_t n = record.num_tokens();
+    manifest.total_tokens += n;
+    manifest.min_tokens = first ? n : std::min(manifest.min_tokens, n);
+    manifest.max_tokens = std::max(manifest.max_tokens, n);
+    first = false;
+  }
+  if (!records.empty()) {
+    manifest.avg_tokens = static_cast<double>(manifest.total_tokens) /
+                          static_cast<double>(records.size());
+  }
+  manifest.vocab_size = vocab.size();
+  if (rules != nullptr) manifest.num_rules = rules->num_rules();
+  if (taxonomy != nullptr) manifest.num_taxonomy_nodes = taxonomy->num_nodes();
+  manifest.claw_k = Knowledge{&vocab, rules, taxonomy}.ClawK();
+  return manifest;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,65 @@
+/// \file
+/// DatasetManifest: the summary record every ingested (or generated)
+/// corpus carries — sizes, token statistics, knowledge shape — and its
+/// JSON serialisation embedded in BENCH_*.json reports (see
+/// docs/bench-schema.md).
+
+#ifndef AUJOIN_DATASET_MANIFEST_H_
+#define AUJOIN_DATASET_MANIFEST_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/record.h"
+#include "synonym/rule_set.h"
+#include "taxonomy/taxonomy.h"
+#include "text/vocabulary.h"
+
+namespace aujoin {
+
+/// Summary statistics of one ingested dataset: what was loaded, how big
+/// it is, and the token-level shape the join cost depends on. Written as
+/// the "dataset" object of the aujoin CLI's stats JSON and embeddable in
+/// BENCH_*.json reports, so a benchmark result always names the
+/// corpus it ran on.
+struct DatasetManifest {
+  /// Records file path, or `<memory>` for in-memory construction.
+  std::string source;
+  /// Resolved DatasetFormatName of the records file.
+  std::string format;
+
+  size_t num_records = 0;
+  /// Second collection of an R×S dataset (0 = self-join dataset).
+  size_t num_records_t = 0;
+  /// Malformed rows dropped during ingestion (kSkip policy).
+  size_t rows_skipped = 0;
+
+  // Token statistics over the record collection.
+  uint64_t total_tokens = 0;
+  size_t min_tokens = 0;
+  size_t max_tokens = 0;
+  double avg_tokens = 0.0;
+  /// Distinct interned tokens across records + knowledge sources.
+  size_t vocab_size = 0;
+
+  // Knowledge shape.
+  size_t num_rules = 0;
+  size_t num_taxonomy_nodes = 0;
+  /// Knowledge::ClawK() — the claw parameter k of Theorem 2.
+  size_t claw_k = 0;
+
+  /// Serialises as one JSON object (no trailing newline).
+  std::string ToJson() const;
+};
+
+/// Computes a manifest over loaded components. `rules` / `taxonomy` may
+/// be nullptr when the corresponding knowledge source is absent.
+DatasetManifest BuildManifest(const std::vector<Record>& records,
+                              const Vocabulary& vocab, const RuleSet* rules,
+                              const Taxonomy* taxonomy);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_DATASET_MANIFEST_H_

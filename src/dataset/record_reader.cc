@@ -1,0 +1,625 @@
+#include "dataset/record_reader.h"
+
+#include <algorithm>
+#include <cctype>
+#include <cstdlib>
+#include <fstream>
+#include <utility>
+
+#include "util/io.h"
+
+namespace aujoin {
+namespace {
+
+std::string LowerExtension(const std::string& path) {
+  size_t dot = path.find_last_of('.');
+  size_t slash = path.find_last_of('/');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return "";
+  }
+  std::string ext = path.substr(dot + 1);
+  std::transform(ext.begin(), ext.end(), ext.begin(), [](unsigned char c) {
+    return static_cast<char>(std::tolower(c));
+  });
+  return ext;
+}
+
+Status MalformedError(const std::string& path, size_t lineno,
+                      const std::string& what) {
+  return Status::InvalidArgument(path + ":" + std::to_string(lineno) + ": " +
+                                 what);
+}
+
+// ------------------------------------------------------------------ CSV
+
+enum class RowOutcome { kEof, kRow, kMalformed };
+
+/// Reads one RFC-4180 record from `in` (a record may span physical lines
+/// inside a quoted field). `lines_consumed` counts the physical lines the
+/// record covered so callers can keep line numbers honest.
+RowOutcome ReadCsvRow(std::istream& in, std::vector<std::string>* fields,
+                      size_t* lines_consumed, std::string* error) {
+  fields->clear();
+  *lines_consumed = 0;
+  if (in.peek() == std::char_traits<char>::eof()) return RowOutcome::kEof;
+  *lines_consumed = 1;
+  std::string field;
+  bool in_quotes = false;
+  bool field_was_quoted = false;
+  auto end_field = [&] {
+    fields->push_back(std::move(field));
+    field.clear();
+    field_was_quoted = false;
+  };
+  for (;;) {
+    int ci = in.get();
+    if (ci == std::char_traits<char>::eof()) {
+      if (in_quotes) {
+        *error = "unterminated quoted field";
+        return RowOutcome::kMalformed;
+      }
+      end_field();
+      return RowOutcome::kRow;
+    }
+    char c = static_cast<char>(ci);
+    if (in_quotes) {
+      if (c == '"') {
+        if (in.peek() == '"') {
+          in.get();
+          field.push_back('"');
+        } else {
+          in_quotes = false;
+        }
+      } else {
+        if (c == '\n') ++*lines_consumed;
+        field.push_back(c);
+      }
+      continue;
+    }
+    switch (c) {
+      case '"':
+        if (field.empty() && !field_was_quoted) {
+          in_quotes = true;
+          field_was_quoted = true;
+        } else {
+          *error = "stray quote inside unquoted field";
+          return RowOutcome::kMalformed;
+        }
+        break;
+      case ',':
+        end_field();
+        break;
+      case '\r':
+        if (in.peek() == '\n') in.get();
+        end_field();
+        return RowOutcome::kRow;
+      case '\n':
+        end_field();
+        return RowOutcome::kRow;
+      default:
+        if (field_was_quoted) {
+          *error = "data after closing quote";
+          return RowOutcome::kMalformed;
+        }
+        field.push_back(c);
+    }
+  }
+}
+
+/// Best-effort resynchronisation after a malformed CSV row under the
+/// kSkip policy: drop input up to and including the next newline.
+void SkipToNextLine(std::istream& in) {
+  int ci;
+  while ((ci = in.get()) != std::char_traits<char>::eof() && ci != '\n') {
+  }
+}
+
+// ---------------------------------------------------------------- JSONL
+
+/// A scalar field of one JSONL object: decoded string value, or the raw
+/// token text for numbers/booleans.
+struct JsonField {
+  std::string key;
+  std::string value;
+  bool scalar = true;  // false for objects/arrays (not selectable)
+};
+
+/// Minimal single-line JSON object parser: collects top-level scalar
+/// fields, skips nested values, rejects anything that is not one valid
+/// object per line.
+class MiniJsonParser {
+ public:
+  explicit MiniJsonParser(const std::string& line)
+      : p_(line.data()), end_(line.data() + line.size()) {}
+
+  bool ParseObjectLine(std::vector<JsonField>* fields, std::string* error) {
+    SkipWs();
+    if (!Consume('{')) return Fail("expected '{'", error);
+    SkipWs();
+    if (Consume('}')) return AtEnd(error);
+    for (;;) {
+      SkipWs();
+      JsonField field;
+      if (!ParseString(&field.key)) {
+        return Fail("expected object key string", error);
+      }
+      SkipWs();
+      if (!Consume(':')) return Fail("expected ':'", error);
+      SkipWs();
+      if (!ParseValue(&field.value, &field.scalar)) {
+        return Fail("invalid value for key '" + field.key + "'", error);
+      }
+      fields->push_back(std::move(field));
+      SkipWs();
+      if (Consume(',')) continue;
+      if (Consume('}')) return AtEnd(error);
+      return Fail("expected ',' or '}'", error);
+    }
+  }
+
+ private:
+  void SkipWs() {
+    while (p_ < end_ && (*p_ == ' ' || *p_ == '\t')) ++p_;
+  }
+  bool Consume(char c) {
+    if (p_ < end_ && *p_ == c) {
+      ++p_;
+      return true;
+    }
+    return false;
+  }
+  bool Fail(const std::string& what, std::string* error) {
+    *error = what;
+    return false;
+  }
+  bool AtEnd(std::string* error) {
+    SkipWs();
+    if (p_ != end_) return Fail("trailing data after object", error);
+    return true;
+  }
+
+  /// Appends `code` (a Unicode scalar value) to `out` as UTF-8.
+  static void AppendUtf8(uint32_t code, std::string* out) {
+    if (code < 0x80) {
+      out->push_back(static_cast<char>(code));
+    } else if (code < 0x800) {
+      out->push_back(static_cast<char>(0xC0 | (code >> 6)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else if (code < 0x10000) {
+      out->push_back(static_cast<char>(0xE0 | (code >> 12)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    } else {
+      out->push_back(static_cast<char>(0xF0 | (code >> 18)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+      out->push_back(static_cast<char>(0x80 | (code & 0x3F)));
+    }
+  }
+
+  bool ParseHex4(uint32_t* out) {
+    if (end_ - p_ < 4) return false;
+    uint32_t value = 0;
+    for (int i = 0; i < 4; ++i) {
+      char c = *p_++;
+      value <<= 4;
+      if (c >= '0' && c <= '9') {
+        value |= static_cast<uint32_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        value |= static_cast<uint32_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        value |= static_cast<uint32_t>(c - 'A' + 10);
+      } else {
+        return false;
+      }
+    }
+    *out = value;
+    return true;
+  }
+
+  bool ParseString(std::string* out) {
+    if (!Consume('"')) return false;
+    while (p_ < end_) {
+      char c = *p_++;
+      if (c == '"') return true;
+      if (c != '\\') {
+        out->push_back(c);
+        continue;
+      }
+      if (p_ >= end_) return false;
+      char esc = *p_++;
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out->push_back(esc);
+          break;
+        case 'b':
+          out->push_back('\b');
+          break;
+        case 'f':
+          out->push_back('\f');
+          break;
+        case 'n':
+          out->push_back('\n');
+          break;
+        case 'r':
+          out->push_back('\r');
+          break;
+        case 't':
+          out->push_back('\t');
+          break;
+        case 'u': {
+          uint32_t code;
+          if (!ParseHex4(&code)) return false;
+          // Combine a surrogate pair when one follows; a lone surrogate
+          // becomes U+FFFD rather than invalid UTF-8.
+          if (code >= 0xD800 && code <= 0xDBFF && end_ - p_ >= 6 &&
+              p_[0] == '\\' && p_[1] == 'u') {
+            p_ += 2;
+            uint32_t low;
+            if (!ParseHex4(&low)) return false;
+            if (low >= 0xDC00 && low <= 0xDFFF) {
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            } else {
+              AppendUtf8(0xFFFD, out);
+              code = low;
+            }
+          }
+          if (code >= 0xD800 && code <= 0xDFFF) code = 0xFFFD;
+          AppendUtf8(code, out);
+          break;
+        }
+        default:
+          return false;
+      }
+    }
+    return false;  // unterminated
+  }
+
+  bool ParseValue(std::string* out, bool* scalar) {
+    *scalar = true;
+    if (p_ >= end_) return false;
+    char c = *p_;
+    if (c == '"') return ParseString(out);
+    if (c == '{' || c == '[') {
+      *scalar = false;
+      return SkipComposite();
+    }
+    // Literals and numbers: capture the raw token.
+    const char* begin = p_;
+    while (p_ < end_ && *p_ != ',' && *p_ != '}' && *p_ != ']' &&
+           *p_ != ' ' && *p_ != '\t') {
+      ++p_;
+    }
+    std::string token(begin, p_);
+    if (token == "true" || token == "false" || token == "null") {
+      *out = token;
+      return true;
+    }
+    // Validate as a JSON number the cheap way: optional sign, digits,
+    // optional fraction/exponent.
+    char* parse_end = nullptr;
+    std::string terminated = token;
+    std::strtod(terminated.c_str(), &parse_end);
+    if (token.empty() || parse_end != terminated.c_str() + terminated.size()) {
+      return false;
+    }
+    *out = token;
+    return true;
+  }
+
+  /// Skips a nested object/array, honouring strings and nesting depth.
+  bool SkipComposite() {
+    int depth = 0;
+    while (p_ < end_) {
+      char c = *p_;
+      if (c == '"') {
+        std::string ignored;
+        if (!ParseString(&ignored)) return false;
+        continue;
+      }
+      ++p_;
+      if (c == '{' || c == '[') ++depth;
+      if (c == '}' || c == ']') {
+        if (--depth == 0) return true;
+      }
+    }
+    return false;
+  }
+
+  const char* p_;
+  const char* end_;
+};
+
+// --------------------------------------------------------------- driver
+
+/// Joins the selected fields with single spaces.
+std::string JoinSelected(const std::vector<std::string>& fields,
+                         const std::vector<size_t>& indices) {
+  std::string text;
+  for (size_t i : indices) {
+    if (!text.empty()) text += ' ';
+    text += fields[i];
+  }
+  return text;
+}
+
+bool TextIsBlank(const std::string& text) {
+  for (unsigned char c : text) {
+    if (std::isspace(c) == 0) return false;
+  }
+  return true;
+}
+
+Result<ReaderStats> ReadDelimited(
+    const std::string& path, const ReaderOptions& options, char delim,
+    bool quoted, const std::function<bool(std::string&&)>& row_fn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  ReaderStats stats;
+  size_t lineno = 0;
+  // The physical line the current row starts on — what error messages
+  // point at (a malformed multi-line CSV row reports where it began).
+  size_t row_start = 0;
+  std::vector<std::string> fields;
+  std::string error;
+
+  // One row fetch shared by the header and data paths. TSV rows are
+  // verbatim tab splits of one physical line; CSV rows go through the
+  // quoted reader and may span lines.
+  auto next_row = [&](RowOutcome* outcome) {
+    row_start = lineno + 1;
+    if (quoted) {
+      size_t lines_consumed = 0;
+      *outcome = ReadCsvRow(in, &fields, &lines_consumed, &error);
+      lineno += lines_consumed;
+      return;
+    }
+    std::string line;
+    if (!std::getline(in, line)) {
+      *outcome = RowOutcome::kEof;
+      return;
+    }
+    ++lineno;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    fields = SplitString(line, delim);
+    *outcome = RowOutcome::kRow;
+  };
+
+  // Resolve the column selection (an empty selection means every field).
+  std::vector<size_t> indices = options.column_indices;
+  if (!options.columns.empty()) {
+    if (!options.column_indices.empty()) {
+      return Status::InvalidArgument(
+          "set either columns or column_indices, not both");
+    }
+    if (!options.has_header) {
+      return Status::InvalidArgument(
+          "column selection by name requires has_header");
+    }
+  }
+  if (options.has_header) {
+    RowOutcome outcome;
+    next_row(&outcome);
+    if (outcome == RowOutcome::kEof) {
+      return stats;  // empty file: zero records, not an error
+    }
+    if (outcome == RowOutcome::kMalformed) {
+      return MalformedError(path, row_start, "header: " + error);
+    }
+    for (const std::string& name : options.columns) {
+      auto it = std::find(fields.begin(), fields.end(), name);
+      if (it == fields.end()) {
+        return Status::InvalidArgument(path + ": no column named '" + name +
+                                       "' in header");
+      }
+      indices.push_back(static_cast<size_t>(it - fields.begin()));
+    }
+  }
+
+  for (;;) {
+    if (options.max_records > 0 &&
+        stats.records_emitted >= options.max_records) {
+      break;
+    }
+    RowOutcome outcome;
+    next_row(&outcome);
+    if (outcome == RowOutcome::kEof) break;
+
+    size_t row_line = row_start;
+    std::string text;
+    bool malformed = outcome == RowOutcome::kMalformed;
+    if (malformed && quoted) SkipToNextLine(in);
+    if (!malformed) {
+      // Entirely blank physical lines are structure, not data.
+      if (fields.size() == 1 && fields[0].empty()) continue;
+      ++stats.rows_read;
+      for (size_t index : indices) {
+        if (index >= fields.size()) {
+          error = "row has " + std::to_string(fields.size()) +
+                  " fields, column index " + std::to_string(index) +
+                  " selected";
+          malformed = true;
+          break;
+        }
+      }
+      if (!malformed) {
+        text = indices.empty() ? JoinStrings(fields, " ")
+                               : JoinSelected(fields, indices);
+        if (TextIsBlank(text)) {
+          error = "empty record text";
+          malformed = true;
+        }
+      }
+    } else {
+      ++stats.rows_read;
+    }
+
+    if (malformed) {
+      if (options.on_malformed == MalformedRowPolicy::kFail) {
+        return MalformedError(path, row_line, error);
+      }
+      ++stats.rows_skipped;
+      continue;
+    }
+    ++stats.records_emitted;
+    if (!row_fn(std::move(text))) break;
+  }
+  return stats;
+}
+
+Result<ReaderStats> ReadJsonl(
+    const std::string& path, const ReaderOptions& options,
+    const std::function<bool(std::string&&)>& row_fn) {
+  if (!options.column_indices.empty()) {
+    return Status::InvalidArgument(
+        "jsonl selects fields by name; column_indices is not supported");
+  }
+  std::vector<std::string> keys = options.columns;
+  if (keys.empty()) keys.push_back("text");
+
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+
+  ReaderStats stats;
+  size_t lineno = 0;
+  std::string line;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (options.max_records > 0 &&
+        stats.records_emitted >= options.max_records) {
+      break;
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (TextIsBlank(line)) continue;
+    ++stats.rows_read;
+
+    std::string error;
+    std::vector<JsonField> object;
+    std::string text;
+    bool malformed = !MiniJsonParser(line).ParseObjectLine(&object, &error);
+    if (!malformed) {
+      for (const std::string& key : keys) {
+        const JsonField* found = nullptr;
+        for (const JsonField& field : object) {
+          if (field.key == key) {
+            found = &field;
+            break;
+          }
+        }
+        if (found == nullptr) {
+          error = "missing key '" + key + "'";
+          malformed = true;
+          break;
+        }
+        if (!found->scalar) {
+          error = "key '" + key + "' is not a scalar";
+          malformed = true;
+          break;
+        }
+        if (!text.empty()) text += ' ';
+        text += found->value;
+      }
+    }
+    if (!malformed && TextIsBlank(text)) {
+      error = "empty record text";
+      malformed = true;
+    }
+
+    if (malformed) {
+      if (options.on_malformed == MalformedRowPolicy::kFail) {
+        return MalformedError(path, lineno, error);
+      }
+      ++stats.rows_skipped;
+      continue;
+    }
+    ++stats.records_emitted;
+    if (!row_fn(std::move(text))) break;
+  }
+  return stats;
+}
+
+Result<ReaderStats> ReadLinesFormat(
+    const std::string& path, const ReaderOptions& options,
+    const std::function<bool(std::string&&)>& row_fn) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return Status::IoError("cannot open for reading: " + path);
+  ReaderStats stats;
+  std::string line;
+  while (std::getline(in, line)) {
+    if (options.max_records > 0 &&
+        stats.records_emitted >= options.max_records) {
+      break;
+    }
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (TextIsBlank(line)) continue;
+    ++stats.rows_read;
+    ++stats.records_emitted;
+    if (!row_fn(std::move(line))) break;
+    line.clear();
+  }
+  return stats;
+}
+
+}  // namespace
+
+Result<DatasetFormat> ParseDatasetFormat(const std::string& name) {
+  if (name == "auto") return DatasetFormat::kAuto;
+  if (name == "lines" || name == "txt") return DatasetFormat::kLines;
+  if (name == "csv") return DatasetFormat::kCsv;
+  if (name == "tsv") return DatasetFormat::kTsv;
+  if (name == "jsonl" || name == "ndjson") return DatasetFormat::kJsonl;
+  return Status::InvalidArgument(
+      "unknown dataset format '" + name +
+      "' (expected auto, lines, csv, tsv or jsonl)");
+}
+
+const char* DatasetFormatName(DatasetFormat format) {
+  switch (format) {
+    case DatasetFormat::kAuto:
+      return "auto";
+    case DatasetFormat::kLines:
+      return "lines";
+    case DatasetFormat::kCsv:
+      return "csv";
+    case DatasetFormat::kTsv:
+      return "tsv";
+    case DatasetFormat::kJsonl:
+      return "jsonl";
+  }
+  return "unknown";
+}
+
+DatasetFormat ResolveFormat(DatasetFormat format, const std::string& path) {
+  if (format != DatasetFormat::kAuto) return format;
+  std::string ext = LowerExtension(path);
+  if (ext == "csv") return DatasetFormat::kCsv;
+  if (ext == "tsv") return DatasetFormat::kTsv;
+  if (ext == "jsonl" || ext == "ndjson") return DatasetFormat::kJsonl;
+  return DatasetFormat::kLines;
+}
+
+Result<ReaderStats> ReadRecordsFromFile(
+    const std::string& path, const ReaderOptions& options,
+    const std::function<bool(std::string&&)>& row_fn) {
+  switch (ResolveFormat(options.format, path)) {
+    case DatasetFormat::kCsv:
+      return ReadDelimited(path, options, ',', /*quoted=*/true, row_fn);
+    case DatasetFormat::kTsv:
+      return ReadDelimited(path, options, '\t', /*quoted=*/false, row_fn);
+    case DatasetFormat::kJsonl:
+      return ReadJsonl(path, options, row_fn);
+    case DatasetFormat::kLines:
+    default:
+      if (!options.columns.empty() || !options.column_indices.empty()) {
+        return Status::InvalidArgument(
+            "the lines format has no columns to select");
+      }
+      return ReadLinesFormat(path, options, row_fn);
+  }
+}
+
+}  // namespace aujoin

@@ -1,0 +1,97 @@
+/// \file
+/// Streaming record readers: CSV (RFC 4180), TSV, JSONL and plain
+/// lines, with column selection, a malformed-row policy, and memory
+/// bounded by one row. The file-format half of dataset ingestion;
+/// dataset/dataset.h wires it to tokenisation and knowledge loading.
+
+#ifndef AUJOIN_DATASET_RECORD_READER_H_
+#define AUJOIN_DATASET_RECORD_READER_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace aujoin {
+
+/// On-disk layouts the ingestion layer understands. `kAuto` resolves
+/// from the file extension (.csv, .tsv, .jsonl/.ndjson, anything else =
+/// kLines).
+enum class DatasetFormat {
+  kAuto = 0,
+  /// One record per line, the whole line is the text.
+  kLines,
+  /// RFC-4180 comma-separated values: double-quoted fields may contain
+  /// commas, newlines and doubled ("") quotes.
+  kCsv,
+  /// Tab-separated values, split verbatim on '\t' (no quoting layer —
+  /// the convention of the repo's rule/taxonomy TSVs).
+  kTsv,
+  /// One JSON object per line; selected fields must be strings or
+  /// numbers.
+  kJsonl,
+};
+
+/// Parses a format name ("auto", "lines", "csv", "tsv", "jsonl");
+/// errors on anything else.
+Result<DatasetFormat> ParseDatasetFormat(const std::string& name);
+
+/// The inverse of ParseDatasetFormat (kAuto renders as "auto").
+const char* DatasetFormatName(DatasetFormat format);
+
+/// Resolves kAuto against a path's extension; other formats pass
+/// through unchanged.
+DatasetFormat ResolveFormat(DatasetFormat format, const std::string& path);
+
+/// How a reader handles a row it cannot parse (unbalanced CSV quote,
+/// invalid JSON, missing selected column).
+enum class MalformedRowPolicy {
+  /// Fail the whole read with the offending line number (default).
+  kFail,
+  /// Drop the row, count it in ReaderStats::rows_skipped, keep going.
+  kSkip,
+};
+
+/// Configuration of one streaming read.
+struct ReaderOptions {
+  DatasetFormat format = DatasetFormat::kAuto;
+
+  /// Columns whose values become the record text (joined with a single
+  /// space, in the order listed). CSV/TSV: resolved against the header
+  /// row (requires `has_header`); JSONL: top-level object keys. Empty
+  /// selects every field in file order (JSONL: the "text" key).
+  std::vector<std::string> columns;
+  /// Zero-based positional selection for CSV/TSV (usable with or
+  /// without a header). Mutually exclusive with `columns`.
+  std::vector<size_t> column_indices;
+  /// CSV/TSV: skip the first row (and resolve `columns` against it).
+  bool has_header = false;
+
+  MalformedRowPolicy on_malformed = MalformedRowPolicy::kFail;
+  /// Stop after this many records (0 = no limit).
+  size_t max_records = 0;
+};
+
+/// Outcome counters of one streaming read.
+struct ReaderStats {
+  /// Data rows seen (header and blank lines excluded).
+  size_t rows_read = 0;
+  /// Rows delivered to the callback.
+  size_t records_emitted = 0;
+  /// Malformed rows dropped under MalformedRowPolicy::kSkip.
+  size_t rows_skipped = 0;
+};
+
+/// Streams `path` row by row, extracts each row's text per `options`,
+/// and hands it to `row_fn`. `row_fn` returning false stops the read
+/// early (the rows so far keep their stats). The file is never fully
+/// materialised: memory is bounded by the longest single row.
+Result<ReaderStats> ReadRecordsFromFile(
+    const std::string& path, const ReaderOptions& options,
+    const std::function<bool(std::string&&)>& row_fn);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_DATASET_RECORD_READER_H_

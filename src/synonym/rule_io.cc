@@ -7,7 +7,8 @@
 
 namespace aujoin {
 
-Result<RuleSet> LoadRulesFromTsv(const std::string& path, Vocabulary* vocab) {
+Result<RuleSet> LoadRulesFromTsv(const std::string& path, Vocabulary* vocab,
+                                 const TokenizerOptions& tokenizer) {
   auto lines = ReadLines(path);
   if (!lines.ok()) return lines.status();
 
@@ -23,8 +24,8 @@ Result<RuleSet> LoadRulesFromTsv(const std::string& path, Vocabulary* vocab) {
     }
     double closeness =
         fields.size() >= 3 ? std::atof(fields[2].c_str()) : 1.0;
-    Result<RuleId> added = rules.AddRule(Tokenize(fields[0], vocab),
-                                         Tokenize(fields[1], vocab),
+    Result<RuleId> added = rules.AddRule(Tokenize(fields[0], vocab, tokenizer),
+                                         Tokenize(fields[1], vocab, tokenizer),
                                          closeness);
     if (!added.ok()) {
       return Status::InvalidArgument("rule line " +

@@ -4,6 +4,7 @@
 #include <string>
 
 #include "synonym/rule_set.h"
+#include "text/tokenizer.h"
 #include "text/vocabulary.h"
 #include "util/status.h"
 
@@ -14,9 +15,12 @@ namespace aujoin {
 ///   lhs phrase <TAB> rhs phrase [<TAB> closeness]
 ///
 /// The closeness column defaults to 1.0 and must be in (0, 1]. Phrases
-/// are tokenised (lowercased, whitespace-split) and interned into
-/// `vocab`. Lines starting with '#' and blank lines are skipped.
-Result<RuleSet> LoadRulesFromTsv(const std::string& path, Vocabulary* vocab);
+/// are tokenised with `tokenizer` (default: lowercased,
+/// whitespace-split) and interned into `vocab` — pass the same options
+/// used for the record corpus so rule sides and record tokens share
+/// TokenIds. Lines starting with '#' and blank lines are skipped.
+Result<RuleSet> LoadRulesFromTsv(const std::string& path, Vocabulary* vocab,
+                                 const TokenizerOptions& tokenizer = {});
 
 /// Writes rules in the same format.
 Status SaveRulesToTsv(const RuleSet& rules, const Vocabulary& vocab,

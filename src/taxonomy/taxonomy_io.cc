@@ -9,7 +9,8 @@
 namespace aujoin {
 
 Result<Taxonomy> LoadTaxonomyFromTsv(const std::string& path,
-                                     Vocabulary* vocab) {
+                                     Vocabulary* vocab,
+                                     const TokenizerOptions& tokenizer) {
   auto lines = ReadLines(path);
   if (!lines.ok()) return lines.status();
 
@@ -32,7 +33,7 @@ Result<Taxonomy> LoadTaxonomyFromTsv(const std::string& path,
           ": node ids must be dense and ascending (expected " +
           std::to_string(expected_id) + ")");
     }
-    std::vector<TokenId> name = Tokenize(fields[2], vocab);
+    std::vector<TokenId> name = Tokenize(fields[2], vocab, tokenizer);
     if (name.empty()) {
       return Status::InvalidArgument("taxonomy line " +
                                      std::to_string(lineno + 1) +

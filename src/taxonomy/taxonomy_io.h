@@ -4,6 +4,7 @@
 #include <string>
 
 #include "taxonomy/taxonomy.h"
+#include "text/tokenizer.h"
 #include "text/vocabulary.h"
 #include "util/status.h"
 
@@ -15,10 +16,13 @@ namespace aujoin {
 ///
 /// Node ids must be dense, in [0, n); the root has parent_id -1 and must
 /// be line 0; every other node's parent must precede it. Entity names are
-/// tokenised (lowercased, whitespace-split) and interned into `vocab`.
+/// tokenised with `tokenizer` (default: lowercased, whitespace-split)
+/// and interned into `vocab` — pass the same options used for the record
+/// corpus so entity names and record tokens share TokenIds.
 /// Lines starting with '#' and blank lines are skipped.
 Result<Taxonomy> LoadTaxonomyFromTsv(const std::string& path,
-                                     Vocabulary* vocab);
+                                     Vocabulary* vocab,
+                                     const TokenizerOptions& tokenizer = {});
 
 /// Writes a taxonomy in the same format (node order = id order).
 Status SaveTaxonomyToTsv(const Taxonomy& taxonomy, const Vocabulary& vocab,

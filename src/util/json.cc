@@ -1,0 +1,57 @@
+#include "util/json.h"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace aujoin {
+
+void AppendJsonString(const std::string& value, std::string* out) {
+  out->push_back('"');
+  for (char c : value) {
+    switch (c) {
+      case '"':
+        *out += "\\\"";
+        break;
+      case '\\':
+        *out += "\\\\";
+        break;
+      case '\n':
+        *out += "\\n";
+        break;
+      case '\t':
+        *out += "\\t";
+        break;
+      case '\r':
+        *out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          *out += buf;
+        } else {
+          out->push_back(c);
+        }
+    }
+  }
+  out->push_back('"');
+}
+
+void AppendJsonDouble(double value, std::string* out) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.9g", value);
+  *out += buf;
+}
+
+void AppendJsonUint(uint64_t value, std::string* out) {
+  char buf[24];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, value);
+  *out += buf;
+}
+
+void AppendJsonKey(const std::string& key, std::string* out) {
+  AppendJsonString(key, out);
+  *out += ": ";
+}
+
+}  // namespace aujoin

@@ -1,0 +1,32 @@
+#ifndef AUJOIN_UTIL_JSON_H_
+#define AUJOIN_UTIL_JSON_H_
+
+#include <cstdint>
+#include <string>
+
+namespace aujoin {
+
+/// Minimal JSON serialisation helpers shared by every component that
+/// emits machine-readable output (the bench harness's BENCH_*.json,
+/// the dataset manifest, the aujoin CLI stats). Append-style so callers
+/// compose documents into one growing string without intermediate
+/// allocations.
+
+/// Appends `value` as a JSON string literal: quotes, backslashes and
+/// control bytes escaped per RFC 8259.
+void AppendJsonString(const std::string& value, std::string* out);
+
+/// Appends a double with enough precision to round-trip benchmark
+/// timings ("%.9g"); always valid JSON (no trailing point ambiguity —
+/// 1e+06 and 42 are both numeric tokens).
+void AppendJsonDouble(double value, std::string* out);
+
+/// Appends an unsigned integer.
+void AppendJsonUint(uint64_t value, std::string* out);
+
+/// Appends `"key": ` (the key quoted, ready for a value append).
+void AppendJsonKey(const std::string& key, std::string* out);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_UTIL_JSON_H_

@@ -55,7 +55,7 @@ class Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  /// Renders "OK" or "<code>: <message>".
+  /// Renders "OK" or "code: message".
   std::string ToString() const;
 
  private:

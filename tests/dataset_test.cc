@@ -1,0 +1,501 @@
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "dataset/dataset.h"
+#include "dataset/record_reader.h"
+#include "util/io.h"
+
+namespace aujoin {
+namespace {
+
+std::string TempPath(const std::string& name) {
+  return ::testing::TempDir() + "/" + name;
+}
+
+/// Collects every emitted record text through the streaming callback.
+Result<ReaderStats> ReadAll(const std::string& path,
+                            const ReaderOptions& options,
+                            std::vector<std::string>* texts) {
+  return ReadRecordsFromFile(path, options, [&](std::string&& text) {
+    texts->push_back(std::move(text));
+    return true;
+  });
+}
+
+// ------------------------------------------------------------ formats
+
+TEST(RecordReaderTest, FormatResolution) {
+  EXPECT_EQ(ResolveFormat(DatasetFormat::kAuto, "a/b.csv"),
+            DatasetFormat::kCsv);
+  EXPECT_EQ(ResolveFormat(DatasetFormat::kAuto, "a/b.TSV"),
+            DatasetFormat::kTsv);
+  EXPECT_EQ(ResolveFormat(DatasetFormat::kAuto, "a/b.jsonl"),
+            DatasetFormat::kJsonl);
+  EXPECT_EQ(ResolveFormat(DatasetFormat::kAuto, "a/b.ndjson"),
+            DatasetFormat::kJsonl);
+  EXPECT_EQ(ResolveFormat(DatasetFormat::kAuto, "a/b.txt"),
+            DatasetFormat::kLines);
+  EXPECT_EQ(ResolveFormat(DatasetFormat::kAuto, "a.dir/noext"),
+            DatasetFormat::kLines);
+  // Explicit formats win over the extension.
+  EXPECT_EQ(ResolveFormat(DatasetFormat::kTsv, "a/b.csv"),
+            DatasetFormat::kTsv);
+  EXPECT_TRUE(ParseDatasetFormat("csv").ok());
+  EXPECT_FALSE(ParseDatasetFormat("parquet").ok());
+}
+
+TEST(RecordReaderTest, LinesBasicAndBlank) {
+  std::string path = TempPath("reader_lines.txt");
+  ASSERT_TRUE(
+      WriteLines(path, {"coffee shop", "", "   ", "espresso cafe"}).ok());
+  std::vector<std::string> texts;
+  auto stats = ReadAll(path, {}, &texts);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(texts, (std::vector<std::string>{"coffee shop",
+                                             "espresso cafe"}));
+  EXPECT_EQ(stats->records_emitted, 2u);
+  EXPECT_EQ(stats->rows_skipped, 0u);
+}
+
+TEST(RecordReaderTest, EmptyFileYieldsZeroRecords) {
+  for (const char* name :
+       {"empty.txt", "empty.csv", "empty.tsv", "empty.jsonl"}) {
+    std::string path = TempPath(name);
+    ASSERT_TRUE(WriteLines(path, {}).ok());
+    std::vector<std::string> texts;
+    auto stats = ReadAll(path, {}, &texts);
+    ASSERT_TRUE(stats.ok()) << name << ": " << stats.status().ToString();
+    EXPECT_EQ(stats->records_emitted, 0u) << name;
+    EXPECT_TRUE(texts.empty()) << name;
+  }
+}
+
+TEST(RecordReaderTest, MissingFileIsIoError) {
+  std::vector<std::string> texts;
+  auto stats = ReadAll(TempPath("does_not_exist.csv"), {}, &texts);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kIoError);
+}
+
+// ---------------------------------------------------------------- CSV
+
+TEST(RecordReaderTest, CsvQuotingAndEscaping) {
+  std::string path = TempPath("reader_quote.csv");
+  ASSERT_TRUE(WriteLines(path, {R"(name,city)",
+                                R"("coffee shop, latte",helsinki)",
+                                R"("say ""hi"" twice",espoo)",
+                                R"(plain,oulu)"})
+                  .ok());
+  ReaderOptions options;
+  options.has_header = true;
+  options.columns = {"name"};
+  std::vector<std::string> texts;
+  auto stats = ReadAll(path, options, &texts);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(texts, (std::vector<std::string>{"coffee shop, latte",
+                                             "say \"hi\" twice", "plain"}));
+}
+
+TEST(RecordReaderTest, CsvQuotedFieldSpansLines) {
+  std::string path = TempPath("reader_multiline.csv");
+  ASSERT_TRUE(WriteLines(path, {R"("line one)", R"(line two",tail)",
+                                R"(next,row)"})
+                  .ok());
+  std::vector<std::string> texts;
+  auto stats = ReadAll(path, {}, &texts);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  ASSERT_EQ(texts.size(), 2u);
+  EXPECT_EQ(texts[0], "line one\nline two tail");
+  EXPECT_EQ(texts[1], "next row");
+}
+
+TEST(RecordReaderTest, CsvColumnSelectionByIndexAndOrder) {
+  std::string path = TempPath("reader_columns.csv");
+  ASSERT_TRUE(WriteLines(path, {"a,b,c", "x,y,z"}).ok());
+  ReaderOptions options;
+  options.column_indices = {2, 0};
+  std::vector<std::string> texts;
+  ASSERT_TRUE(ReadAll(path, options, &texts).ok());
+  EXPECT_EQ(texts, (std::vector<std::string>{"c a", "z x"}));
+}
+
+TEST(RecordReaderTest, CsvHeaderNameSelection) {
+  std::string path = TempPath("reader_header.csv");
+  ASSERT_TRUE(
+      WriteLines(path, {"id,name,city", "1,cafe,helsinki"}).ok());
+  ReaderOptions options;
+  options.has_header = true;
+  options.columns = {"city", "name"};
+  std::vector<std::string> texts;
+  ASSERT_TRUE(ReadAll(path, options, &texts).ok());
+  EXPECT_EQ(texts, (std::vector<std::string>{"helsinki cafe"}));
+
+  options.columns = {"nope"};
+  texts.clear();
+  auto bad = ReadAll(path, options, &texts);
+  ASSERT_FALSE(bad.ok());
+  EXPECT_EQ(bad.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(RecordReaderTest, CsvNameSelectionRequiresHeader) {
+  std::string path = TempPath("reader_noheader.csv");
+  ASSERT_TRUE(WriteLines(path, {"a,b"}).ok());
+  ReaderOptions options;
+  options.columns = {"a"};
+  std::vector<std::string> texts;
+  EXPECT_FALSE(ReadAll(path, options, &texts).ok());
+
+  options.has_header = true;
+  options.column_indices = {0};
+  auto both = ReadAll(path, options, &texts);
+  EXPECT_FALSE(both.ok());  // columns and column_indices are exclusive
+}
+
+TEST(RecordReaderTest, MalformedCsvFailsWithLineNumber) {
+  std::string path = TempPath("reader_malformed.csv");
+  ASSERT_TRUE(WriteLines(path, {"good,row", R"("unterminated,row)"}).ok());
+  std::vector<std::string> texts;
+  auto stats = ReadAll(path, {}, &texts);
+  ASSERT_FALSE(stats.ok());
+  EXPECT_EQ(stats.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(stats.status().message().find(":2:"), std::string::npos)
+      << stats.status().message();
+}
+
+TEST(RecordReaderTest, MalformedCsvSkipPolicy) {
+  std::string path = TempPath("reader_skip.csv");
+  ASSERT_TRUE(WriteLines(path, {"good,row", R"(stray"quote,row)",
+                                R"("data"after,row)", "also,fine"})
+                  .ok());
+  ReaderOptions options;
+  options.on_malformed = MalformedRowPolicy::kSkip;
+  std::vector<std::string> texts;
+  auto stats = ReadAll(path, options, &texts);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(texts, (std::vector<std::string>{"good row", "also fine"}));
+  EXPECT_EQ(stats->rows_skipped, 2u);
+}
+
+TEST(RecordReaderTest, ShortRowUnderSelectionIsMalformed) {
+  std::string path = TempPath("reader_short.csv");
+  ASSERT_TRUE(WriteLines(path, {"a,b,c", "only,two"}).ok());
+  ReaderOptions options;
+  options.column_indices = {2};
+  std::vector<std::string> texts;
+  EXPECT_FALSE(ReadAll(path, options, &texts).ok());
+
+  options.on_malformed = MalformedRowPolicy::kSkip;
+  texts.clear();
+  auto stats = ReadAll(path, options, &texts);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(texts, (std::vector<std::string>{"c"}));
+  EXPECT_EQ(stats->rows_skipped, 1u);
+}
+
+TEST(RecordReaderTest, MaxRecordsStopsEarly) {
+  std::string path = TempPath("reader_max.csv");
+  ASSERT_TRUE(WriteLines(path, {"a", "b", "c", "d"}).ok());
+  ReaderOptions options;
+  options.max_records = 2;
+  std::vector<std::string> texts;
+  auto stats = ReadAll(path, options, &texts);
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(texts, (std::vector<std::string>{"a", "b"}));
+}
+
+TEST(RecordReaderTest, CallbackCanStopEarly) {
+  std::string path = TempPath("reader_stop.csv");
+  ASSERT_TRUE(WriteLines(path, {"a", "b", "c"}).ok());
+  std::vector<std::string> texts;
+  auto stats = ReadRecordsFromFile(path, {}, [&](std::string&& text) {
+    texts.push_back(std::move(text));
+    return texts.size() < 2;
+  });
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(texts.size(), 2u);
+  EXPECT_EQ(stats->records_emitted, 2u);
+}
+
+// ---------------------------------------------------------------- TSV
+
+TEST(RecordReaderTest, TsvSplitsVerbatim) {
+  std::string path = TempPath("reader.tsv");
+  ASSERT_TRUE(WriteLines(path, {"name\tcity", "\"not quoted\"\thelsinki"})
+                  .ok());
+  ReaderOptions options;
+  options.has_header = true;
+  options.columns = {"name"};
+  std::vector<std::string> texts;
+  ASSERT_TRUE(ReadAll(path, options, &texts).ok());
+  // TSV has no quoting layer: the quotes are data.
+  EXPECT_EQ(texts, (std::vector<std::string>{"\"not quoted\""}));
+}
+
+// -------------------------------------------------------------- JSONL
+
+TEST(RecordReaderTest, JsonlFieldSelectionAndEscapes) {
+  std::string path = TempPath("reader.jsonl");
+  ASSERT_TRUE(WriteLines(
+                  path,
+                  {R"({"name": "coffee \"shop\"", "city": "helsinki"})",
+                   R"({"city": "espoo", "name": "café", "n": 3})",
+                   R"({"name": "plain", "city": "oulu", "extra": [1, 2]})"})
+                  .ok());
+  ReaderOptions options;
+  options.columns = {"name", "city"};
+  std::vector<std::string> texts;
+  auto stats = ReadAll(path, options, &texts);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(texts, (std::vector<std::string>{"coffee \"shop\" helsinki",
+                                             "caf\xc3\xa9 espoo",
+                                             "plain oulu"}));
+}
+
+TEST(RecordReaderTest, JsonlDefaultsToTextKey) {
+  std::string path = TempPath("reader_text.jsonl");
+  ASSERT_TRUE(WriteLines(path, {R"({"text": "hello world"})"}).ok());
+  std::vector<std::string> texts;
+  ASSERT_TRUE(ReadAll(path, {}, &texts).ok());
+  EXPECT_EQ(texts, (std::vector<std::string>{"hello world"}));
+}
+
+TEST(RecordReaderTest, JsonlNumericFieldRendersRaw) {
+  std::string path = TempPath("reader_num.jsonl");
+  ASSERT_TRUE(
+      WriteLines(path, {R"({"text": "zip", "code": 90210})"}).ok());
+  ReaderOptions options;
+  options.columns = {"text", "code"};
+  std::vector<std::string> texts;
+  ASSERT_TRUE(ReadAll(path, options, &texts).ok());
+  EXPECT_EQ(texts, (std::vector<std::string>{"zip 90210"}));
+}
+
+TEST(RecordReaderTest, MalformedJsonlRows) {
+  std::string path = TempPath("reader_bad.jsonl");
+  ASSERT_TRUE(WriteLines(path, {R"({"text": "fine"})",
+                                R"(not json at all)",
+                                R"({"text": "unterminated)",
+                                R"({"other": "no text key"})",
+                                R"({"text": {"nested": 1}})",
+                                R"({"text": "also fine"})"})
+                  .ok());
+  std::vector<std::string> texts;
+  auto fail = ReadAll(path, {}, &texts);
+  ASSERT_FALSE(fail.ok());
+  EXPECT_EQ(fail.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(fail.status().message().find(":2:"), std::string::npos);
+
+  ReaderOptions options;
+  options.on_malformed = MalformedRowPolicy::kSkip;
+  texts.clear();
+  auto stats = ReadAll(path, options, &texts);
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_EQ(texts, (std::vector<std::string>{"fine", "also fine"}));
+  EXPECT_EQ(stats->rows_skipped, 4u);
+}
+
+TEST(RecordReaderTest, JsonlRejectsColumnIndices) {
+  std::string path = TempPath("reader_idx.jsonl");
+  ASSERT_TRUE(WriteLines(path, {R"({"text": "x"})"}).ok());
+  ReaderOptions options;
+  options.column_indices = {0};
+  std::vector<std::string> texts;
+  EXPECT_FALSE(ReadAll(path, options, &texts).ok());
+}
+
+// ------------------------------------------------------------- Dataset
+
+TEST(DatasetTest, LoadWiresKnowledgeAndManifest) {
+  std::string records = TempPath("ds_records.txt");
+  std::string rules = TempPath("ds_rules.tsv");
+  std::string taxonomy = TempPath("ds_tax.tsv");
+  ASSERT_TRUE(WriteLines(records, {"coffee shop latte",
+                                   "espresso cafe helsinki"})
+                  .ok());
+  ASSERT_TRUE(WriteLines(rules, {"coffee shop\tcafe\t1"}).ok());
+  ASSERT_TRUE(
+      WriteLines(taxonomy, {"0\t-1\twikipedia", "1\t0\tlatte"}).ok());
+
+  DatasetSpec spec;
+  spec.records_path = records;
+  spec.rules_path = rules;
+  spec.taxonomy_path = taxonomy;
+  auto dataset = LoadDataset(spec);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  EXPECT_EQ(dataset->records.size(), 2u);
+  EXPECT_EQ(dataset->manifest.num_records, 2u);
+  EXPECT_EQ(dataset->manifest.num_rules, 1u);
+  EXPECT_EQ(dataset->manifest.num_taxonomy_nodes, 2u);
+  EXPECT_EQ(dataset->manifest.min_tokens, 3u);
+  EXPECT_EQ(dataset->manifest.max_tokens, 3u);
+  EXPECT_EQ(dataset->manifest.claw_k, 2u);  // "coffee shop"
+  EXPECT_EQ(dataset->manifest.format, "lines");
+
+  // The knowledge view shares the vocabulary: rule tokens and record
+  // tokens intern to the same ids.
+  Knowledge knowledge = dataset->knowledge();
+  EXPECT_EQ(knowledge.vocab->Find("cafe"),
+            dataset->records[1].tokens[1]);
+
+  // The manifest serialises as valid JSON-ish content with its fields.
+  std::string json = dataset->manifest.ToJson();
+  EXPECT_NE(json.find("\"num_records\": 2"), std::string::npos);
+  EXPECT_NE(json.find("\"claw_k\": 2"), std::string::npos);
+}
+
+TEST(DatasetTest, EmptyRecordsFileIsAnError) {
+  std::string records = TempPath("ds_empty.txt");
+  ASSERT_TRUE(WriteLines(records, {}).ok());
+  DatasetSpec spec;
+  spec.records_path = records;
+  auto dataset = LoadDataset(spec);
+  ASSERT_FALSE(dataset.ok());
+  EXPECT_EQ(dataset.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(DatasetTest, RsDatasetSharesVocabulary) {
+  std::string s_path = TempPath("ds_s.txt");
+  std::string t_path = TempPath("ds_t.txt");
+  ASSERT_TRUE(WriteLines(s_path, {"coffee shop"}).ok());
+  ASSERT_TRUE(WriteLines(t_path, {"coffee house"}).ok());
+  DatasetSpec spec;
+  spec.records_path = s_path;
+  spec.records2_path = t_path;
+  auto dataset = LoadDataset(spec);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  ASSERT_EQ(dataset->records2.size(), 1u);
+  EXPECT_EQ(dataset->manifest.num_records_t, 1u);
+  // "coffee" interned once, shared by both collections.
+  EXPECT_EQ(dataset->records[0].tokens[0], dataset->records2[0].tokens[0]);
+}
+
+TEST(DatasetTest, MakeDatasetFromLines) {
+  auto dataset = MakeDatasetFromLines({"coffee shop", "coffee shop latte"});
+  ASSERT_TRUE(dataset.ok());
+  EXPECT_EQ(dataset->manifest.num_records, 2u);
+  EXPECT_EQ(dataset->manifest.total_tokens, 5u);
+  EXPECT_EQ(dataset->manifest.vocab_size, 3u);
+  EXPECT_FALSE(MakeDatasetFromLines({}).ok());
+}
+
+// -------------------------------------------------- round-trip parity
+
+/// The acceptance test of the ingestion layer: the checked-in fixture
+/// dataset (CSV + synonym + taxonomy files under data/), ingested from
+/// disk, must join identically to the same world built in memory with
+/// the core APIs.
+TEST(DatasetRoundTripTest, IngestedFixtureJoinsLikeInMemory) {
+  const std::string root = AUJOIN_SOURCE_DIR;
+
+  DatasetSpec spec;
+  spec.records_path = root + "/data/poi.csv";
+  spec.reader.has_header = true;
+  spec.reader.columns = {"name", "city"};
+  spec.rules_path = root + "/data/poi_rules.tsv";
+  spec.taxonomy_path = root + "/data/poi_taxonomy.tsv";
+  spec.tokenizer.split_punctuation = true;
+  auto dataset = LoadDataset(spec);
+  ASSERT_TRUE(dataset.ok()) << dataset.status().ToString();
+  ASSERT_EQ(dataset->records.size(), 6u);
+
+  // The same world, built in memory: the fixture's record texts
+  // (column-joined), rules and taxonomy, written with the core APIs.
+  Vocabulary vocab;
+  auto name = [&](std::initializer_list<const char*> words) {
+    std::vector<TokenId> ids;
+    for (const char* w : words) ids.push_back(vocab.Intern(w));
+    return ids;
+  };
+  Taxonomy taxonomy;
+  NodeId root_node = taxonomy.AddRoot(name({"wikipedia"})).value();
+  NodeId food = taxonomy.AddNode(root_node, name({"food"})).value();
+  NodeId coffee = taxonomy.AddNode(food, name({"coffee"})).value();
+  NodeId drinks =
+      taxonomy.AddNode(coffee, name({"coffee", "drinks"})).value();
+  taxonomy.AddNode(drinks, name({"latte"})).value();
+  taxonomy.AddNode(drinks, name({"espresso"})).value();
+  NodeId cake = taxonomy.AddNode(food, name({"cake"})).value();
+  taxonomy.AddNode(cake, name({"apple", "cake"})).value();
+  RuleSet rules;
+  rules.AddRule(name({"coffee", "shop"}), name({"cafe"}), 1.0).value();
+  rules.AddRule(name({"cake"}), name({"gateau"}), 1.0).value();
+  Knowledge knowledge{&vocab, &rules, &taxonomy};
+
+  TokenizerOptions tokenizer;
+  tokenizer.split_punctuation = true;
+  std::vector<Record> records =
+      MakeRecords({"coffee shop, latte helsingki", "espresso cafe helsinki",
+                   "latte coffee shop helsingki", "cake bakery espoo",
+                   "gateau \"bakery\" espoo", "totally different place oulu"},
+                  &vocab, tokenizer);
+
+  auto join = [](const Knowledge& k, const std::vector<Record>& recs) {
+    Engine engine =
+        EngineBuilder().SetKnowledge(k).SetMeasures("TJS").SetQ(3).Build();
+    engine.SetRecords(recs);
+    EngineJoinOptions options;
+    options.theta = 0.7;
+    options.tau = 2;
+    Result<JoinResult> result = engine.Join("unified", options);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result->pairs
+                       : std::vector<std::pair<uint32_t, uint32_t>>{};
+  };
+
+  auto from_files = join(dataset->knowledge(), dataset->records);
+  auto in_memory = join(knowledge, records);
+  EXPECT_FALSE(in_memory.empty());
+  EXPECT_EQ(from_files, in_memory);
+
+  // And the ingested texts themselves match the in-memory token streams.
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ(dataset->vocab.Render(TokenSpan(dataset->records[i].tokens)),
+              vocab.Render(TokenSpan(records[i].tokens)))
+        << "record " << i;
+  }
+}
+
+/// Every on-disk format of the same fixture corpus produces the same
+/// match set.
+TEST(DatasetRoundTripTest, CsvAndJsonlFixturesAgree) {
+  const std::string root = AUJOIN_SOURCE_DIR;
+  auto load = [&](const std::string& records_path) {
+    DatasetSpec spec;
+    spec.records_path = records_path;
+    spec.reader.has_header =
+        ResolveFormat(DatasetFormat::kAuto, records_path) ==
+        DatasetFormat::kCsv;
+    spec.reader.columns = {"name", "city"};
+    spec.rules_path = root + "/data/poi_rules.tsv";
+    spec.taxonomy_path = root + "/data/poi_taxonomy.tsv";
+    spec.tokenizer.split_punctuation = true;
+    return LoadDataset(spec);
+  };
+  auto csv = load(root + "/data/poi.csv");
+  auto jsonl = load(root + "/data/poi.jsonl");
+  ASSERT_TRUE(csv.ok()) << csv.status().ToString();
+  ASSERT_TRUE(jsonl.ok()) << jsonl.status().ToString();
+
+  auto join = [](const Dataset& dataset) {
+    Engine engine = EngineBuilder()
+                        .SetKnowledge(dataset.knowledge())
+                        .SetMeasures("TJS")
+                        .SetQ(3)
+                        .Build();
+    engine.SetRecords(dataset.records);
+    Result<JoinResult> result =
+        engine.Join("unified", {.theta = 0.7, .tau = 2});
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    return result.ok() ? result->pairs
+                       : std::vector<std::pair<uint32_t, uint32_t>>{};
+  };
+  auto csv_pairs = join(*csv);
+  EXPECT_FALSE(csv_pairs.empty());
+  EXPECT_EQ(csv_pairs, join(*jsonl));
+}
+
+}  // namespace
+}  // namespace aujoin

@@ -1,0 +1,391 @@
+// aujoin — the command-line driver over the Engine facade.
+//
+// Turns the library into an end-to-end system: ingest a real dataset
+// (CSV/TSV/JSONL/plain lines) with optional synonym-rule and taxonomy
+// files, then join, auto-tune, or summarise it — one command, no code.
+//
+//   aujoin join  --input=data/poi.csv --columns=name,city --header
+//                --rules=data/poi_rules.tsv --taxonomy=data/poi_taxonomy.tsv
+//                --theta=0.7 --tau=2 [--algorithm=unified] [--out=-]
+//                [--stats_out=BENCH_cli.json] [--require_nonzero]
+//   aujoin tune  --input=... [--theta=0.8] [--sample=0.05]
+//   aujoin stats --input=... [--rules=...] [--taxonomy=...]
+//
+// `join` streams matched pairs to stdout (or --out=FILE) through a
+// MatchSink as verification batches complete; --stats_out writes the
+// same BENCH_<name>.json schema as bench/harness (see
+// docs/bench-schema.md). `tune` runs Algorithm 7 and reports the
+// suggested overlap constraint tau as JSON. `stats` ingests and prints
+// the dataset manifest. Full flag reference: docs/cli.md.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "api/engine.h"
+#include "dataset/dataset.h"
+#include "harness.h"
+#include "util/flags.h"
+#include "util/io.h"
+#include "util/json.h"
+#include "util/timer.h"
+
+namespace aujoin {
+namespace {
+
+constexpr const char* kUsage = R"(usage: aujoin <command> [--flags]
+
+commands:
+  join    ingest a dataset and run a similarity self- or R x S join
+  tune    run Algorithm 7 to suggest the overlap constraint tau
+  stats   ingest a dataset and print its manifest as JSON
+
+ingestion flags (all commands):
+  --input=FILE           records file (required)
+  --input2=FILE          second collection for an R x S join (join only)
+  --format=auto          auto | lines | csv | tsv | jsonl
+  --columns=a,b          record text columns (header names / JSONL keys)
+  --column_indices=0,2   zero-based positional columns (CSV/TSV)
+  --header               first CSV/TSV row is a header
+  --skip_malformed       drop malformed rows instead of failing
+  --max_records=N        ingest at most N records (0 = all)
+  --keep_case            do not lowercase tokens
+  --split_punctuation    treat ASCII punctuation as token delimiters
+  --rules=FILE           synonym rules TSV (lhs <TAB> rhs [<TAB> closeness])
+  --taxonomy=FILE        taxonomy TSV (node_id <TAB> parent_id <TAB> name)
+
+engine flags (join, tune):
+  --measures=TJS         measure combination (J, TS, TJS, ...)
+  --q=3                  gram length for the J measure
+  --threads=1            worker threads (0 = all hardware threads)
+  --partition=0          partitioned pipeline record bound (0 = monolithic)
+
+join flags:
+  --algorithm=unified    unified | kjoin | pkduck | adaptjoin | combination
+  --theta=0.8            similarity threshold
+  --tau=2                overlap constraint (0 = pick with Algorithm 7)
+  --sample=0.05          tuner sampling probability when --tau=0
+  --out=-                pairs output file (- = stdout)
+  --output_format=tsv    tsv | csv
+  --ids_only             emit id pairs without record texts
+  --stats_out=FILE       write run stats in the BENCH_<name>.json schema
+  --name=cli             report name for --stats_out
+  --require_nonzero      exit 1 when the join finds zero matches
+
+tune flags:
+  --theta=0.8            similarity threshold to tune for
+  --tau_universe=1,2,..  candidate taus (default 1,2,3,4,5,6,8)
+  --sample=0.01          Bernoulli sampling probability per side
+)";
+
+/// Builds the DatasetSpec shared by every subcommand from flags.
+/// Returns false (with a message on stderr) on unparsable flag values.
+bool SpecFromFlags(const Flags& flags, DatasetSpec* spec) {
+  spec->records_path = flags.GetString("input", "");
+  if (spec->records_path.empty()) {
+    std::fprintf(stderr, "error: --input is required\n");
+    return false;
+  }
+  spec->records2_path = flags.GetString("input2", "");
+  Result<DatasetFormat> format =
+      ParseDatasetFormat(flags.GetString("format", "auto"));
+  if (!format.ok()) {
+    std::fprintf(stderr, "error: %s\n", format.status().ToString().c_str());
+    return false;
+  }
+  spec->reader.format = *format;
+  std::string columns = flags.GetString("columns", "");
+  if (!columns.empty()) {
+    spec->reader.columns = SplitString(columns, ',');
+  }
+  std::string indices = flags.GetString("column_indices", "");
+  if (!indices.empty()) {
+    for (const std::string& field : SplitString(indices, ',')) {
+      spec->reader.column_indices.push_back(
+          static_cast<size_t>(std::atoll(field.c_str())));
+    }
+  }
+  spec->reader.has_header = flags.GetBool("header", false);
+  spec->reader.on_malformed = flags.GetBool("skip_malformed", false)
+                                  ? MalformedRowPolicy::kSkip
+                                  : MalformedRowPolicy::kFail;
+  spec->reader.max_records =
+      static_cast<size_t>(flags.GetInt("max_records", 0));
+  spec->tokenizer.lowercase = !flags.GetBool("keep_case", false);
+  spec->tokenizer.split_punctuation =
+      flags.GetBool("split_punctuation", false);
+  spec->rules_path = flags.GetString("rules", "");
+  spec->taxonomy_path = flags.GetString("taxonomy", "");
+  return true;
+}
+
+Engine EngineFromFlags(const Flags& flags, const Dataset& dataset) {
+  return EngineBuilder()
+      .SetKnowledge(dataset.knowledge())
+      .SetMeasures(flags.GetString("measures", "TJS"))
+      .SetQ(static_cast<int>(flags.GetInt("q", 3)))
+      .SetThreads(static_cast<int>(flags.GetInt("threads", 1)))
+      .SetMaxPartitionRecords(
+          static_cast<size_t>(flags.GetInt("partition", 0)))
+      .Build();
+}
+
+/// CSV-quotes a text field when it needs it.
+std::string CsvField(const std::string& text) {
+  if (text.find_first_of(",\"\r\n") == std::string::npos) return text;
+  std::string quoted = "\"";
+  for (char c : text) {
+    if (c == '"') {
+      quoted += "\"\"";
+    } else {
+      quoted.push_back(c);
+    }
+  }
+  quoted += '"';
+  return quoted;
+}
+
+int RunStats(const Flags& flags) {
+  DatasetSpec spec;
+  if (!SpecFromFlags(flags, &spec)) return 1;
+  Result<Dataset> dataset = LoadDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n", dataset->manifest.ToJson().c_str());
+  return 0;
+}
+
+int RunJoin(const Flags& flags) {
+  DatasetSpec spec;
+  if (!SpecFromFlags(flags, &spec)) return 1;
+  Result<Dataset> dataset = LoadDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "ingested: %s\n", dataset->manifest.ToJson().c_str());
+
+  Engine engine = EngineFromFlags(flags, *dataset);
+  engine.SetRecords(dataset->records,
+                    dataset->records2.empty() ? nullptr : &dataset->records2);
+  const std::vector<Record>& t_side =
+      dataset->records2.empty() ? dataset->records : dataset->records2;
+
+  std::string algorithm = flags.GetString("algorithm", "unified");
+  EngineJoinOptions options;
+  options.theta = flags.GetDouble("theta", 0.8);
+  int tau = static_cast<int>(flags.GetInt("tau", 2));
+  options.tau = tau > 0 ? tau : 1;
+
+  // Output plumbing: stdout or a file, TSV or CSV, streamed through a
+  // CallbackSink as verification batches complete.
+  std::string out_path = flags.GetString("out", "-");
+  std::ofstream out_file;
+  if (out_path != "-") {
+    out_file.open(out_path);
+    if (!out_file) {
+      std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
+      return 1;
+    }
+  }
+  std::ostream& out = out_path == "-" ? std::cout : out_file;
+  bool csv = flags.GetString("output_format", "tsv") == "csv";
+  bool ids_only = flags.GetBool("ids_only", false);
+  char sep = csv ? ',' : '\t';
+
+  uint64_t written = 0;
+  CallbackSink sink([&](uint32_t a, uint32_t b) {
+    out << a << sep << b;
+    if (!ids_only) {
+      const std::string& ta = dataset->records[a].text;
+      const std::string& tb = t_side[b].text;
+      out << sep << (csv ? CsvField(ta) : ta) << sep
+          << (csv ? CsvField(tb) : tb);
+    }
+    out << '\n';
+    ++written;
+    return true;
+  });
+
+  JoinStats stats;
+  WallTimer wall;
+  if (tau <= 0) {
+    if (algorithm != "unified") {
+      std::fprintf(stderr,
+                   "error: --tau=0 (auto-tune) requires --algorithm=unified\n");
+      return 1;
+    }
+    TunerOptions tuner;
+    tuner.theta = options.theta;
+    tuner.method = options.method;
+    tuner.sample_prob_s = tuner.sample_prob_t =
+        flags.GetDouble("sample", 0.05);
+    TauRecommendation rec;
+    Result<JoinResult> result =
+        engine.JoinWithSuggestedTau(options, tuner, &rec);
+    if (!result.ok()) {
+      std::fprintf(stderr, "error: %s\n",
+                   result.status().ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "algorithm 7 suggested tau=%d (%.3fs)\n",
+                 rec.best_tau, rec.seconds);
+    options.tau = rec.best_tau;
+    for (const auto& [a, b] : result->pairs) sink.OnMatch(a, b);
+    stats = result->stats;
+  } else {
+    Result<JoinStats> run = engine.Join(algorithm, options, &sink);
+    if (!run.ok()) {
+      std::fprintf(stderr, "error: %s\n", run.status().ToString().c_str());
+      return 1;
+    }
+    stats = *run;
+  }
+  double wall_seconds = wall.Seconds();
+
+  out.flush();
+  if (!out) {
+    std::fprintf(stderr, "error: failed writing %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(stderr,
+               "join[%s]: %llu pairs (processed=%llu candidates=%llu) "
+               "filter=%.3fs verify=%.3fs wall=%.3fs\n",
+               algorithm.c_str(), static_cast<unsigned long long>(written),
+               static_cast<unsigned long long>(stats.processed_pairs),
+               static_cast<unsigned long long>(stats.candidates),
+               stats.signature_seconds + stats.filter_seconds,
+               stats.verify_seconds, wall_seconds);
+
+  std::string stats_out = flags.GetString("stats_out", "");
+  if (!stats_out.empty()) {
+    BenchReport report;
+    report.name = flags.GetString("name", "cli");
+    report.profile = "dataset";
+    report.num_records = dataset->records.size();
+    report.dataset_manifest_json = dataset->manifest.ToJson();
+    BenchRun run;
+    run.algorithm = algorithm;
+    run.measures = flags.GetString("measures", "TJS");
+    run.theta = options.theta;
+    run.tau = options.tau;
+    run.threads = static_cast<int>(flags.GetInt("threads", 1));
+    run.max_partition_records =
+        static_cast<size_t>(flags.GetInt("partition", 0));
+    run.num_records = dataset->records.size();
+    run.ok = true;
+    run.stats = stats;
+    run.total_seconds = stats.TotalSeconds(/*include_prepare=*/true);
+    run.wall_seconds = wall_seconds;
+    run.peak_rss_bytes = CurrentPeakRssBytes();
+    report.runs.push_back(run);
+    if (!report.WriteJsonFile(stats_out)) {
+      std::fprintf(stderr, "error: failed to write %s\n", stats_out.c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "wrote %s\n", stats_out.c_str());
+  }
+
+  if (flags.GetBool("require_nonzero", false) && written == 0) {
+    std::fprintf(stderr, "error: join found zero matches\n");
+    return 1;
+  }
+  return 0;
+}
+
+int RunTune(const Flags& flags) {
+  DatasetSpec spec;
+  if (!SpecFromFlags(flags, &spec)) return 1;
+  Result<Dataset> dataset = LoadDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  Engine engine = EngineFromFlags(flags, *dataset);
+  engine.SetRecords(dataset->records);
+
+  EngineJoinOptions options;
+  options.theta = flags.GetDouble("theta", 0.8);
+  TunerOptions tuner;
+  tuner.theta = options.theta;
+  tuner.sample_prob_s = tuner.sample_prob_t = flags.GetDouble("sample", 0.01);
+  std::vector<int64_t> universe = flags.GetIntList("tau_universe", {});
+  if (!universe.empty()) {
+    tuner.tau_universe.clear();
+    for (int64_t tau : universe) {
+      tuner.tau_universe.push_back(static_cast<int>(tau));
+    }
+  }
+
+  TauRecommendation rec;
+  Result<JoinResult> result =
+      engine.JoinWithSuggestedTau(options, tuner, &rec);
+  if (!result.ok()) {
+    std::fprintf(stderr, "error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+
+  std::string json = "{";
+  AppendJsonKey("best_tau", &json);
+  AppendJsonUint(static_cast<uint64_t>(rec.best_tau), &json);
+  json += ", ";
+  AppendJsonKey("iterations", &json);
+  AppendJsonUint(static_cast<uint64_t>(rec.iterations), &json);
+  json += ", ";
+  AppendJsonKey("converged", &json);
+  json += rec.converged ? "true" : "false";
+  json += ", ";
+  AppendJsonKey("suggest_seconds", &json);
+  AppendJsonDouble(rec.seconds, &json);
+  json += ", ";
+  AppendJsonKey("tau_universe", &json);
+  json += "[";
+  for (size_t i = 0; i < tuner.tau_universe.size(); ++i) {
+    if (i > 0) json += ", ";
+    AppendJsonUint(static_cast<uint64_t>(tuner.tau_universe[i]), &json);
+  }
+  json += "], ";
+  AppendJsonKey("estimated_cost", &json);
+  json += "[";
+  for (size_t i = 0; i < rec.estimated_cost.size(); ++i) {
+    if (i > 0) json += ", ";
+    AppendJsonDouble(rec.estimated_cost[i], &json);
+  }
+  json += "], ";
+  AppendJsonKey("results", &json);
+  AppendJsonUint(result->pairs.size(), &json);
+  json += "}";
+  std::printf("%s\n", json.c_str());
+  return 0;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  if (flags.GetBool("help", false)) {
+    std::fputs(kUsage, stdout);
+    return 0;
+  }
+  if (flags.positional().empty()) {
+    std::fputs(kUsage, stderr);
+    return 1;
+  }
+  const std::string& command = flags.positional()[0];
+  if (command == "join") return RunJoin(flags);
+  if (command == "tune") return RunTune(flags);
+  if (command == "stats") return RunStats(flags);
+  std::fprintf(stderr, "error: unknown command '%s'\n\n%s", command.c_str(),
+               kUsage);
+  return 1;
+}
+
+}  // namespace
+}  // namespace aujoin
+
+int main(int argc, char** argv) { return aujoin::Run(argc, argv); }

@@ -1,0 +1,74 @@
+#!/usr/bin/env python3
+"""Checks that relative links in the repo's markdown files resolve.
+
+Scans every tracked *.md file for inline links/images `[text](target)`
+and reference definitions `[ref]: target`, and fails (exit 1) listing
+each relative target that does not exist on disk. External links
+(http/https/mailto) and pure in-page anchors (#...) are skipped —
+this is an offline structural check, not a crawler.
+
+Usage: python3 tools/check_markdown_links.py [root_dir]
+"""
+
+import os
+import re
+import sys
+
+# Inline [text](target) — target ends at the first unescaped ')' or
+# space (markdown titles: [t](file "title")). Reference defs [r]: target.
+INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
+REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
+SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
+
+# Fenced code blocks must not contribute false links.
+FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+
+def markdown_files(root):
+    for dirpath, dirnames, filenames in os.walk(root):
+        dirnames[:] = [
+            d for d in dirnames
+            if d not in {".git", "build", ".claude"}
+            and not d.startswith("build-")
+        ]
+        for name in filenames:
+            if name.endswith(".md"):
+                yield os.path.join(dirpath, name)
+
+
+def check_file(path, root):
+    with open(path, encoding="utf-8") as handle:
+        text = FENCE.sub("", handle.read())
+    targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
+    broken = []
+    for target in targets:
+        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+            continue
+        resolved = target.split("#", 1)[0]
+        if not resolved:
+            continue
+        if resolved.startswith("/"):
+            candidate = os.path.join(root, resolved.lstrip("/"))
+        else:
+            candidate = os.path.join(os.path.dirname(path), resolved)
+        if not os.path.exists(candidate):
+            broken.append(target)
+    return broken
+
+
+def main():
+    root = sys.argv[1] if len(sys.argv) > 1 else "."
+    failures = 0
+    checked = 0
+    for path in sorted(markdown_files(root)):
+        checked += 1
+        for target in check_file(path, root):
+            print(f"BROKEN {os.path.relpath(path, root)}: {target}")
+            failures += 1
+    print(f"checked {checked} markdown files: "
+          f"{failures} broken relative link(s)")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

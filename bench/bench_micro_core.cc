@@ -13,7 +13,7 @@
 #include "datagen/corpus_gen.h"
 #include "datagen/synonym_gen.h"
 #include "datagen/taxonomy_gen.h"
-#include "join/global_order.h"
+#include "index/global_order.h"
 #include "join/signature.h"
 #include "util/rng.h"
 

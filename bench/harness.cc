@@ -1,5 +1,7 @@
 #include "harness.h"
 
+#include <algorithm>
+#include <cmath>
 #include <cstdio>
 #include <cstring>
 #include <map>
@@ -90,8 +92,24 @@ std::string BenchReport::ToJson() const {
     AppendJsonUint(run.stats.partitions, &out);
     out += ", \"partition_blocks\": ";
     AppendJsonUint(run.stats.partition_blocks, &out);
+    out += ",\n     \"index_seconds\": ";
+    AppendJsonDouble(run.stats.index_seconds, &out);
+    out += ", \"queries\": ";
+    AppendJsonUint(run.stats.queries, &out);
+    out += ", \"query_candidates\": ";
+    AppendJsonUint(run.stats.query_candidates, &out);
     out += ", \"peak_rss_bytes\": ";
     AppendJsonUint(run.peak_rss_bytes, &out);
+    if (run.has_latency) {
+      out += ",\n     \"qps\": ";
+      AppendJsonDouble(run.qps, &out);
+      out += ", \"p50_ms\": ";
+      AppendJsonDouble(run.p50_ms, &out);
+      out += ", \"p95_ms\": ";
+      AppendJsonDouble(run.p95_ms, &out);
+      out += ", \"p99_ms\": ";
+      AppendJsonDouble(run.p99_ms, &out);
+    }
     if (run.has_prf) {
       out += ",\n     \"precision\": ";
       AppendJsonDouble(run.prf.precision, &out);
@@ -114,6 +132,24 @@ bool BenchReport::WriteJsonFile(const std::string& path) const {
   bool ok = written == json.size();
   ok = std::fclose(file) == 0 && ok;
   return ok;
+}
+
+LatencySummary SummarizeLatencySeconds(std::vector<double> seconds) {
+  LatencySummary summary;
+  if (seconds.empty()) return summary;
+  std::sort(seconds.begin(), seconds.end());
+  // Nearest-rank percentile: the smallest latency with at least p% of
+  // the samples at or below it.
+  auto percentile = [&seconds](double p) {
+    size_t rank = static_cast<size_t>(
+        std::ceil(p / 100.0 * static_cast<double>(seconds.size())));
+    if (rank == 0) rank = 1;
+    return seconds[std::min(rank - 1, seconds.size() - 1)] * 1000.0;
+  };
+  summary.p50_ms = percentile(50.0);
+  summary.p95_ms = percentile(95.0);
+  summary.p99_ms = percentile(99.0);
+  return summary;
 }
 
 uint64_t BenchReport::TotalResults(const std::string& algorithm) const {

@@ -62,7 +62,25 @@ struct BenchRun {
 
   bool has_prf = false;
   PrfScore prf;
+
+  /// Serving-bench extras (bench_search_qps, or any run that answers
+  /// queries): sustained throughput and per-query latency percentiles.
+  /// Emitted to JSON only when has_latency is set.
+  bool has_latency = false;
+  double qps = 0.0;
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
 };
+
+/// Per-query latency percentiles in milliseconds. Takes the latencies
+/// by value (sorts its copy); empty input yields all zeros.
+struct LatencySummary {
+  double p50_ms = 0.0;
+  double p95_ms = 0.0;
+  double p99_ms = 0.0;
+};
+LatencySummary SummarizeLatencySeconds(std::vector<double> seconds);
 
 /// A machine-readable benchmark report, serialised as BENCH_<name>.json
 /// so CI (and later PRs) can track the perf trajectory. Schema documented

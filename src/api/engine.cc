@@ -5,6 +5,8 @@
 #include <utility>
 
 #include "join/pipeline.h"
+#include "util/parallel.h"
+#include "util/timer.h"
 
 namespace aujoin {
 
@@ -13,6 +15,28 @@ void Engine::SetRecords(const std::vector<Record>& s,
   s_records_ = &s;
   t_records_ = (t == &s) ? nullptr : t;
   context_.reset();
+  std::lock_guard<std::mutex> lock(index_state_->mutex);
+  index_state_->ready.store(false, std::memory_order_relaxed);
+  index_.reset();
+}
+
+Result<std::shared_ptr<const PreparedIndex>> Engine::ServingIndex() const {
+  if (s_records_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Engine::ServingIndex called before SetRecords()");
+  }
+  // Lock-free once published: SetRecords (a mutation, never concurrent
+  // with serving) is the only thing that unpublishes, so after the
+  // acquire load sees `ready`, index_ is stable until then.
+  if (!index_state_->ready.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(index_state_->mutex);
+    if (index_ == nullptr) {
+      index_ = PreparedIndex::Build(options_.knowledge, options_.msim,
+                                    *s_records_, t_records_);
+    }
+    index_state_->ready.store(true, std::memory_order_release);
+  }
+  return index_;
 }
 
 JoinContext& Engine::PreparedContext() {
@@ -26,7 +50,8 @@ JoinContext& Engine::PreparedContext() {
   if (context_ == nullptr) {
     context_ =
         std::make_unique<JoinContext>(options_.knowledge, options_.msim);
-    context_->Prepare(*s_records_, t_records_);
+    // Joins borrow the same shared immutable index that serves Search.
+    context_->Adopt(*ServingIndex());
   }
   return *context_;
 }
@@ -97,6 +122,155 @@ Result<JoinResult> Engine::Join(const std::string& algorithm,
   result.pairs = std::move(sink.pairs);
   result.stats = *stats;
   return result;
+}
+
+namespace {
+
+UnifiedSearcher::SearchOptions ToSearcherOptions(
+    const EngineSearchOptions& options) {
+  UnifiedSearcher::SearchOptions out;
+  out.theta = options.theta;
+  out.tau = options.tau;
+  out.method = options.method;
+  return out;
+}
+
+}  // namespace
+
+Result<std::vector<UnifiedSearcher::Match>> Engine::Search(
+    const Record& query, const EngineSearchOptions& options,
+    SearchStats* stats) const {
+  Result<std::shared_ptr<const PreparedIndex>> index = ServingIndex();
+  if (!index.ok()) return index.status();
+  WallTimer wall;
+  // Force the serving index here so its one-time build cost is charged
+  // exactly once, to whichever concurrent call actually performed it.
+  double index_built_seconds = 0.0;
+  (*index)->ServingIndex(&index_built_seconds);
+  UnifiedSearcher searcher(*index);
+  UnifiedSearcher::QueryStats query_stats;
+  std::vector<UnifiedSearcher::Match> matches =
+      options.k > 0
+          ? searcher.TopK(query, options.k, options.theta,
+                          ToSearcherOptions(options), &query_stats)
+          : searcher.Search(query, ToSearcherOptions(options), &query_stats);
+  if (stats != nullptr) {
+    stats->queries += query_stats.queries;
+    stats->query_candidates += query_stats.candidates;
+    stats->results += matches.size();
+    stats->index_seconds += index_built_seconds;
+    stats->search_seconds += wall.Seconds();
+  }
+  return matches;
+}
+
+Status Engine::Search(const Record& query, const EngineSearchOptions& options,
+                      MatchSink* sink, SearchStats* stats) const {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("Engine::Search requires a sink");
+  }
+  Result<std::vector<UnifiedSearcher::Match>> matches =
+      Search(query, options, stats);
+  if (!matches.ok()) return matches.status();
+  for (const UnifiedSearcher::Match& m : *matches) {
+    if (!sink->OnMatch(query.id, m.id)) break;
+  }
+  return Status::OK();
+}
+
+Result<std::vector<UnifiedSearcher::Match>> Engine::TopK(
+    const Record& query, size_t k, const EngineSearchOptions& options,
+    SearchStats* stats) const {
+  EngineSearchOptions bounded = options;
+  bounded.k = k;
+  if (k == 0) {
+    // TopK's k is authoritative: explicitly asking for zero results
+    // must not fall through to Search's "0 = unbounded" — and must not
+    // force the lazy index build just to return nothing.
+    if (s_records_ == nullptr) {
+      return Status::FailedPrecondition(
+          "Engine::TopK called before SetRecords()");
+    }
+    if (stats != nullptr) {
+      ++stats->queries;
+    }
+    return std::vector<UnifiedSearcher::Match>{};
+  }
+  return Search(query, bounded, stats);
+}
+
+Status Engine::BatchSearch(
+    const std::vector<Record>& queries, const EngineSearchOptions& options,
+    const std::function<bool(uint32_t, const UnifiedSearcher::Match&)>&
+        on_match,
+    SearchStats* stats) const {
+  if (on_match == nullptr) {
+    return Status::InvalidArgument("BatchSearch requires a callback");
+  }
+  Result<std::shared_ptr<const PreparedIndex>> index = ServingIndex();
+  if (!index.ok()) return index.status();
+  WallTimer wall;
+  // Force the serving index once up front so the parallel workers only
+  // read it (they would build it safely anyway, but serially); the
+  // build cost is charged to this call only if it performed the build.
+  double index_built_seconds = 0.0;
+  (*index)->ServingIndex(&index_built_seconds);
+
+  UnifiedSearcher searcher(*index);
+  const UnifiedSearcher::SearchOptions searcher_options =
+      ToSearcherOptions(options);
+  const int workers = ResolveThreads(options_.num_threads);
+  std::vector<std::vector<UnifiedSearcher::Match>> results(queries.size());
+  std::vector<UnifiedSearcher::QueryStats> worker_stats(workers);
+  ParallelFor(queries.size(), options_.num_threads,
+              [&](size_t begin, size_t end, int worker) {
+                for (size_t q = begin; q < end; ++q) {
+                  results[q] = options.k > 0
+                                   ? searcher.TopK(queries[q], options.k,
+                                                   options.theta,
+                                                   searcher_options,
+                                                   &worker_stats[worker])
+                                   : searcher.Search(queries[q],
+                                                     searcher_options,
+                                                     &worker_stats[worker]);
+                }
+              });
+
+  uint64_t emitted = 0;
+  bool stopped = false;
+  for (size_t q = 0; q < queries.size() && !stopped; ++q) {
+    for (const UnifiedSearcher::Match& m : results[q]) {
+      ++emitted;
+      if (!on_match(static_cast<uint32_t>(q), m)) {
+        stopped = true;
+        break;
+      }
+    }
+  }
+  if (stats != nullptr) {
+    for (const UnifiedSearcher::QueryStats& ws : worker_stats) {
+      stats->queries += ws.queries;
+      stats->query_candidates += ws.candidates;
+    }
+    stats->results += emitted;
+    stats->index_seconds += index_built_seconds;
+    stats->search_seconds += wall.Seconds();
+  }
+  return Status::OK();
+}
+
+Status Engine::BatchSearch(const std::vector<Record>& queries,
+                           const EngineSearchOptions& options,
+                           MatchSink* sink, SearchStats* stats) const {
+  if (sink == nullptr) {
+    return Status::InvalidArgument("BatchSearch requires a sink");
+  }
+  return BatchSearch(
+      queries, options,
+      [sink](uint32_t query_index, const UnifiedSearcher::Match& m) {
+        return sink->OnMatch(query_index, m.id);
+      },
+      stats);
 }
 
 Result<JoinResult> Engine::JoinWithSuggestedTau(

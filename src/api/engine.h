@@ -8,7 +8,10 @@
 #ifndef AUJOIN_API_ENGINE_H_
 #define AUJOIN_API_ENGINE_H_
 
+#include <atomic>
+#include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -18,7 +21,9 @@
 #include "core/knowledge.h"
 #include "core/measures.h"
 #include "core/record.h"
+#include "index/prepared_index.h"
 #include "join/join.h"
+#include "join/search.h"
 #include "tuner/recommend.h"
 #include "util/status.h"
 
@@ -46,6 +51,32 @@ struct EngineOptions {
   /// the monolithic path. Either way the match set and its emission order
   /// are identical.
   size_t max_partition_records = 0;
+};
+
+/// Per-query serving knobs of Engine::Search / TopK / BatchSearch.
+struct EngineSearchOptions {
+  /// Similarity threshold; matches satisfy Approx USIM >= theta.
+  double theta = 0.8;
+  /// Overlap constraint on the query signature (the single-sided AU
+  /// filter; subject to the query's effective tau).
+  int tau = 1;
+  FilterMethod method = FilterMethod::kAuDp;
+  /// Keep only the k best matches per query (similarity desc, id asc);
+  /// 0 = every match above theta.
+  size_t k = 0;
+};
+
+/// Aggregated serving statistics of one Search/TopK/BatchSearch call.
+struct SearchStats {
+  uint64_t queries = 0;
+  /// Candidate records that survived the signature filter (verified).
+  uint64_t query_candidates = 0;
+  uint64_t results = 0;
+  /// One-time serving-index build seconds, charged to the call that
+  /// forced it (0 afterwards — the index is shared and immutable).
+  double index_seconds = 0.0;
+  /// Wall seconds of the whole call, including any index build.
+  double search_seconds = 0.0;
 };
 
 /// The unified facade over every join algorithm in the registry.
@@ -95,8 +126,54 @@ class Engine {
 
   /// The lazily-prepared unified JoinContext (pebbles + global order) for
   /// the bound records. Exposed for benches/tuners that drive the filter
-  /// stage directly.
+  /// stage directly. Borrows the same shared PreparedIndex that serves
+  /// Search, so a join sweep and a query stream pay preparation once.
   JoinContext& PreparedContext();
+
+  /// The shared immutable PreparedIndex for the bound records, built
+  /// lazily under a mutex (thread-safe, callable concurrently). Joins,
+  /// searches and external UnifiedSearchers all borrow this one
+  /// instance; it stays valid after SetRecords rebinds the engine as
+  /// long as the caller holds the shared_ptr (and the old records).
+  Result<std::shared_ptr<const PreparedIndex>> ServingIndex() const;
+
+  /// Online search over the bound T side (== S for a self-join): every
+  /// record with Approx USIM >= theta, ordered by similarity desc then
+  /// id asc, truncated to options.k when set. Const and safe to call
+  /// from many threads concurrently on one engine; all per-query
+  /// scratch state is local to the call.
+  Result<std::vector<UnifiedSearcher::Match>> Search(
+      const Record& query, const EngineSearchOptions& options,
+      SearchStats* stats = nullptr) const;
+
+  /// Streaming variant: emits OnMatch(query.id, match.id) in rank order
+  /// (similarity desc, id asc — NOT ascending ids; search ranks, joins
+  /// sort). A false return stops the emission, not the search.
+  Status Search(const Record& query, const EngineSearchOptions& options,
+                MatchSink* sink, SearchStats* stats = nullptr) const;
+
+  /// The k most similar records with similarity >= options.theta —
+  /// Search with the result bound as an argument.
+  Result<std::vector<UnifiedSearcher::Match>> TopK(
+      const Record& query, size_t k, const EngineSearchOptions& options,
+      SearchStats* stats = nullptr) const;
+
+  /// Fans `queries` across a ThreadPool (the engine's num_threads
+  /// policy) and streams every match to `on_match(query_index, match)`
+  /// in ascending query order, rank order within a query, each exactly
+  /// once. A false return stops the emission immediately (matches
+  /// after it, including the current query's, are dropped).
+  Status BatchSearch(
+      const std::vector<Record>& queries, const EngineSearchOptions& options,
+      const std::function<bool(uint32_t, const UnifiedSearcher::Match&)>&
+          on_match,
+      SearchStats* stats = nullptr) const;
+
+  /// MatchSink adapter: emits OnMatch(query_index, match.id), same
+  /// ordering contract as the callback variant.
+  Status BatchSearch(const std::vector<Record>& queries,
+                     const EngineSearchOptions& options, MatchSink* sink,
+                     SearchStats* stats = nullptr) const;
 
   const EngineOptions& options() const { return options_; }
   bool has_records() const { return s_records_ != nullptr; }
@@ -108,6 +185,20 @@ class Engine {
   const std::vector<Record>* s_records_ = nullptr;
   const std::vector<Record>* t_records_ = nullptr;
   std::unique_ptr<JoinContext> context_;
+  /// Guards the lazy build/reset of index_ (the only engine state const
+  /// serving methods touch); the index itself is immutable once built.
+  /// `ready` is the release/acquire flag that lets concurrent searches
+  /// skip the mutex once the index is published — queries contend on
+  /// nothing but the shared_ptr refcount. Behind a unique_ptr so the
+  /// Engine stays movable (moving while another thread serves from the
+  /// engine is undefined, as usual).
+  struct LazyIndexState {
+    std::mutex mutex;
+    std::atomic<bool> ready{false};
+  };
+  mutable std::unique_ptr<LazyIndexState> index_state_ =
+      std::make_unique<LazyIndexState>();
+  mutable std::shared_ptr<const PreparedIndex> index_;
 };
 
 /// Fluent construction of an Engine; every setter has a sensible default

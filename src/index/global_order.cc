@@ -1,4 +1,4 @@
-#include "join/global_order.h"
+#include "index/global_order.h"
 
 #include <algorithm>
 

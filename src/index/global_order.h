@@ -1,11 +1,11 @@
-#ifndef AUJOIN_JOIN_GLOBAL_ORDER_H_
-#define AUJOIN_JOIN_GLOBAL_ORDER_H_
+#ifndef AUJOIN_INDEX_GLOBAL_ORDER_H_
+#define AUJOIN_INDEX_GLOBAL_ORDER_H_
 
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
-#include "join/pebble.h"
+#include "index/pebble.h"
 
 namespace aujoin {
 
@@ -47,4 +47,4 @@ class GlobalOrder {
 
 }  // namespace aujoin
 
-#endif  // AUJOIN_JOIN_GLOBAL_ORDER_H_
+#endif  // AUJOIN_INDEX_GLOBAL_ORDER_H_

@@ -1,5 +1,5 @@
-#ifndef AUJOIN_JOIN_INVERTED_INDEX_H_
-#define AUJOIN_JOIN_INVERTED_INDEX_H_
+#ifndef AUJOIN_INDEX_INVERTED_INDEX_H_
+#define AUJOIN_INDEX_INVERTED_INDEX_H_
 
 #include <cstdint>
 #include <unordered_map>
@@ -38,4 +38,4 @@ class InvertedIndex {
 
 }  // namespace aujoin
 
-#endif  // AUJOIN_JOIN_INVERTED_INDEX_H_
+#endif  // AUJOIN_INDEX_INVERTED_INDEX_H_

@@ -1,0 +1,97 @@
+#include "index/pebble.h"
+
+#include <cmath>
+
+#include "text/qgram.h"
+#include "util/hash.h"
+
+namespace aujoin {
+namespace {
+
+/// One implementation behind both Generate overloads; `gram_id` maps a
+/// gram text to its pebble id (interning or overlay lookup). Templated
+/// so the per-gram call inlines on the collection-build hot path.
+template <typename GramId>
+RecordPebbles GenerateWith(const Record& record, const Knowledge& knowledge,
+                           const MsimOptions& options, GramId&& gram_id) {
+  RecordPebbles rp;
+  rp.segments = EnumerateSegments(record, knowledge);
+  for (uint32_t seg_idx = 0; seg_idx < rp.segments.size(); ++seg_idx) {
+    const WellDefinedSegment& seg = rp.segments[seg_idx];
+    // Exact-span pebbles witness the equality contribution of
+    // MsimOptions::exact_match. When the Jaccard measure is enabled they
+    // are redundant for the filter bound — identical texts share all
+    // their grams, whose weights sum to exactly 1.0 — and their 1.0
+    // weight would inflate the TW/W insertion bounds of Lemmas 1-2,
+    // shrinking the feasible tau. So they are emitted only when no gram
+    // pebbles exist to witness equality.
+    if (options.exact_match && !(options.measures & kMeasureJaccard)) {
+      TokenSpan span = record.Span(seg.span.begin, seg.span.end);
+      uint64_t h = HashTokenSpan(span.data(), span.size());
+      rp.pebbles.push_back(Pebble{MakePebbleKey(PebbleType::kExact, h), 1.0,
+                                  seg_idx, kMeasureExactBit});
+    }
+    if (options.measures & kMeasureJaccard) {
+      std::string text = SegmentText(record, seg.span, *knowledge.vocab);
+      std::vector<std::string> grams = QGrams(text, options.q);
+      if (!grams.empty()) {
+        // Per-gram contribution bound: sim <= sum of shared grams' min
+        // side weight, with weight 1/|G| for Jaccard/Dice and
+        // 1/sqrt(|G|) for Cosine (see GramMeasure).
+        double w =
+            options.gram_measure == GramMeasure::kCosine
+                ? 1.0 / std::sqrt(static_cast<double>(grams.size()))
+                : 1.0 / static_cast<double>(grams.size());
+        for (const auto& gram : grams) {
+          rp.pebbles.push_back(
+              Pebble{MakePebbleKey(PebbleType::kGram, gram_id(gram)), w,
+                     seg_idx, kMeasureJaccard});
+        }
+      }
+    }
+    if ((options.measures & kMeasureSynonym) && seg.HasSynonym()) {
+      for (const RuleMatch& m : seg.rule_matches) {
+        double w = knowledge.rules->rule(m.rule).closeness;
+        rp.pebbles.push_back(Pebble{MakePebbleKey(PebbleType::kSynonym,
+                                                  m.rule),
+                                    w, seg_idx, kMeasureSynonym});
+      }
+    }
+    if ((options.measures & kMeasureTaxonomy) && seg.HasTaxonomy()) {
+      for (NodeId n : seg.taxonomy_nodes) {
+        double w = 1.0 / static_cast<double>(knowledge.taxonomy->Depth(n));
+        for (NodeId a : knowledge.taxonomy->AncestorsInclusive(n)) {
+          rp.pebbles.push_back(Pebble{MakePebbleKey(PebbleType::kTaxonomy, a),
+                                      w, seg_idx, kMeasureTaxonomy});
+        }
+      }
+    }
+  }
+  return rp;
+}
+
+}  // namespace
+
+RecordPebbles PebbleGenerator::Generate(const Record& record,
+                                        Vocabulary* gram_dict) const {
+  return GenerateWith(record, knowledge_, options_,
+                      [gram_dict](const std::string& gram) -> uint64_t {
+                        return gram_dict->Intern(gram);
+                      });
+}
+
+RecordPebbles PebbleGenerator::Generate(
+    const Record& record, const Vocabulary& gram_dict,
+    std::unordered_map<std::string, uint64_t>* overlay) const {
+  return GenerateWith(
+      record, knowledge_, options_,
+      [&gram_dict, overlay](const std::string& gram) -> uint64_t {
+        TokenId id = gram_dict.Find(gram);
+        if (id != Vocabulary::kNotFound) return id;
+        auto [it, inserted] =
+            overlay->emplace(gram, gram_dict.size() + overlay->size());
+        return it->second;
+      });
+}
+
+}  // namespace aujoin

@@ -1,0 +1,95 @@
+#include "index/prepared_index.h"
+
+#include <algorithm>
+
+#include "util/timer.h"
+
+namespace aujoin {
+
+std::shared_ptr<const PreparedIndex> PreparedIndex::Build(
+    const Knowledge& knowledge, const MsimOptions& msim,
+    const std::vector<Record>& s, const std::vector<Record>* t) {
+  // make_shared needs a public constructor; the factory is the only
+  // caller, so a private-new shared_ptr keeps the invariant instead.
+  std::shared_ptr<PreparedIndex> index(new PreparedIndex());
+  index->knowledge_ = knowledge;
+  index->msim_ = msim;
+  index->s_records_ = &s;
+  index->t_records_ = (t == nullptr) ? &s : t;
+
+  WallTimer timer;
+  PebbleGenerator generator(knowledge, msim);
+  index->s_prepared_.reserve(s.size());
+  for (const Record& r : s) {
+    PreparedRecord pr;
+    pr.pebbles = generator.Generate(r, &index->gram_dict_);
+    pr.num_tokens = r.num_tokens();
+    index->s_prepared_.push_back(std::move(pr));
+  }
+  if (t != nullptr && t != &s) {
+    index->t_prepared_.reserve(t->size());
+    for (const Record& r : *t) {
+      PreparedRecord pr;
+      pr.pebbles = generator.Generate(r, &index->gram_dict_);
+      pr.num_tokens = r.num_tokens();
+      index->t_prepared_.push_back(std::move(pr));
+    }
+  }
+
+  for (const auto& pr : index->s_prepared_) {
+    index->order_.CountRecord(pr.pebbles);
+  }
+  for (const auto& pr : index->t_prepared_) {
+    index->order_.CountRecord(pr.pebbles);
+  }
+  index->order_.Finalize();
+  for (auto& pr : index->s_prepared_) index->order_.SortPebbles(&pr.pebbles);
+  for (auto& pr : index->t_prepared_) index->order_.SortPebbles(&pr.pebbles);
+  index->prepare_seconds_ = timer.Seconds();
+  return index;
+}
+
+const InvertedIndex& PreparedIndex::ServingIndex(
+    double* built_seconds) const {
+  if (built_seconds != nullptr) *built_seconds = 0.0;
+  // Double-checked build: the atomic flag's release store publishes the
+  // completed index; the acquire load on the fast path pairs with it.
+  if (!serving_built_.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(serving_mutex_);
+    if (!serving_built_.load(std::memory_order_relaxed)) {
+      WallTimer timer;
+      const std::vector<PreparedRecord>& prepared = t_prepared();
+      std::vector<uint64_t> keys;
+      for (size_t i = 0; i < prepared.size(); ++i) {
+        keys.clear();
+        keys.reserve(prepared[i].pebbles.pebbles.size());
+        for (const Pebble& p : prepared[i].pebbles.pebbles) {
+          keys.push_back(p.key);
+        }
+        std::sort(keys.begin(), keys.end());
+        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
+        serving_index_.Add(static_cast<uint32_t>(i), keys);
+      }
+      index_seconds_ = timer.Seconds();
+      if (built_seconds != nullptr) *built_seconds = index_seconds_;
+      serving_built_.store(true, std::memory_order_release);
+    }
+  }
+  return serving_index_;
+}
+
+double PreparedIndex::index_seconds() const {
+  return serving_built_.load(std::memory_order_acquire) ? index_seconds_
+                                                        : 0.0;
+}
+
+RecordPebbles PreparedIndex::GenerateQueryPebbles(
+    const Record& query) const {
+  PebbleGenerator generator(knowledge_, msim_);
+  std::unordered_map<std::string, uint64_t> overlay;
+  RecordPebbles rp = generator.Generate(query, gram_dict_, &overlay);
+  order_.SortPebbles(&rp);
+  return rp;
+}
+
+}  // namespace aujoin

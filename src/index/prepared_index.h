@@ -1,0 +1,121 @@
+/// \file
+/// The shared immutable prepared index — the "index once, probe many"
+/// half of the serving architecture. PreparedIndex::Build runs the
+/// prepare step (pebble generation + global frequency order) exactly
+/// once for a pair of collections; afterwards the object is immutable
+/// and every const method is safe to call from any number of threads
+/// concurrently. The monolithic join (JoinContext), the partitioned
+/// pipeline's block contexts, the online searcher (UnifiedSearcher)
+/// and the Engine serving API (Engine::Search / Engine::BatchSearch)
+/// all borrow one PreparedIndex instead of owning private copies.
+
+#ifndef AUJOIN_INDEX_PREPARED_INDEX_H_
+#define AUJOIN_INDEX_PREPARED_INDEX_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/knowledge.h"
+#include "core/measures.h"
+#include "core/record.h"
+#include "index/global_order.h"
+#include "index/inverted_index.h"
+#include "index/pebble.h"
+
+namespace aujoin {
+
+/// A record with its pebbles sorted by the global order, ready for
+/// signature selection.
+struct PreparedRecord {
+  RecordPebbles pebbles;
+  size_t num_tokens = 0;
+};
+
+/// Build-once, read-many prepared state for one pair of collections
+/// (pass `t == nullptr` for a self-join): both sides' pebbles, the
+/// shared gram dictionary and the global frequency order, plus a
+/// lazily built full-key inverted index over the T side for online
+/// search ("the serving index").
+///
+/// Thread-safety model (the immutable-SST idea): Build is the only
+/// mutating phase and returns a shared_ptr to a const PreparedIndex;
+/// all const methods afterwards are concurrency-safe. The lazy serving
+/// index is double-checked under an internal mutex, so the first
+/// probes may block on its construction but never observe a partial
+/// index. Records are borrowed, not copied; they must outlive every
+/// holder of the index.
+class PreparedIndex {
+ public:
+  /// Runs the prepare step: pebble generation for both collections and
+  /// the global frequency order. The only way to obtain an instance.
+  static std::shared_ptr<const PreparedIndex> Build(
+      const Knowledge& knowledge, const MsimOptions& msim,
+      const std::vector<Record>& s, const std::vector<Record>* t);
+
+  bool self_join() const { return t_records_ == s_records_; }
+  const std::vector<Record>& s_records() const { return *s_records_; }
+  const std::vector<Record>& t_records() const { return *t_records_; }
+  const std::vector<PreparedRecord>& s_prepared() const {
+    return s_prepared_;
+  }
+  const std::vector<PreparedRecord>& t_prepared() const {
+    return self_join() ? s_prepared_ : t_prepared_;
+  }
+  const Knowledge& knowledge() const { return knowledge_; }
+  const MsimOptions& msim_options() const { return msim_; }
+  const GlobalOrder& global_order() const { return order_; }
+  /// The gram dictionary both collections' gram pebbles were interned
+  /// into. Read-only after Build; query-time generation overlays it.
+  const Vocabulary& gram_dict() const { return gram_dict_; }
+  /// Wall seconds of Build (pebbles + global order).
+  double prepare_seconds() const { return prepare_seconds_; }
+
+  /// The full-key inverted index over the T side (every distinct pebble
+  /// key of every record, not just signature prefixes) — what online
+  /// search probes. Built on first use under a mutex; subsequent calls
+  /// are wait-free reads of the completed index. When `built_seconds`
+  /// is given it receives the build time if and only if THIS call
+  /// performed the build (0.0 otherwise), so concurrent first probes
+  /// charge the cost exactly once.
+  const InvertedIndex& ServingIndex(double* built_seconds = nullptr) const;
+
+  /// Wall seconds spent building the serving index; 0.0 until the
+  /// first ServingIndex() call forces construction.
+  double index_seconds() const;
+
+  /// Generates a query's pebbles against the immutable gram dictionary
+  /// and sorts them by the global order — the const, concurrency-safe
+  /// twin of the build-time generation. Grams the indexed collections
+  /// never produced cannot match anything, so instead of interning
+  /// them this assigns per-call overlay ids past the dictionary (two
+  /// occurrences of the same unseen gram in one query still collide
+  /// with each other, keeping distinct-key counts and weights exact).
+  RecordPebbles GenerateQueryPebbles(const Record& query) const;
+
+ private:
+  PreparedIndex() = default;
+
+  Knowledge knowledge_;
+  MsimOptions msim_;
+  Vocabulary gram_dict_;
+  GlobalOrder order_;
+  std::vector<PreparedRecord> s_prepared_;
+  std::vector<PreparedRecord> t_prepared_;
+  const std::vector<Record>* s_records_ = nullptr;
+  const std::vector<Record>* t_records_ = nullptr;
+  double prepare_seconds_ = 0.0;
+
+  // Lazy serving index: `serving_built_` is the release/acquire flag
+  // that publishes `serving_index_` + `index_seconds_` once built.
+  mutable std::mutex serving_mutex_;
+  mutable std::atomic<bool> serving_built_{false};
+  mutable InvertedIndex serving_index_;
+  mutable double index_seconds_ = 0.0;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_INDEX_PREPARED_INDEX_H_

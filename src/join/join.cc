@@ -3,7 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
-#include "join/inverted_index.h"
+#include "index/inverted_index.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
@@ -11,37 +11,13 @@ namespace aujoin {
 
 void JoinContext::Prepare(const std::vector<Record>& s,
                           const std::vector<Record>* t) {
-  WallTimer timer;
-  PebbleGenerator generator(knowledge_, msim_);
-  s_records_ = &s;
-  t_records_ = (t == nullptr) ? &s : t;
+  index_ = PreparedIndex::Build(knowledge_, msim_, s, t);
+}
 
-  s_prepared_.clear();
-  s_prepared_.reserve(s.size());
-  for (const Record& r : s) {
-    PreparedRecord pr;
-    pr.pebbles = generator.Generate(r, &gram_dict_);
-    pr.num_tokens = r.num_tokens();
-    s_prepared_.push_back(std::move(pr));
-  }
-  t_prepared_.clear();
-  if (t != nullptr && t != &s) {
-    t_prepared_.reserve(t->size());
-    for (const Record& r : *t) {
-      PreparedRecord pr;
-      pr.pebbles = generator.Generate(r, &gram_dict_);
-      pr.num_tokens = r.num_tokens();
-      t_prepared_.push_back(std::move(pr));
-    }
-  }
-
-  order_ = GlobalOrder();
-  for (const auto& pr : s_prepared_) order_.CountRecord(pr.pebbles);
-  for (const auto& pr : t_prepared_) order_.CountRecord(pr.pebbles);
-  order_.Finalize();
-  for (auto& pr : s_prepared_) order_.SortPebbles(&pr.pebbles);
-  for (auto& pr : t_prepared_) order_.SortPebbles(&pr.pebbles);
-  prepare_seconds_ = timer.Seconds();
+void JoinContext::Adopt(std::shared_ptr<const PreparedIndex> index) {
+  index_ = std::move(index);
+  knowledge_ = index_->knowledge();
+  msim_ = index_->msim_options();
 }
 
 JoinContext::FilterOutput JoinContext::RunFilter(

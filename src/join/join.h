@@ -2,12 +2,14 @@
 #define AUJOIN_JOIN_JOIN_H_
 
 #include <cstdint>
+#include <memory>
 #include <utility>
 #include <vector>
 
 #include "core/usim.h"
-#include "join/global_order.h"
-#include "join/pebble.h"
+#include "index/global_order.h"
+#include "index/pebble.h"
+#include "index/prepared_index.h"
 #include "join/signature.h"
 
 namespace aujoin {
@@ -46,6 +48,12 @@ struct JoinStats {
   /// ran. Zero on the monolithic path.
   uint64_t partitions = 0;
   uint64_t partition_blocks = 0;
+  /// Serving-side counters (zero on pure join runs): seconds spent
+  /// building the full-key serving index (PreparedIndex::ServingIndex),
+  /// queries answered, and candidate records probed across them.
+  double index_seconds = 0.0;
+  uint64_t queries = 0;
+  uint64_t query_candidates = 0;
 
   /// Sums the per-phase times. Preparation (pebble generation + global
   /// ordering) happens once per JoinContext and is amortised across runs,
@@ -63,39 +71,56 @@ struct JoinResult {
   JoinStats stats;
 };
 
-/// A record with its sorted pebbles, ready for signature selection.
-struct PreparedRecord {
-  RecordPebbles pebbles;
-  size_t num_tokens = 0;
-};
-
-/// Holds both collections' pebbles and the shared global order. Building a
-/// context once lets the tuner re-run the filter stage on samples, and
-/// benches sweep (theta, tau, method) without regenerating pebbles.
+/// A join-side view over a shared immutable PreparedIndex
+/// (src/index/prepared_index.h). Building a context once lets the tuner
+/// re-run the filter stage on samples, and benches sweep (theta, tau,
+/// method) without regenerating pebbles; Adopt lets the join, the
+/// online searcher and the Engine serving API all borrow one prepared
+/// index instead of owning private copies.
 class JoinContext {
  public:
   JoinContext(const Knowledge& knowledge, const MsimOptions& msim)
       : knowledge_(knowledge), msim_(msim) {}
 
   /// Generates pebbles for both collections (pass t == nullptr for a
-  /// self-join) and finalises the global frequency order.
+  /// self-join) and finalises the global frequency order, by building a
+  /// fresh PreparedIndex this context owns the primary reference to.
   void Prepare(const std::vector<Record>& s, const std::vector<Record>* t);
 
-  bool self_join() const { return t_records_ == s_records_; }
-  bool prepared() const { return s_records_ != nullptr; }
+  /// Borrows an already-built index (shared with searchers / other
+  /// contexts) instead of preparing a private copy. The index's
+  /// knowledge and msim options replace the constructor's.
+  void Adopt(std::shared_ptr<const PreparedIndex> index);
 
-  const std::vector<Record>& s_records() const { return *s_records_; }
-  const std::vector<Record>& t_records() const { return *t_records_; }
+  bool self_join() const {
+    return index_ == nullptr || index_->self_join();
+  }
+  bool prepared() const { return index_ != nullptr; }
+
+  /// The borrowed prepared index; prepared() must hold.
+  const PreparedIndex& index() const { return *index_; }
+  const std::shared_ptr<const PreparedIndex>& shared_index() const {
+    return index_;
+  }
+
+  const std::vector<Record>& s_records() const {
+    return index_->s_records();
+  }
+  const std::vector<Record>& t_records() const {
+    return index_->t_records();
+  }
   const std::vector<PreparedRecord>& s_prepared() const {
-    return s_prepared_;
+    return index_->s_prepared();
   }
   const std::vector<PreparedRecord>& t_prepared() const {
-    return self_join() ? s_prepared_ : t_prepared_;
+    return index_->t_prepared();
   }
   const Knowledge& knowledge() const { return knowledge_; }
   const MsimOptions& msim_options() const { return msim_; }
-  const GlobalOrder& global_order() const { return order_; }
-  double prepare_seconds() const { return prepare_seconds_; }
+  const GlobalOrder& global_order() const { return index_->global_order(); }
+  double prepare_seconds() const {
+    return index_ == nullptr ? 0.0 : index_->prepare_seconds();
+  }
 
   /// Output of the filter stage (Lines 1-8 of Algorithm 6).
   struct FilterOutput {
@@ -119,13 +144,7 @@ class JoinContext {
  private:
   Knowledge knowledge_;
   MsimOptions msim_;
-  Vocabulary gram_dict_;
-  GlobalOrder order_;
-  std::vector<PreparedRecord> s_prepared_;
-  std::vector<PreparedRecord> t_prepared_;
-  const std::vector<Record>* s_records_ = nullptr;
-  const std::vector<Record>* t_records_ = nullptr;
-  double prepare_seconds_ = 0.0;
+  std::shared_ptr<const PreparedIndex> index_;
 };
 
 /// Runs the full filter-and-verification join over a prepared context.

@@ -103,6 +103,10 @@ void RunBlock(const AlgorithmFactory& factory,
     ctx.t_records = &local_t;
   }
 
+  // Each block borrows a slice-local PreparedIndex through the one
+  // shared build path (PreparedIndex::Build, via JoinContext::Prepare);
+  // bounding prepared memory by blocks in flight is exactly why blocks
+  // do not share the engine's whole-collection index.
   std::unique_ptr<JoinContext> block_join_context;
   ctx.unified_context = [&ctx, &block_join_context]() -> JoinContext& {
     if (block_join_context == nullptr) {

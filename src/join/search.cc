@@ -2,46 +2,37 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <utility>
 
 namespace aujoin {
+namespace {
+
+/// The one total order of search results: similarity desc, id asc.
+bool BetterMatch(const UnifiedSearcher::Match& a,
+                 const UnifiedSearcher::Match& b) {
+  if (a.similarity != b.similarity) return a.similarity > b.similarity;
+  return a.id < b.id;
+}
+
+}  // namespace
 
 void UnifiedSearcher::Index(const std::vector<Record>* collection) {
-  collection_ = collection;
-  order_ = GlobalOrder();
-  index_ = InvertedIndex();
-
-  // First pass: generate pebbles and count frequencies.
-  std::vector<std::vector<uint64_t>> keys_per_record(collection->size());
-  std::vector<RecordPebbles> all(collection->size());
-  for (size_t i = 0; i < collection->size(); ++i) {
-    all[i] = generator_.Generate((*collection)[i], &gram_dict_);
-    order_.CountRecord(all[i]);
-    std::vector<uint64_t> keys;
-    keys.reserve(all[i].pebbles.size());
-    for (const Pebble& p : all[i].pebbles) keys.push_back(p.key);
-    std::sort(keys.begin(), keys.end());
-    keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-    keys_per_record[i] = std::move(keys);
-  }
-  order_.Finalize();
-  for (size_t i = 0; i < collection->size(); ++i) {
-    index_.Add(static_cast<uint32_t>(i), keys_per_record[i]);
-  }
+  index_ = PreparedIndex::Build(knowledge_, msim_, *collection, nullptr);
 }
 
 std::vector<uint32_t> UnifiedSearcher::Candidates(
-    const Record& query, const SearchOptions& options) {
-  RecordPebbles rp = generator_.Generate(query, &gram_dict_);
-  order_.SortPebbles(&rp);
+    const Record& query, const SearchOptions& options) const {
+  RecordPebbles rp = index_->GenerateQueryPebbles(query);
   SignatureOptions sig_options;
   sig_options.theta = options.theta;
   sig_options.tau = options.tau;
   sig_options.method = options.method;
   Signature sig = SelectSignature(rp, query.num_tokens(), sig_options);
 
+  const InvertedIndex& serving = index_->ServingIndex();
   std::unordered_map<uint32_t, int> overlap;
   for (uint64_t key : sig.keys) {
-    const std::vector<uint32_t>* postings = index_.Find(key);
+    const std::vector<uint32_t>* postings = serving.Find(key);
     if (postings == nullptr) continue;
     for (uint32_t id : *postings) ++overlap[id];
   }
@@ -54,30 +45,45 @@ std::vector<uint32_t> UnifiedSearcher::Candidates(
 }
 
 std::vector<UnifiedSearcher::Match> UnifiedSearcher::Search(
-    const Record& query, const SearchOptions& options) {
+    const Record& query, const SearchOptions& options,
+    QueryStats* stats) const {
   std::vector<Match> matches;
-  if (collection_ == nullptr) return matches;
+  if (index_ == nullptr) return matches;
+  if (stats != nullptr) ++stats->queries;
+  // An empty query has no segments, hence no pebbles and USIM 0 against
+  // everything; return before signature selection sees a zero-token
+  // record.
+  if (query.num_tokens() == 0) return matches;
+  // Per-query scratch state only from here on: the candidate overlap
+  // map and one UsimComputer (whose gram cache is not thread-safe).
   UsimOptions usim_options;
   usim_options.msim = msim_;
   UsimComputer computer(knowledge_, usim_options);
-  for (uint32_t id : Candidates(query, options)) {
-    double sim = computer.Approx(query, (*collection_)[id]);
+  const std::vector<Record>& collection = index_->t_records();
+  std::vector<uint32_t> candidates = Candidates(query, options);
+  if (stats != nullptr) stats->candidates += candidates.size();
+  for (uint32_t id : candidates) {
+    double sim = computer.Approx(query, collection[id]);
     if (sim >= options.theta) matches.push_back(Match{id, sim});
   }
-  std::sort(matches.begin(), matches.end(), [](const Match& a,
-                                               const Match& b) {
-    if (a.similarity != b.similarity) return a.similarity > b.similarity;
-    return a.id < b.id;
-  });
+  std::sort(matches.begin(), matches.end(), BetterMatch);
   return matches;
 }
 
 std::vector<UnifiedSearcher::Match> UnifiedSearcher::TopK(
     const Record& query, size_t k, double min_theta,
-    const SearchOptions& options) {
+    const SearchOptions& options, QueryStats* stats) const {
+  if (k == 0) {
+    // Still a query: count it, answer nothing.
+    if (stats != nullptr) ++stats->queries;
+    return {};
+  }
   SearchOptions opts = options;
   opts.theta = min_theta;
-  std::vector<Match> all = Search(query, opts);
+  std::vector<Match> all = Search(query, opts, stats);
+  // Search returns the full order (similarity desc, id asc), so the
+  // prefix is exactly the k best with deterministic tie-breaks at the
+  // cut boundary.
   if (all.size() > k) all.resize(k);
   return all;
 }

@@ -2,12 +2,11 @@
 #define AUJOIN_JOIN_SEARCH_H_
 
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "core/usim.h"
-#include "join/global_order.h"
-#include "join/inverted_index.h"
-#include "join/pebble.h"
+#include "index/prepared_index.h"
 #include "join/signature.h"
 
 namespace aujoin {
@@ -20,14 +19,27 @@ namespace aujoin {
 /// via the index) or in the query's tail, whose total possible
 /// contribution is below theta * MP(q) by the signature boundary — the
 /// single-sided version of Lemmas 1-2.
+///
+/// The searcher is a read-only view over a shared immutable
+/// PreparedIndex (the T side is what gets probed): Search/TopK are
+/// const, allocate all scratch state per query, and are safe to call
+/// from any number of threads concurrently on one searcher. Many
+/// searchers and join contexts can borrow the same index.
 class UnifiedSearcher {
  public:
-  /// `knowledge` must outlive the searcher.
-  UnifiedSearcher(const Knowledge& knowledge, const MsimOptions& msim)
-      : knowledge_(knowledge), msim_(msim), generator_(knowledge, msim) {}
+  /// Serves the prepared index's T side (== S for a self-join world).
+  explicit UnifiedSearcher(std::shared_ptr<const PreparedIndex> index)
+      : knowledge_(index->knowledge()),
+        msim_(index->msim_options()),
+        index_(std::move(index)) {}
 
-  /// Indexes the collection (full pebble key sets; the collection pointer
-  /// must stay valid while searching).
+  /// Two-step construction: remember the world, then Index() a
+  /// collection (builds a private PreparedIndex).
+  UnifiedSearcher(const Knowledge& knowledge, const MsimOptions& msim)
+      : knowledge_(knowledge), msim_(msim) {}
+
+  /// Indexes the collection (the pointer must stay valid while
+  /// searching). Replaces any previously adopted index.
   void Index(const std::vector<Record>* collection);
 
   struct Match {
@@ -47,30 +59,43 @@ class UnifiedSearcher {
     FilterMethod method = FilterMethod::kAuDp;
   };
 
-  /// All indexed records with Approx USIM >= theta, sorted by descending
-  /// similarity (ties by id).
-  std::vector<Match> Search(const Record& query,
-                            const SearchOptions& options);
+  /// Per-query statistics, accumulated into the caller's struct.
+  struct QueryStats {
+    uint64_t queries = 0;
+    /// Candidate records surviving the signature filter (verified).
+    uint64_t candidates = 0;
+  };
 
-  /// The k most similar records with similarity >= min_theta.
+  /// All indexed records with Approx USIM >= theta, sorted by descending
+  /// similarity, ties by ascending id. An empty (zero-token) query
+  /// matches nothing. Thread-safe.
+  std::vector<Match> Search(const Record& query, const SearchOptions& options,
+                            QueryStats* stats = nullptr) const;
+
+  /// The k most similar records with similarity >= min_theta, under the
+  /// same total order as Search (similarity desc, id asc) — ties at the
+  /// cut are resolved toward lower ids, so results are deterministic.
+  /// k = 0 returns nothing; min_theta = 1.0 keeps only exact-similarity
+  /// matches. Thread-safe.
   std::vector<Match> TopK(const Record& query, size_t k, double min_theta,
-                          const SearchOptions& options);
+                          const SearchOptions& options,
+                          QueryStats* stats = nullptr) const;
 
   size_t num_indexed() const {
-    return collection_ == nullptr ? 0 : collection_->size();
+    return index_ == nullptr ? 0 : index_->t_records().size();
+  }
+
+  const std::shared_ptr<const PreparedIndex>& index() const {
+    return index_;
   }
 
  private:
   std::vector<uint32_t> Candidates(const Record& query,
-                                   const SearchOptions& options);
+                                   const SearchOptions& options) const;
 
   Knowledge knowledge_;
   MsimOptions msim_;
-  PebbleGenerator generator_;
-  Vocabulary gram_dict_;
-  GlobalOrder order_;
-  InvertedIndex index_;
-  const std::vector<Record>* collection_ = nullptr;
+  std::shared_ptr<const PreparedIndex> index_;
 };
 
 }  // namespace aujoin

@@ -4,7 +4,7 @@
 #include <cstdint>
 #include <vector>
 
-#include "join/pebble.h"
+#include "index/pebble.h"
 
 namespace aujoin {
 

@@ -1,0 +1,169 @@
+// PreparedIndex: the shared immutable prepare-once layer. These tests
+// pin the sharing contract — one build feeds joins, searchers and the
+// Engine serving path — and the thread-safety of the lazy serving
+// index and the read-only query pebble generation.
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "api/engine.h"
+#include "datagen/corpus_gen.h"
+#include "datagen/synonym_gen.h"
+#include "datagen/taxonomy_gen.h"
+#include "index/prepared_index.h"
+#include "join/join.h"
+#include "join/search.h"
+#include "test_fixtures.h"
+
+namespace aujoin {
+namespace {
+
+class PreparedIndexTest : public ::testing::Test {
+ protected:
+  PreparedIndexTest() {
+    taxonomy_ = GenerateTaxonomy({.num_nodes = 200}, &vocab_);
+    rules_ = GenerateSynonyms({.num_rules = 100}, taxonomy_, &vocab_);
+    knowledge_ = Knowledge{&vocab_, &rules_, &taxonomy_};
+    CorpusGenerator gen(&vocab_, &taxonomy_, &rules_);
+    CorpusProfile profile;
+    profile.num_strings = 60;
+    profile.seed = 17;
+    corpus_ = gen.Generate(profile, {.num_pairs = 20});
+  }
+
+  Vocabulary vocab_;
+  Taxonomy taxonomy_;
+  RuleSet rules_;
+  Knowledge knowledge_;
+  Corpus corpus_;
+};
+
+TEST_F(PreparedIndexTest, BuildPreparesBothSidesOfSelfJoin) {
+  auto index =
+      PreparedIndex::Build(knowledge_, MsimOptions{}, corpus_.records,
+                           nullptr);
+  EXPECT_TRUE(index->self_join());
+  EXPECT_EQ(index->s_prepared().size(), corpus_.records.size());
+  EXPECT_EQ(&index->t_prepared(), &index->s_prepared());
+  EXPECT_TRUE(index->global_order().finalized());
+  EXPECT_GT(index->prepare_seconds(), 0.0);
+  // The serving index is lazy: nothing built (and no time charged)
+  // until the first probe forces it.
+  EXPECT_EQ(index->index_seconds(), 0.0);
+  EXPECT_GT(index->ServingIndex().num_keys(), 0u);
+  EXPECT_GT(index->index_seconds(), 0.0);
+  // Second access returns the same built index without rebuilding.
+  const InvertedIndex* first = &index->ServingIndex();
+  EXPECT_EQ(first, &index->ServingIndex());
+}
+
+TEST_F(PreparedIndexTest, JoinContextPrepareAndAdoptAgree) {
+  JoinContext fresh(knowledge_, MsimOptions{});
+  fresh.Prepare(corpus_.records, nullptr);
+
+  JoinContext borrowing(knowledge_, MsimOptions{});
+  borrowing.Adopt(fresh.shared_index());
+  EXPECT_EQ(fresh.shared_index().get(), borrowing.shared_index().get());
+
+  JoinOptions options;
+  options.theta = 0.75;
+  options.tau = 2;
+  JoinResult a = UnifiedJoin(fresh, options);
+  JoinResult b = UnifiedJoin(borrowing, options);
+  EXPECT_EQ(a.pairs, b.pairs);
+}
+
+TEST_F(PreparedIndexTest, EngineJoinAndServingShareOneIndex) {
+  Engine engine = EngineBuilder().SetKnowledge(knowledge_).Build();
+  engine.SetRecords(corpus_.records);
+  auto serving = engine.ServingIndex();
+  ASSERT_TRUE(serving.ok());
+  EXPECT_EQ(serving->get(), engine.PreparedContext().shared_index().get());
+  // Rebinding invalidates the engine's copy; the caller's shared_ptr
+  // stays usable.
+  engine.SetRecords(corpus_.records);
+  auto rebuilt = engine.ServingIndex();
+  ASSERT_TRUE(rebuilt.ok());
+  EXPECT_NE(serving->get(), rebuilt->get());
+  EXPECT_GT((*serving)->s_prepared().size(), 0u);
+}
+
+TEST_F(PreparedIndexTest, QueryPebblesMatchBuildTimePebbles) {
+  auto index =
+      PreparedIndex::Build(knowledge_, MsimOptions{}, corpus_.records,
+                           nullptr);
+  // A corpus record re-generated as a query must produce exactly its
+  // build-time pebbles (same keys, same order) — the read-only path
+  // finds every gram in the frozen dictionary.
+  for (size_t i = 0; i < corpus_.records.size(); i += 13) {
+    RecordPebbles fresh =
+        index->GenerateQueryPebbles(corpus_.records[i]);
+    const RecordPebbles& built = index->s_prepared()[i].pebbles;
+    ASSERT_EQ(fresh.pebbles.size(), built.pebbles.size());
+    for (size_t p = 0; p < fresh.pebbles.size(); ++p) {
+      EXPECT_EQ(fresh.pebbles[p].key, built.pebbles[p].key);
+      EXPECT_EQ(fresh.pebbles[p].weight, built.pebbles[p].weight);
+    }
+  }
+}
+
+TEST_F(PreparedIndexTest, UnseenQueryGramsGetStableNonCollidingKeys) {
+  Figure1World world;
+  std::vector<Record> collection;
+  collection.push_back(world.MakeRec(0, "espresso cafe helsinki"));
+  auto index = PreparedIndex::Build(world.knowledge(),
+                                    MsimOptions{.q = 2}, collection,
+                                    nullptr);
+  // Tokens never seen at build time: grams resolve through the overlay.
+  Record query = world.MakeRec(7, "zzzzz zzzzz");
+  RecordPebbles rp = index->GenerateQueryPebbles(query);
+  ASSERT_FALSE(rp.pebbles.empty());
+  const InvertedIndex& serving = index->ServingIndex();
+  for (const Pebble& p : rp.pebbles) {
+    if (PebbleKeyType(p.key) != PebbleType::kGram) continue;
+    // Overlay keys collide with nothing indexed...
+    EXPECT_EQ(serving.Find(p.key), nullptr);
+  }
+  // ...but the duplicated token's grams share keys within the query
+  // (both "zzzzz" occurrences produce the same single-token segment
+  // text, hence identical gram pebbles).
+  RecordPebbles again = index->GenerateQueryPebbles(query);
+  ASSERT_EQ(again.pebbles.size(), rp.pebbles.size());
+  for (size_t p = 0; p < rp.pebbles.size(); ++p) {
+    EXPECT_EQ(again.pebbles[p].key, rp.pebbles[p].key);
+  }
+}
+
+TEST_F(PreparedIndexTest, ConcurrentServingIndexAndQueryGeneration) {
+  auto index =
+      PreparedIndex::Build(knowledge_, MsimOptions{}, corpus_.records,
+                           nullptr);
+  // Hammer the lazy serving-index build and the read-only query path
+  // from many threads at once; TSan (ci sanitize job) proves the
+  // absence of data races, the assertions prove agreement.
+  constexpr int kThreads = 8;
+  std::vector<size_t> num_keys(kThreads, 0);
+  std::vector<size_t> num_pebbles(kThreads, 0);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      num_keys[t] = index->ServingIndex().num_keys();
+      RecordPebbles rp =
+          index->GenerateQueryPebbles(corpus_.records[t % 7]);
+      num_pebbles[t] = rp.pebbles.size();
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(num_keys[t], num_keys[0]);
+  }
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(num_pebbles[t],
+              index->s_prepared()[t % 7].pebbles.pebbles.size());
+  }
+}
+
+}  // namespace
+}  // namespace aujoin

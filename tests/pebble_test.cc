@@ -3,9 +3,9 @@
 
 #include <gtest/gtest.h>
 
-#include "join/global_order.h"
+#include "index/global_order.h"
+#include "index/pebble.h"
 #include "join/min_partition.h"
-#include "join/pebble.h"
 #include "test_fixtures.h"
 
 namespace aujoin {

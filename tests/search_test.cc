@@ -1,5 +1,7 @@
 #include <gtest/gtest.h>
 
+#include <memory>
+
 #include "datagen/corpus_gen.h"
 #include "datagen/synonym_gen.h"
 #include "datagen/taxonomy_gen.h"
@@ -125,6 +127,106 @@ TEST_F(SearchCorpusTest, UnseenQueryTokensDoNotCrash) {
   UnifiedSearcher::SearchOptions options;
   options.theta = 0.9;
   EXPECT_TRUE(searcher.Search(query, options).empty());
+}
+
+TEST_F(SearchCorpusTest, SharedIndexSearcherMatchesLegacyIndexPath) {
+  UnifiedSearcher legacy(knowledge_, MsimOptions{});
+  legacy.Index(&corpus_.records);
+  UnifiedSearcher shared(
+      PreparedIndex::Build(knowledge_, MsimOptions{}, corpus_.records,
+                           nullptr));
+  UnifiedSearcher::SearchOptions options;
+  options.theta = 0.6;
+  for (size_t q = 0; q < corpus_.records.size(); q += 11) {
+    EXPECT_EQ(legacy.Search(corpus_.records[q], options),
+              shared.Search(corpus_.records[q], options));
+  }
+}
+
+TEST_F(SearchCorpusTest, SearchCountsQueryStats) {
+  UnifiedSearcher searcher(knowledge_, MsimOptions{});
+  searcher.Index(&corpus_.records);
+  UnifiedSearcher::QueryStats stats;
+  UnifiedSearcher::SearchOptions options;
+  options.theta = 0.5;
+  auto matches = searcher.Search(corpus_.records[3], options, &stats);
+  EXPECT_EQ(stats.queries, 1u);
+  // Every match was first a candidate; the self-hit guarantees both > 0.
+  EXPECT_GE(stats.candidates, matches.size());
+  EXPECT_GE(matches.size(), 1u);
+}
+
+// --- TopK tie-breaking and edge cases (locked-in behaviour) ---
+
+class TopKEdgeCaseTest : public ::testing::Test {
+ protected:
+  TopKEdgeCaseTest() {
+    // Records 1 and 2 are identical, so any query equal to them ties at
+    // similarity 1.0; record 0 shares tokens without being identical.
+    collection_.push_back(world_.MakeRec(0, "espresso cafe"));
+    collection_.push_back(world_.MakeRec(1, "espresso cafe helsinki"));
+    collection_.push_back(world_.MakeRec(2, "espresso cafe helsinki"));
+    collection_.push_back(world_.MakeRec(3, "cake bakery"));
+    searcher_ = std::make_unique<UnifiedSearcher>(world_.knowledge(),
+                                                  MsimOptions{.q = 1});
+    searcher_->Index(&collection_);
+  }
+
+  Figure1World world_;
+  std::vector<Record> collection_;
+  std::unique_ptr<UnifiedSearcher> searcher_;
+};
+
+TEST_F(TopKEdgeCaseTest, TiesBreakTowardLowerIds) {
+  Record query = world_.MakeRec(100, "espresso cafe helsinki");
+  auto top1 = searcher_->TopK(query, 1, 0.5, {});
+  ASSERT_EQ(top1.size(), 1u);
+  EXPECT_EQ(top1[0].id, 1u);  // ids 1 and 2 tie at 1.0; lower id wins
+  EXPECT_NEAR(top1[0].similarity, 1.0, 1e-9);
+
+  auto top2 = searcher_->TopK(query, 2, 0.5, {});
+  ASSERT_EQ(top2.size(), 2u);
+  EXPECT_EQ(top2[0].id, 1u);
+  EXPECT_EQ(top2[1].id, 2u);
+}
+
+TEST_F(TopKEdgeCaseTest, KZeroReturnsNothingButCountsTheQuery) {
+  Record query = world_.MakeRec(100, "espresso cafe helsinki");
+  UnifiedSearcher::QueryStats stats;
+  EXPECT_TRUE(searcher_->TopK(query, 0, 0.5, {}, &stats).empty());
+  EXPECT_EQ(stats.queries, 1u);
+  EXPECT_EQ(stats.candidates, 0u);
+}
+
+TEST_F(TopKEdgeCaseTest, ThetaOneKeepsOnlyExactSimilarityMatches) {
+  Record query = world_.MakeRec(100, "espresso cafe helsinki");
+  auto matches = searcher_->TopK(query, 10, 1.0, {});
+  ASSERT_EQ(matches.size(), 2u);
+  EXPECT_EQ(matches[0].id, 1u);
+  EXPECT_EQ(matches[1].id, 2u);
+  for (const auto& m : matches) {
+    EXPECT_DOUBLE_EQ(m.similarity, 1.0);
+  }
+}
+
+TEST_F(TopKEdgeCaseTest, EmptyQueryMatchesNothing) {
+  Record empty = world_.MakeRec(100, "");
+  EXPECT_EQ(empty.num_tokens(), 0u);
+  EXPECT_TRUE(searcher_->Search(empty, {}).empty());
+  UnifiedSearcher::QueryStats stats;
+  EXPECT_TRUE(searcher_->TopK(empty, 5, 0.1, {}, &stats).empty());
+  EXPECT_EQ(stats.queries, 1u);
+}
+
+TEST_F(TopKEdgeCaseTest, KLargerThanMatchesReturnsAll) {
+  Record query = world_.MakeRec(100, "espresso cafe helsinki");
+  auto all = searcher_->Search(query, [] {
+    UnifiedSearcher::SearchOptions o;
+    o.theta = 0.3;
+    return o;
+  }());
+  auto topn = searcher_->TopK(query, all.size() + 10, 0.3, {});
+  EXPECT_EQ(topn, all);
 }
 
 }  // namespace

@@ -2,7 +2,7 @@
 
 #include <gtest/gtest.h>
 
-#include "join/global_order.h"
+#include "index/global_order.h"
 #include "join/signature.h"
 #include "test_fixtures.h"
 

@@ -8,13 +8,18 @@
 //                --rules=data/poi_rules.tsv --taxonomy=data/poi_taxonomy.tsv
 //                --theta=0.7 --tau=2 [--algorithm=unified] [--out=-]
 //                [--stats_out=BENCH_cli.json] [--require_nonzero]
+//   aujoin query --input=... [--queries=FILE] [--topk=10] [--theta=0.7]
+//                [--threads=0] [--stats_out=BENCH_query.json]
 //   aujoin tune  --input=... [--theta=0.8] [--sample=0.05]
 //   aujoin stats --input=... [--rules=...] [--taxonomy=...]
 //
 // `join` streams matched pairs to stdout (or --out=FILE) through a
 // MatchSink as verification batches complete; --stats_out writes the
 // same BENCH_<name>.json schema as bench/harness (see
-// docs/bench-schema.md). `tune` runs Algorithm 7 and reports the
+// docs/bench-schema.md). `query` serves online similarity search over
+// the ingested collection from a shared immutable PreparedIndex —
+// queries come from a file or stdin, one per line, fanned across the
+// engine's thread pool. `tune` runs Algorithm 7 and reports the
 // suggested overlap constraint tau as JSON. `stats` ingests and prints
 // the dataset manifest. Full flag reference: docs/cli.md.
 
@@ -42,6 +47,7 @@ constexpr const char* kUsage = R"(usage: aujoin <command> [--flags]
 
 commands:
   join    ingest a dataset and run a similarity self- or R x S join
+  query   ingest a dataset, index it once, answer similarity queries
   tune    run Algorithm 7 to suggest the overlap constraint tau
   stats   ingest a dataset and print its manifest as JSON
 
@@ -76,6 +82,18 @@ join flags:
   --stats_out=FILE       write run stats in the BENCH_<name>.json schema
   --name=cli             report name for --stats_out
   --require_nonzero      exit 1 when the join finds zero matches
+
+query flags:
+  --queries=FILE         query texts, one per line (- or omitted = stdin)
+  --theta=0.8            similarity threshold
+  --tau=1                overlap constraint on the query signature
+  --topk=0               keep only the k best matches per query (0 = all)
+  --out=-                matches output file (- = stdout)
+  --output_format=tsv    tsv | csv (query_index, match_id, similarity[, texts])
+  --ids_only             drop the query/match texts from the output
+  --stats_out=FILE       write serving stats in the BENCH_<name>.json schema
+  --name=query           report name for --stats_out
+  --require_nonzero      exit 1 when no query finds any match
 
 tune flags:
   --theta=0.8            similarity threshold to tune for
@@ -150,6 +168,77 @@ std::string CsvField(const std::string& text) {
   return quoted;
 }
 
+/// Stdout-or-file row output with TSV/CSV formatting — the plumbing
+/// shared by the join and query subcommands (--out, --output_format,
+/// --ids_only).
+struct OutputTarget {
+  std::ofstream file;
+  std::ostream* out = nullptr;
+  std::string path;
+  bool csv = false;
+  bool ids_only = false;
+  char sep = '\t';
+
+  /// Applies the CSV quoting policy to a text field.
+  std::string Text(const std::string& text) const {
+    return csv ? CsvField(text) : text;
+  }
+
+  /// Flushes and reports a write failure; true on success.
+  bool Finish() {
+    out->flush();
+    if (!*out) {
+      std::fprintf(stderr, "error: failed writing %s\n", path.c_str());
+      return false;
+    }
+    return true;
+  }
+};
+
+bool OpenOutput(const Flags& flags, OutputTarget* target) {
+  target->path = flags.GetString("out", "-");
+  if (target->path != "-") {
+    target->file.open(target->path);
+    if (!target->file) {
+      std::fprintf(stderr, "error: cannot open %s\n", target->path.c_str());
+      return false;
+    }
+  }
+  target->out = target->path == "-" ? &std::cout : &target->file;
+  target->csv = flags.GetString("output_format", "tsv") == "csv";
+  target->ids_only = flags.GetBool("ids_only", false);
+  target->sep = target->csv ? ',' : '\t';
+  return true;
+}
+
+/// Scaffolds the single-run BENCH_<name>.json report both subcommands
+/// write for --stats_out: everything shared between join and query
+/// runs; the caller fills the run's algorithm/variant/stats/timings.
+BenchReport MakeCliReport(const Flags& flags, const Dataset& dataset,
+                          const char* default_name, BenchRun* run) {
+  BenchReport report;
+  report.name = flags.GetString("name", default_name);
+  report.profile = "dataset";
+  report.num_records = dataset.records.size();
+  report.dataset_manifest_json = dataset.manifest.ToJson();
+  run->measures = flags.GetString("measures", "TJS");
+  run->threads = static_cast<int>(flags.GetInt("threads", 1));
+  run->num_records = dataset.records.size();
+  run->ok = true;
+  run->peak_rss_bytes = CurrentPeakRssBytes();
+  return report;
+}
+
+/// Writes the report; false (with a message) on I/O failure.
+bool WriteCliReport(const BenchReport& report, const std::string& path) {
+  if (!report.WriteJsonFile(path)) {
+    std::fprintf(stderr, "error: failed to write %s\n", path.c_str());
+    return false;
+  }
+  std::fprintf(stderr, "wrote %s\n", path.c_str());
+  return true;
+}
+
 int RunStats(const Flags& flags) {
   DatasetSpec spec;
   if (!SpecFromFlags(flags, &spec)) return 1;
@@ -184,30 +273,18 @@ int RunJoin(const Flags& flags) {
   int tau = static_cast<int>(flags.GetInt("tau", 2));
   options.tau = tau > 0 ? tau : 1;
 
-  // Output plumbing: stdout or a file, TSV or CSV, streamed through a
-  // CallbackSink as verification batches complete.
-  std::string out_path = flags.GetString("out", "-");
-  std::ofstream out_file;
-  if (out_path != "-") {
-    out_file.open(out_path);
-    if (!out_file) {
-      std::fprintf(stderr, "error: cannot open %s\n", out_path.c_str());
-      return 1;
-    }
-  }
-  std::ostream& out = out_path == "-" ? std::cout : out_file;
-  bool csv = flags.GetString("output_format", "tsv") == "csv";
-  bool ids_only = flags.GetBool("ids_only", false);
-  char sep = csv ? ',' : '\t';
+  // Output plumbing: streamed through a CallbackSink as verification
+  // batches complete.
+  OutputTarget target;
+  if (!OpenOutput(flags, &target)) return 1;
 
   uint64_t written = 0;
   CallbackSink sink([&](uint32_t a, uint32_t b) {
-    out << a << sep << b;
-    if (!ids_only) {
-      const std::string& ta = dataset->records[a].text;
-      const std::string& tb = t_side[b].text;
-      out << sep << (csv ? CsvField(ta) : ta) << sep
-          << (csv ? CsvField(tb) : tb);
+    std::ostream& out = *target.out;
+    out << a << target.sep << b;
+    if (!target.ids_only) {
+      out << target.sep << target.Text(dataset->records[a].text)
+          << target.sep << target.Text(t_side[b].text);
     }
     out << '\n';
     ++written;
@@ -250,11 +327,7 @@ int RunJoin(const Flags& flags) {
   }
   double wall_seconds = wall.Seconds();
 
-  out.flush();
-  if (!out) {
-    std::fprintf(stderr, "error: failed writing %s\n", out_path.c_str());
-    return 1;
-  }
+  if (!target.Finish()) return 1;
   std::fprintf(stderr,
                "join[%s]: %llu pairs (processed=%llu candidates=%llu) "
                "filter=%.3fs verify=%.3fs wall=%.3fs\n",
@@ -266,35 +339,136 @@ int RunJoin(const Flags& flags) {
 
   std::string stats_out = flags.GetString("stats_out", "");
   if (!stats_out.empty()) {
-    BenchReport report;
-    report.name = flags.GetString("name", "cli");
-    report.profile = "dataset";
-    report.num_records = dataset->records.size();
-    report.dataset_manifest_json = dataset->manifest.ToJson();
     BenchRun run;
+    BenchReport report = MakeCliReport(flags, *dataset, "cli", &run);
     run.algorithm = algorithm;
-    run.measures = flags.GetString("measures", "TJS");
     run.theta = options.theta;
     run.tau = options.tau;
-    run.threads = static_cast<int>(flags.GetInt("threads", 1));
     run.max_partition_records =
         static_cast<size_t>(flags.GetInt("partition", 0));
-    run.num_records = dataset->records.size();
-    run.ok = true;
     run.stats = stats;
     run.total_seconds = stats.TotalSeconds(/*include_prepare=*/true);
     run.wall_seconds = wall_seconds;
-    run.peak_rss_bytes = CurrentPeakRssBytes();
     report.runs.push_back(run);
-    if (!report.WriteJsonFile(stats_out)) {
-      std::fprintf(stderr, "error: failed to write %s\n", stats_out.c_str());
-      return 1;
-    }
-    std::fprintf(stderr, "wrote %s\n", stats_out.c_str());
+    if (!WriteCliReport(report, stats_out)) return 1;
   }
 
   if (flags.GetBool("require_nonzero", false) && written == 0) {
     std::fprintf(stderr, "error: join found zero matches\n");
+    return 1;
+  }
+  return 0;
+}
+
+int RunQuery(const Flags& flags) {
+  DatasetSpec spec;
+  if (!SpecFromFlags(flags, &spec)) return 1;
+  Result<Dataset> dataset = LoadDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "ingested: %s\n", dataset->manifest.ToJson().c_str());
+
+  // Query texts: one per line from --queries (or stdin), tokenised into
+  // the dataset's vocabulary with the same normalisation — interning
+  // happens here, before the immutable index is built.
+  std::string queries_path = flags.GetString("queries", "-");
+  std::ifstream queries_file;
+  if (queries_path != "-") {
+    queries_file.open(queries_path);
+    if (!queries_file) {
+      std::fprintf(stderr, "error: cannot open %s\n", queries_path.c_str());
+      return 1;
+    }
+  }
+  std::istream& queries_in =
+      queries_path == "-" ? std::cin : queries_file;
+  std::vector<Record> queries;
+  std::string line;
+  while (std::getline(queries_in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    queries.push_back(MakeRecord(static_cast<uint32_t>(queries.size()), line,
+                                 &dataset->vocab, spec.tokenizer));
+  }
+  if (queries.empty()) {
+    std::fprintf(stderr, "error: no queries read from %s\n",
+                 queries_path.c_str());
+    return 1;
+  }
+
+  Engine engine = EngineFromFlags(flags, *dataset);
+  engine.SetRecords(dataset->records);
+
+  EngineSearchOptions options;
+  options.theta = flags.GetDouble("theta", 0.8);
+  options.tau = static_cast<int>(flags.GetInt("tau", 1));
+  options.k = static_cast<size_t>(flags.GetInt("topk", 0));
+
+  OutputTarget target;
+  if (!OpenOutput(flags, &target)) return 1;
+
+  uint64_t written = 0;
+  SearchStats stats;
+  WallTimer wall;
+  Status status = engine.BatchSearch(
+      queries, options,
+      [&](uint32_t query_index, const UnifiedSearcher::Match& m) {
+        std::ostream& out = *target.out;
+        out << query_index << target.sep << m.id << target.sep
+            << m.similarity;
+        if (!target.ids_only) {
+          out << target.sep << target.Text(queries[query_index].text)
+              << target.sep << target.Text(dataset->records[m.id].text);
+        }
+        out << '\n';
+        ++written;
+        return true;
+      },
+      &stats);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  double wall_seconds = wall.Seconds();
+
+  if (!target.Finish()) return 1;
+  std::fprintf(stderr,
+               "query: %llu queries, %llu matches (candidates=%llu) "
+               "index=%.3fs search=%.3fs wall=%.3fs\n",
+               static_cast<unsigned long long>(stats.queries),
+               static_cast<unsigned long long>(written),
+               static_cast<unsigned long long>(stats.query_candidates),
+               stats.index_seconds, stats.search_seconds, wall_seconds);
+
+  std::string stats_out = flags.GetString("stats_out", "");
+  if (!stats_out.empty()) {
+    Result<std::shared_ptr<const PreparedIndex>> index =
+        engine.ServingIndex();
+    BenchRun run;
+    BenchReport report = MakeCliReport(flags, *dataset, "query", &run);
+    run.algorithm = "search";
+    char variant[64];
+    std::snprintf(variant, sizeof(variant), "topk=%zu", options.k);
+    run.variant = variant;
+    run.theta = options.theta;
+    run.tau = options.tau;
+    run.stats.prepare_seconds =
+        index.ok() ? (*index)->prepare_seconds() : 0.0;
+    run.stats.index_seconds = stats.index_seconds;
+    run.stats.queries = stats.queries;
+    run.stats.query_candidates = stats.query_candidates;
+    run.stats.results = stats.results;
+    // search_seconds already covers any serving-index build it forced.
+    run.total_seconds = run.stats.prepare_seconds + stats.search_seconds;
+    run.wall_seconds = wall_seconds;
+    report.runs.push_back(run);
+    if (!WriteCliReport(report, stats_out)) return 1;
+  }
+
+  if (flags.GetBool("require_nonzero", false) && written == 0) {
+    std::fprintf(stderr, "error: search found zero matches\n");
     return 1;
   }
   return 0;
@@ -378,6 +552,7 @@ int Run(int argc, char** argv) {
   }
   const std::string& command = flags.positional()[0];
   if (command == "join") return RunJoin(flags);
+  if (command == "query") return RunQuery(flags);
   if (command == "tune") return RunTune(flags);
   if (command == "stats") return RunStats(flags);
   std::fprintf(stderr, "error: unknown command '%s'\n\n%s", command.c_str(),

@@ -1,0 +1,92 @@
+#!/usr/bin/env python3
+"""Guards BENCH_<name>.json result counts against checked-in expectations.
+
+The smoke grid runs on a seeded generated corpus, so every
+(algorithm, theta, tau) cell's match count is deterministic — any drift
+is a real behaviour change (better recall, a broken filter, a changed
+default) and must be acknowledged by regenerating the expectations
+file, not silently absorbed. Counts must also agree across the
+threads/partitioning dimensions (the parity contract), so cells are
+keyed without them: every run of a key must report the same count.
+
+Usage:
+  python3 tools/check_bench_counts.py BENCH_smoke.json \
+      bench/expected/smoke_counts.json [--update]
+
+--update rewrites the expectations file from the report (use after an
+intentional change, and say why in the commit).
+"""
+
+import json
+import sys
+
+
+def cell_key(run):
+    return "{} theta={:g} tau={:g}".format(
+        run["algorithm"], run["theta"], run["tau"])
+
+
+def collect_counts(report):
+    """Map of cell key -> result count; fails on failed or inconsistent
+    runs."""
+    counts = {}
+    errors = []
+    for run in report.get("runs", []):
+        key = cell_key(run)
+        if not run.get("ok", False):
+            errors.append(f"FAILED RUN {key}: {run.get('error', '?')}")
+            continue
+        results = run["results"]
+        if key in counts and counts[key] != results:
+            errors.append(
+                f"INCONSISTENT {key}: {counts[key]} vs {results} across "
+                f"threads/partitioning (parity violation)")
+        counts[key] = results
+    return counts, errors
+
+
+def main():
+    args = [a for a in sys.argv[1:] if a != "--update"]
+    update = "--update" in sys.argv[1:]
+    if len(args) != 2:
+        print(__doc__)
+        return 2
+    report_path, expected_path = args
+    with open(report_path, encoding="utf-8") as handle:
+        report = json.load(handle)
+
+    counts, errors = collect_counts(report)
+    for message in errors:
+        print(message)
+
+    if update:
+        with open(expected_path, "w", encoding="utf-8") as handle:
+            json.dump(counts, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {expected_path} ({len(counts)} cells)")
+        return 1 if errors else 0
+
+    with open(expected_path, encoding="utf-8") as handle:
+        expected = json.load(handle)
+
+    for key, want in sorted(expected.items()):
+        if key not in counts:
+            print(f"MISSING {key}: expected {want} results, cell not in "
+                  f"{report_path} (grid shrank?)")
+            errors.append(key)
+        elif counts[key] != want:
+            print(f"DRIFT {key}: expected {want} results, got "
+                  f"{counts[key]}")
+            errors.append(key)
+    for key in sorted(set(counts) - set(expected)):
+        print(f"NEW {key}: {counts[key]} results not in {expected_path} "
+              f"(run with --update to record)")
+        errors.append(key)
+
+    print(f"checked {len(expected)} expected cells against "
+          f"{len(counts)} report cells: {len(errors)} problem(s)")
+    return 1 if errors else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

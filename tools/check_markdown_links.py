@@ -1,11 +1,18 @@
 #!/usr/bin/env python3
-"""Checks that relative links in the repo's markdown files resolve.
+"""Checks that links in the repo's markdown files resolve.
 
 Scans every tracked *.md file for inline links/images `[text](target)`
 and reference definitions `[ref]: target`, and fails (exit 1) listing
-each relative target that does not exist on disk. External links
-(http/https/mailto) and pure in-page anchors (#...) are skipped —
-this is an offline structural check, not a crawler.
+each target that does not resolve:
+
+- relative file targets must exist on disk;
+- `#anchor` fragments — both in-page (`#section`) and cross-file
+  (`other.md#section`) — must name a heading in the target document,
+  using GitHub's slugification (lowercase, punctuation stripped,
+  spaces to hyphens, duplicates suffixed -1, -2, ...).
+
+External links (http/https/mailto) are skipped — this is an offline
+structural check, not a crawler.
 
 Usage: python3 tools/check_markdown_links.py [root_dir]
 """
@@ -20,8 +27,35 @@ INLINE_LINK = re.compile(r"!?\[[^\]]*\]\(([^)\s]+)(?:\s+\"[^\"]*\")?\)")
 REF_DEF = re.compile(r"^\s*\[[^\]]+\]:\s+(\S+)", re.MULTILINE)
 SKIP_SCHEMES = ("http://", "https://", "mailto:", "ftp://")
 
-# Fenced code blocks must not contribute false links.
+# Fenced code blocks must not contribute false links or headings.
 FENCE = re.compile(r"```.*?```", re.DOTALL)
+
+HEADING = re.compile(r"^(#{1,6})\s+(.*?)\s*#*\s*$", re.MULTILINE)
+# Inline markup GitHub strips before slugifying heading text.
+INLINE_CODE = re.compile(r"`([^`]*)`")
+MD_LINK_TEXT = re.compile(r"\[([^\]]*)\]\([^)]*\)")
+
+
+def github_slug(text):
+    """GitHub's heading-to-anchor slug (ASCII approximation)."""
+    text = INLINE_CODE.sub(r"\1", text)
+    text = MD_LINK_TEXT.sub(r"\1", text)
+    text = text.strip().lower()
+    # Keep word characters, spaces and hyphens; drop the rest.
+    text = re.sub(r"[^\w\- ]", "", text)
+    return text.replace(" ", "-")
+
+
+def heading_anchors(markdown_text):
+    """The set of valid anchors for one document, with -N dedup."""
+    anchors = set()
+    counts = {}
+    for match in HEADING.finditer(FENCE.sub("", markdown_text)):
+        slug = github_slug(match.group(2))
+        n = counts.get(slug, 0)
+        counts[slug] = n + 1
+        anchors.add(slug if n == 0 else f"{slug}-{n}")
+    return anchors
 
 
 def markdown_files(root):
@@ -36,23 +70,37 @@ def markdown_files(root):
                 yield os.path.join(dirpath, name)
 
 
-def check_file(path, root):
+def check_file(path, root, anchor_cache):
     with open(path, encoding="utf-8") as handle:
-        text = FENCE.sub("", handle.read())
+        raw = handle.read()
+    text = FENCE.sub("", raw)
     targets = INLINE_LINK.findall(text) + REF_DEF.findall(text)
     broken = []
+
+    def anchors_of(md_path):
+        md_path = os.path.normpath(md_path)
+        if md_path not in anchor_cache:
+            with open(md_path, encoding="utf-8") as target_handle:
+                anchor_cache[md_path] = heading_anchors(target_handle.read())
+        return anchor_cache[md_path]
+
     for target in targets:
-        if target.startswith(SKIP_SCHEMES) or target.startswith("#"):
+        if target.startswith(SKIP_SCHEMES):
             continue
-        resolved = target.split("#", 1)[0]
-        if not resolved:
-            continue
-        if resolved.startswith("/"):
-            candidate = os.path.join(root, resolved.lstrip("/"))
+        resolved, _, fragment = target.partition("#")
+        if resolved:
+            if resolved.startswith("/"):
+                candidate = os.path.join(root, resolved.lstrip("/"))
+            else:
+                candidate = os.path.join(os.path.dirname(path), resolved)
+            if not os.path.exists(candidate):
+                broken.append(target)
+                continue
         else:
-            candidate = os.path.join(os.path.dirname(path), resolved)
-        if not os.path.exists(candidate):
-            broken.append(target)
+            candidate = path  # pure in-page anchor
+        if fragment and candidate.endswith(".md"):
+            if fragment.lower() not in anchors_of(candidate):
+                broken.append(target)
     return broken
 
 
@@ -60,13 +108,14 @@ def main():
     root = sys.argv[1] if len(sys.argv) > 1 else "."
     failures = 0
     checked = 0
+    anchor_cache = {}
     for path in sorted(markdown_files(root)):
         checked += 1
-        for target in check_file(path, root):
+        for target in check_file(path, root, anchor_cache):
             print(f"BROKEN {os.path.relpath(path, root)}: {target}")
             failures += 1
     print(f"checked {checked} markdown files: "
-          f"{failures} broken relative link(s)")
+          f"{failures} broken link(s)/anchor(s)")
     return 1 if failures else 0
 
 

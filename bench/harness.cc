@@ -110,6 +110,14 @@ std::string BenchReport::ToJson() const {
       out += ", \"p99_ms\": ";
       AppendJsonDouble(run.p99_ms, &out);
     }
+    if (run.has_index_micro) {
+      out += ",\n     \"index_build_seconds\": ";
+      AppendJsonDouble(run.index_build_seconds, &out);
+      out += ", \"probe_records_per_sec\": ";
+      AppendJsonDouble(run.probe_records_per_sec, &out);
+      out += ", \"probe_postings_per_sec\": ";
+      AppendJsonDouble(run.probe_postings_per_sec, &out);
+    }
     if (run.has_prf) {
       out += ",\n     \"precision\": ";
       AppendJsonDouble(run.prf.precision, &out);

@@ -71,6 +71,15 @@ struct BenchRun {
   double p50_ms = 0.0;
   double p95_ms = 0.0;
   double p99_ms = 0.0;
+
+  /// Micro-index extras (bench_micro_index): one candidate-generation
+  /// variant's one-time index build cost and probe throughput (probe
+  /// records driven per second, raw postings scanned per second).
+  /// Emitted to JSON only when has_index_micro is set.
+  bool has_index_micro = false;
+  double index_build_seconds = 0.0;
+  double probe_records_per_sec = 0.0;
+  double probe_postings_per_sec = 0.0;
 };
 
 /// Per-query latency percentiles in milliseconds. Takes the latencies

@@ -143,8 +143,9 @@ Result<std::vector<UnifiedSearcher::Match>> Engine::Search(
   Result<std::shared_ptr<const PreparedIndex>> index = ServingIndex();
   if (!index.ok()) return index.status();
   WallTimer wall;
-  // Force the serving index here so its one-time build cost is charged
-  // exactly once, to whichever concurrent call actually performed it.
+  // Force the frozen CSR serving index here so its one-time staging +
+  // freeze cost is charged exactly once, to whichever concurrent call
+  // actually performed it; afterwards every probe is a read-only scan.
   double index_built_seconds = 0.0;
   (*index)->ServingIndex(&index_built_seconds);
   UnifiedSearcher searcher(*index);
@@ -169,11 +170,24 @@ Status Engine::Search(const Record& query, const EngineSearchOptions& options,
   if (sink == nullptr) {
     return Status::InvalidArgument("Engine::Search requires a sink");
   }
+  // Count `results` as matches actually emitted (the sink may stop
+  // early), matching BatchSearch's streaming semantics; the other
+  // counters pass through from the vector Search.
+  SearchStats local;
   Result<std::vector<UnifiedSearcher::Match>> matches =
-      Search(query, options, stats);
+      Search(query, options, stats == nullptr ? nullptr : &local);
   if (!matches.ok()) return matches.status();
+  uint64_t emitted = 0;
   for (const UnifiedSearcher::Match& m : *matches) {
+    ++emitted;
     if (!sink->OnMatch(query.id, m.id)) break;
+  }
+  if (stats != nullptr) {
+    stats->queries += local.queries;
+    stats->query_candidates += local.query_candidates;
+    stats->index_seconds += local.index_seconds;
+    stats->search_seconds += local.search_seconds;
+    stats->results += emitted;
   }
   return Status::OK();
 }
@@ -210,9 +224,11 @@ Status Engine::BatchSearch(
   Result<std::shared_ptr<const PreparedIndex>> index = ServingIndex();
   if (!index.ok()) return index.status();
   WallTimer wall;
-  // Force the serving index once up front so the parallel workers only
-  // read it (they would build it safely anyway, but serially); the
-  // build cost is charged to this call only if it performed the build.
+  // Force the frozen CSR serving index once up front so the parallel
+  // workers only read it (they would build it safely anyway, but
+  // serially); the build cost is charged to this call only if it
+  // performed the build. Each worker then reuses one thread_local
+  // count-merge accumulator across its whole query slice.
   double index_built_seconds = 0.0;
   (*index)->ServingIndex(&index_built_seconds);
 

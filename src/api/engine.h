@@ -71,6 +71,9 @@ struct SearchStats {
   uint64_t queries = 0;
   /// Candidate records that survived the signature filter (verified).
   uint64_t query_candidates = 0;
+  /// Matches returned to the caller. On the streaming overloads (sink
+  /// or callback) this counts matches actually emitted — a consumer
+  /// that stops early caps it, including the match it declined.
   uint64_t results = 0;
   /// One-time serving-index build seconds, charged to the call that
   /// forced it (0 afterwards — the index is shared and immutable).

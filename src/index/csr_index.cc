@@ -1,0 +1,54 @@
+#include "index/csr_index.h"
+
+#include <algorithm>
+
+namespace aujoin {
+
+CsrIndex CsrIndex::Freeze(const InvertedIndex& staging) {
+  CsrIndex out;
+  const auto& postings_map = staging.postings();
+  out.keys_.reserve(postings_map.size());
+  for (const auto& [key, ids] : postings_map) {
+    if (!ids.empty()) out.keys_.push_back(key);
+  }
+  // Ascending key order makes the layout (and every probe's posting
+  // scan) deterministic regardless of the staging map's bucket order.
+  std::sort(out.keys_.begin(), out.keys_.end());
+
+  out.offsets_.resize(out.keys_.size() + 1, 0);
+  uint64_t total = 0;
+  for (const auto& [key, ids] : postings_map) total += ids.size();
+
+  out.postings_.reserve(total);
+  std::vector<uint32_t> run;
+  for (size_t slot = 0; slot < out.keys_.size(); ++slot) {
+    out.offsets_[slot] = static_cast<uint32_t>(out.postings_.size());
+    run = postings_map.at(out.keys_[slot]);
+    // The staging Add dedupes within one record, but the same record may
+    // legitimately be Added more than once (or out of id order) by an
+    // arbitrary builder; the frozen contract is sorted + distinct.
+    std::sort(run.begin(), run.end());
+    run.erase(std::unique(run.begin(), run.end()), run.end());
+    for (uint32_t id : run) {
+      out.record_universe_ =
+          std::max(out.record_universe_, static_cast<size_t>(id) + 1);
+    }
+    out.postings_.insert(out.postings_.end(), run.begin(), run.end());
+  }
+  out.offsets_[out.keys_.size()] =
+      static_cast<uint32_t>(out.postings_.size());
+
+  // Linear-probe table at <= 50% load: next power of two >= 2 * keys.
+  size_t table_size = 1;
+  while (table_size < out.keys_.size() * 2) table_size <<= 1;
+  out.slots_.assign(out.keys_.empty() ? 0 : table_size, kEmptySlot);
+  out.mask_ = table_size - 1;
+  for (size_t slot = 0; slot < out.keys_.size(); ++slot) {
+    size_t h = MixKey(out.keys_[slot]) & out.mask_;
+    while (out.slots_[h] != kEmptySlot) h = (h + 1) & out.mask_;
+    out.slots_[h] = static_cast<uint32_t>(slot);
+  }
+  return out;
+}
+
+}  // namespace aujoin

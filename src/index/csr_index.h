@@ -1,0 +1,150 @@
+/// \file
+/// The frozen CSR (compressed sparse row) candidate index — the
+/// cache-friendly read side of candidate generation. A mutable
+/// InvertedIndex (a pointer-chasing hash map of vectors) is only the
+/// build-time staging structure; Freeze sorts and dedupes every
+/// (key -> record) posting into one flat offsets[] + postings[] pair
+/// with a compact open-addressed key -> slot table, so probes are a
+/// single hash step followed by a sequential scan of a contiguous
+/// posting run. CandidateAccumulator is the matching count-based merge
+/// scratch: probes accumulate per-record occurrence counts into a
+/// reusable epoch-stamped array instead of deduping through a hash set.
+
+#ifndef AUJOIN_INDEX_CSR_INDEX_H_
+#define AUJOIN_INDEX_CSR_INDEX_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "index/inverted_index.h"
+
+namespace aujoin {
+
+/// Immutable CSR posting storage over 64-bit pebble keys. Obtained by
+/// freezing a staging InvertedIndex; afterwards every method is const
+/// and safe to call from any number of threads concurrently.
+class CsrIndex {
+ public:
+  /// One key's posting run: a contiguous span of ascending, distinct
+  /// record ids inside the flat postings array.
+  struct Postings {
+    const uint32_t* data = nullptr;
+    size_t size = 0;
+
+    bool empty() const { return size == 0; }
+    const uint32_t* begin() const { return data; }
+    const uint32_t* end() const { return data + size; }
+  };
+
+  CsrIndex() = default;
+
+  /// Freezes the staging map: keys are laid out in ascending key order,
+  /// each posting run sorted and deduped, and a linear-probe table maps
+  /// key -> slot. The staging structure can be discarded afterwards.
+  static CsrIndex Freeze(const InvertedIndex& staging);
+
+  /// The posting run of a key; empty when the key was never indexed.
+  Postings Find(uint64_t key) const {
+    if (slots_.empty()) return Postings{};
+    size_t h = MixKey(key) & mask_;
+    while (true) {
+      uint32_t slot = slots_[h];
+      if (slot == kEmptySlot) return Postings{};
+      if (keys_[slot] == key) {
+        return Postings{postings_.data() + offsets_[slot],
+                        offsets_[slot + 1] - offsets_[slot]};
+      }
+      h = (h + 1) & mask_;
+    }
+  }
+
+  size_t num_keys() const { return keys_.size(); }
+
+  /// Distinct (key, record) postings — duplicates are gone after Freeze.
+  uint64_t total_postings() const { return postings_.size(); }
+
+  /// 1 + the largest posted record id (0 when empty): the universe a
+  /// CandidateAccumulator must cover to count this index's postings.
+  size_t record_universe() const { return record_universe_; }
+
+  /// Heap bytes of the frozen layout (keys + offsets + postings + table).
+  size_t memory_bytes() const {
+    return keys_.size() * sizeof(uint64_t) +
+           offsets_.size() * sizeof(uint32_t) +
+           postings_.size() * sizeof(uint32_t) +
+           slots_.size() * sizeof(uint32_t);
+  }
+
+ private:
+  static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
+
+  /// splitmix64 finalizer: pebble keys pack a type tag in the top byte
+  /// and dense ids below, so identity hashing would cluster; this mixes
+  /// every input bit into the table index.
+  static uint64_t MixKey(uint64_t x) {
+    x += 0x9e3779b97f4a7c15ULL;
+    x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+    x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+    return x ^ (x >> 31);
+  }
+
+  std::vector<uint64_t> keys_;      // slot -> key, ascending
+  std::vector<uint32_t> offsets_;   // slot -> postings_ begin; size keys+1
+  std::vector<uint32_t> postings_;  // flat runs, sorted + deduped per key
+  std::vector<uint32_t> slots_;     // open-addressed key hash -> slot
+  size_t mask_ = 0;
+  size_t record_universe_ = 0;
+};
+
+/// Reusable count-merge scratch for one probing thread. Counts live in
+/// flat arrays indexed by record id; an epoch stamp per entry makes
+/// starting a new probe O(1) — stale counts from earlier probes are
+/// ignored rather than cleared. Not thread-safe: use one accumulator
+/// per worker (or thread_local) and never share concurrently.
+class CandidateAccumulator {
+ public:
+  /// Starts a new probe over record ids in [0, universe): grows the
+  /// arrays if needed and invalidates every previous count in O(1).
+  void Begin(size_t universe) {
+    if (counts_.size() < universe) {
+      counts_.resize(universe, 0);
+      epochs_.resize(universe, 0);
+    }
+    if (epoch_ == 0xFFFFFFFFu) {  // epoch wrap: one real clear per 2^32
+      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      epoch_ = 0;
+    }
+    ++epoch_;
+    touched_.clear();
+  }
+
+  /// Counts one posting occurrence; returns the id's updated count.
+  uint32_t Bump(uint32_t id) {
+    if (epochs_[id] != epoch_) {
+      epochs_[id] = epoch_;
+      counts_[id] = 1;
+      touched_.push_back(id);
+      return 1;
+    }
+    return ++counts_[id];
+  }
+
+  /// The id's count in the current probe (0 if never bumped).
+  uint32_t count(uint32_t id) const {
+    return epochs_[id] == epoch_ ? counts_[id] : 0;
+  }
+
+  /// Ids bumped since Begin, in first-touch order.
+  const std::vector<uint32_t>& touched() const { return touched_; }
+
+ private:
+  std::vector<uint32_t> counts_;
+  std::vector<uint32_t> epochs_;
+  std::vector<uint32_t> touched_;
+  uint32_t epoch_ = 0;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_INDEX_CSR_INDEX_H_

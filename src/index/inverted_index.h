@@ -1,27 +1,55 @@
 #ifndef AUJOIN_INDEX_INVERTED_INDEX_H_
 #define AUJOIN_INDEX_INVERTED_INDEX_H_
 
+#include <algorithm>
 #include <cstdint>
 #include <unordered_map>
 #include <vector>
 
 namespace aujoin {
 
-/// Inverted index from pebble key to the ids of records whose signature
-/// contains the key (Algorithms 3 and 6 build one per collection).
+/// Mutable inverted index from pebble key to the ids of records whose
+/// signature contains the key (Algorithms 3 and 6 build one per
+/// collection). This is the *build-time staging structure* only: the
+/// probe paths freeze it into a CsrIndex (index/csr_index.h) and scan
+/// that, so the pointer-chasing map never sits on a hot path.
 class InvertedIndex {
  public:
   InvertedIndex() = default;
 
-  /// Adds every key of one record's signature.
+  /// Adds every distinct key of one record's signature. Repeated keys
+  /// within the call insert one posting, not one per occurrence: a
+  /// record with duplicated signature keys must not be counted twice by
+  /// the overlap merge (that inflated postings, candidates and verify
+  /// work). Sorted key lists dedupe in place; unsorted ones through a
+  /// scratch copy.
   void Add(uint32_t record_id, const std::vector<uint64_t>& keys) {
-    for (uint64_t k : keys) postings_[k].push_back(record_id);
+    if (std::is_sorted(keys.begin(), keys.end())) {
+      const uint64_t* prev = nullptr;
+      for (const uint64_t& k : keys) {
+        if (prev != nullptr && *prev == k) continue;
+        postings_[k].push_back(record_id);
+        prev = &k;
+      }
+      return;
+    }
+    scratch_ = keys;
+    std::sort(scratch_.begin(), scratch_.end());
+    scratch_.erase(std::unique(scratch_.begin(), scratch_.end()),
+                   scratch_.end());
+    for (uint64_t k : scratch_) postings_[k].push_back(record_id);
   }
 
   /// The posting list for a key, or nullptr.
   const std::vector<uint32_t>* Find(uint64_t key) const {
     auto it = postings_.find(key);
     return it == postings_.end() ? nullptr : &it->second;
+  }
+
+  /// Every (key -> posting list) entry; what CsrIndex::Freeze consumes.
+  const std::unordered_map<uint64_t, std::vector<uint32_t>>& postings()
+      const {
+    return postings_;
   }
 
   size_t num_keys() const { return postings_.size(); }
@@ -34,6 +62,7 @@ class InvertedIndex {
 
  private:
   std::unordered_map<uint64_t, std::vector<uint32_t>> postings_;
+  std::vector<uint64_t> scratch_;
 };
 
 }  // namespace aujoin

@@ -49,8 +49,7 @@ std::shared_ptr<const PreparedIndex> PreparedIndex::Build(
   return index;
 }
 
-const InvertedIndex& PreparedIndex::ServingIndex(
-    double* built_seconds) const {
+const CsrIndex& PreparedIndex::ServingIndex(double* built_seconds) const {
   if (built_seconds != nullptr) *built_seconds = 0.0;
   // Double-checked build: the atomic flag's release store publishes the
   // completed index; the acquire load on the fast path pairs with it.
@@ -59,6 +58,7 @@ const InvertedIndex& PreparedIndex::ServingIndex(
     if (!serving_built_.load(std::memory_order_relaxed)) {
       WallTimer timer;
       const std::vector<PreparedRecord>& prepared = t_prepared();
+      InvertedIndex staging;
       std::vector<uint64_t> keys;
       for (size_t i = 0; i < prepared.size(); ++i) {
         keys.clear();
@@ -66,10 +66,11 @@ const InvertedIndex& PreparedIndex::ServingIndex(
         for (const Pebble& p : prepared[i].pebbles.pebbles) {
           keys.push_back(p.key);
         }
-        std::sort(keys.begin(), keys.end());
-        keys.erase(std::unique(keys.begin(), keys.end()), keys.end());
-        serving_index_.Add(static_cast<uint32_t>(i), keys);
+        // Add dedupes the record's repeated keys itself — one posting
+        // per distinct key, even for duplicate-heavy pebble lists.
+        staging.Add(static_cast<uint32_t>(i), keys);
       }
+      serving_index_ = CsrIndex::Freeze(staging);
       index_seconds_ = timer.Seconds();
       if (built_seconds != nullptr) *built_seconds = index_seconds_;
       serving_built_.store(true, std::memory_order_release);

@@ -21,8 +21,8 @@
 #include "core/knowledge.h"
 #include "core/measures.h"
 #include "core/record.h"
+#include "index/csr_index.h"
 #include "index/global_order.h"
-#include "index/inverted_index.h"
 #include "index/pebble.h"
 
 namespace aujoin {
@@ -73,14 +73,16 @@ class PreparedIndex {
   /// Wall seconds of Build (pebbles + global order).
   double prepare_seconds() const { return prepare_seconds_; }
 
-  /// The full-key inverted index over the T side (every distinct pebble
-  /// key of every record, not just signature prefixes) — what online
-  /// search probes. Built on first use under a mutex; subsequent calls
-  /// are wait-free reads of the completed index. When `built_seconds`
-  /// is given it receives the build time if and only if THIS call
-  /// performed the build (0.0 otherwise), so concurrent first probes
-  /// charge the cost exactly once.
-  const InvertedIndex& ServingIndex(double* built_seconds = nullptr) const;
+  /// The full-key index over the T side (every distinct pebble key of
+  /// every record, not just signature prefixes) — what online search
+  /// probes. Staged through a mutable InvertedIndex and frozen into a
+  /// CSR layout, so every probe is a sequential posting scan. Built on
+  /// first use under a mutex; subsequent calls are wait-free reads of
+  /// the completed index. When `built_seconds` is given it receives the
+  /// build time if and only if THIS call performed the build (0.0
+  /// otherwise), so concurrent first probes charge the cost exactly
+  /// once.
+  const CsrIndex& ServingIndex(double* built_seconds = nullptr) const;
 
   /// Wall seconds spent building the serving index; 0.0 until the
   /// first ServingIndex() call forces construction.
@@ -112,7 +114,7 @@ class PreparedIndex {
   // that publishes `serving_index_` + `index_seconds_` once built.
   mutable std::mutex serving_mutex_;
   mutable std::atomic<bool> serving_built_{false};
-  mutable InvertedIndex serving_index_;
+  mutable CsrIndex serving_index_;
   mutable double index_seconds_ = 0.0;
 };
 

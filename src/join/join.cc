@@ -1,8 +1,8 @@
 #include "join/join.h"
 
 #include <algorithm>
-#include <unordered_map>
 
+#include "index/csr_index.h"
 #include "index/inverted_index.h"
 #include "util/parallel.h"
 #include "util/timer.h"
@@ -82,45 +82,44 @@ JoinContext::FilterOutput JoinContext::RunFilter(
                            static_cast<double>(sig_count);
   out.signature_seconds = timer.Seconds();
 
-  // Candidate generation: index T, probe S, count distinct shared keys.
+  // Candidate generation: index T's signatures by *position* in t_ids
+  // (dense 0..|T|-1, so counts live in flat arrays and the position
+  // doubles as the handle to the indexed signature's effective tau),
+  // freeze the staging map into CSR form, probe S. Each probe
+  // accumulates per-position occurrence counts into a reusable
+  // epoch-stamped scratch array — a sequential scan of contiguous
+  // posting runs instead of per-key hash lookups and hash-map dedup.
   timer.Restart();
-  InvertedIndex index;
+  InvertedIndex staging;
   for (size_t j = 0; j < t_ids.size(); ++j) {
-    index.Add(t_ids[j], t_side[j].keys);
+    staging.Add(static_cast<uint32_t>(j), t_side[j].keys);
   }
-  // Map a T record id back to its signature (for the per-pair effective
-  // tau; see Signature::effective_tau).
-  std::unordered_map<uint32_t, const Signature*> t_sig_by_id;
-  t_sig_by_id.reserve(t_ids.size());
-  for (size_t j = 0; j < t_ids.size(); ++j) {
-    t_sig_by_id.emplace(t_ids[j], &t_side[j]);
-  }
+  const CsrIndex index = CsrIndex::Freeze(staging);
   // Probe phase: chunks of S records, per-worker outputs merged after.
   const int probe_workers = ResolveThreads(num_threads);
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> worker_candidates(
       probe_workers);
   std::vector<uint64_t> worker_processed(probe_workers, 0);
+  std::vector<CandidateAccumulator> accumulators(probe_workers);
   ParallelFor(
       s_ids.size(), num_threads,
       [&](size_t begin, size_t end, int worker) {
-        std::unordered_map<uint32_t, int> overlap;
+        CandidateAccumulator& overlap = accumulators[worker];
+        const uint32_t* t_map = t_ids.data();
         for (size_t i = begin; i < end; ++i) {
-          overlap.clear();
+          overlap.Begin(t_ids.size());
           uint32_t s_id = s_ids[i];
           for (uint64_t key : s_sigs[i].keys) {
-            const std::vector<uint32_t>* postings = index.Find(key);
-            if (postings == nullptr) continue;
-            for (uint32_t t_id : *postings) {
-              if (self && t_id <= s_id) continue;  // dedupe self-join pairs
+            for (uint32_t j : index.Find(key)) {
+              if (self && t_map[j] <= s_id) continue;  // dedupe self pairs
               ++worker_processed[worker];
-              ++overlap[t_id];
+              overlap.Bump(j);
             }
           }
-          for (const auto& [t_id, count] : overlap) {
-            int required = std::min(s_sigs[i].effective_tau,
-                                    t_sig_by_id.at(t_id)->effective_tau);
-            if (count >= required) {
-              worker_candidates[worker].emplace_back(s_id, t_id);
+          for (uint32_t j : overlap.touched()) {
+            int required = MergeRequiredOverlap(s_sigs[i], t_side[j]);
+            if (overlap.count(j) >= static_cast<uint32_t>(required)) {
+              worker_candidates[worker].emplace_back(s_id, t_map[j]);
             }
           }
         }

@@ -106,7 +106,11 @@ void RunBlock(const AlgorithmFactory& factory,
   // Each block borrows a slice-local PreparedIndex through the one
   // shared build path (PreparedIndex::Build, via JoinContext::Prepare);
   // bounding prepared memory by blocks in flight is exactly why blocks
-  // do not share the engine's whole-collection index.
+  // do not share the engine's whole-collection index. Candidate
+  // generation inside the block likewise rides the one shared probe
+  // path (JoinContext::RunFilter): a slice-local frozen CsrIndex
+  // scanned with count-based merging, so partitioned and monolithic
+  // joins stay byte-identical per construction.
   std::unique_ptr<JoinContext> block_join_context;
   ctx.unified_context = [&ctx, &block_join_context]() -> JoinContext& {
     if (block_join_context == nullptr) {

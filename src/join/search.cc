@@ -1,8 +1,9 @@
 #include "join/search.h"
 
 #include <algorithm>
-#include <unordered_map>
 #include <utility>
+
+#include "index/csr_index.h"
 
 namespace aujoin {
 namespace {
@@ -29,22 +30,34 @@ std::vector<uint32_t> UnifiedSearcher::Candidates(
   sig_options.method = options.method;
   Signature sig = SelectSignature(rp, query.num_tokens(), sig_options);
 
-  const InvertedIndex& serving = index_->ServingIndex();
-  std::unordered_map<uint32_t, int> overlap;
+  // Count-based merge over the frozen CSR serving index. The scratch is
+  // thread_local — sized once per thread to the collection, epoch-stamped
+  // so each query starts in O(1) — which is what makes Search const and
+  // concurrency-safe while still allocation-free on the hot path (a
+  // batch worker reuses one accumulator across its whole query slice).
+  // Deliberate trade-off: the arrays only grow (~8 bytes per indexed
+  // record per serving thread) and live until the thread exits, even if
+  // the index is dropped — acceptable for pooled serving threads, and
+  // the join path's scoped per-worker accumulators show the bounded
+  // alternative if a caller ever needs one.
+  const CsrIndex& serving = index_->ServingIndex();
+  thread_local CandidateAccumulator overlap;
+  overlap.Begin(index_->t_prepared().size());
   for (uint64_t key : sig.keys) {
-    const std::vector<uint32_t>* postings = serving.Find(key);
-    if (postings == nullptr) continue;
-    for (uint32_t id : *postings) ++overlap[id];
+    for (uint32_t id : serving.Find(key)) overlap.Bump(id);
   }
   std::vector<uint32_t> out;
-  for (const auto& [id, count] : overlap) {
-    if (count >= sig.effective_tau) out.push_back(id);
+  out.reserve(overlap.touched().size());
+  for (uint32_t id : overlap.touched()) {
+    if (overlap.count(id) >= static_cast<uint32_t>(sig.effective_tau)) {
+      out.push_back(id);
+    }
   }
   std::sort(out.begin(), out.end());
   return out;
 }
 
-std::vector<UnifiedSearcher::Match> UnifiedSearcher::Search(
+std::vector<UnifiedSearcher::Match> UnifiedSearcher::VerifyCandidates(
     const Record& query, const SearchOptions& options,
     QueryStats* stats) const {
   std::vector<Match> matches;
@@ -54,8 +67,8 @@ std::vector<UnifiedSearcher::Match> UnifiedSearcher::Search(
   // everything; return before signature selection sees a zero-token
   // record.
   if (query.num_tokens() == 0) return matches;
-  // Per-query scratch state only from here on: the candidate overlap
-  // map and one UsimComputer (whose gram cache is not thread-safe).
+  // Per-query scratch state only from here on: one UsimComputer (whose
+  // gram cache is not thread-safe).
   UsimOptions usim_options;
   usim_options.msim = msim_;
   UsimComputer computer(knowledge_, usim_options);
@@ -66,6 +79,13 @@ std::vector<UnifiedSearcher::Match> UnifiedSearcher::Search(
     double sim = computer.Approx(query, collection[id]);
     if (sim >= options.theta) matches.push_back(Match{id, sim});
   }
+  return matches;
+}
+
+std::vector<UnifiedSearcher::Match> UnifiedSearcher::Search(
+    const Record& query, const SearchOptions& options,
+    QueryStats* stats) const {
+  std::vector<Match> matches = VerifyCandidates(query, options, stats);
   std::sort(matches.begin(), matches.end(), BetterMatch);
   return matches;
 }
@@ -80,12 +100,20 @@ std::vector<UnifiedSearcher::Match> UnifiedSearcher::TopK(
   }
   SearchOptions opts = options;
   opts.theta = min_theta;
-  std::vector<Match> all = Search(query, opts, stats);
-  // Search returns the full order (similarity desc, id asc), so the
-  // prefix is exactly the k best with deterministic tie-breaks at the
-  // cut boundary.
-  if (all.size() > k) all.resize(k);
-  return all;
+  std::vector<Match> matches = VerifyCandidates(query, opts, stats);
+  // Bounded sort for k << matches: BetterMatch is a strict total order
+  // (similarity desc, id asc — ids are distinct), so the k-prefix of a
+  // partial sort is byte-identical to the k-prefix of the full sort,
+  // including tie-breaks at the cut boundary.
+  if (matches.size() > k) {
+    std::partial_sort(matches.begin(),
+                      matches.begin() + static_cast<ptrdiff_t>(k),
+                      matches.end(), BetterMatch);
+    matches.resize(k);
+  } else {
+    std::sort(matches.begin(), matches.end(), BetterMatch);
+  }
+  return matches;
 }
 
 }  // namespace aujoin

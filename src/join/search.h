@@ -22,9 +22,11 @@ namespace aujoin {
 ///
 /// The searcher is a read-only view over a shared immutable
 /// PreparedIndex (the T side is what gets probed): Search/TopK are
-/// const, allocate all scratch state per query, and are safe to call
-/// from any number of threads concurrently on one searcher. Many
-/// searchers and join contexts can borrow the same index.
+/// const and safe to call from any number of threads concurrently on
+/// one searcher — scratch state is per query or per thread (the
+/// candidate count-merge accumulator is thread_local, reused across a
+/// thread's queries without clearing). Many searchers and join
+/// contexts can borrow the same index.
 class UnifiedSearcher {
  public:
   /// Serves the prepared index's T side (== S for a self-join world).
@@ -74,9 +76,11 @@ class UnifiedSearcher {
 
   /// The k most similar records with similarity >= min_theta, under the
   /// same total order as Search (similarity desc, id asc) — ties at the
-  /// cut are resolved toward lower ids, so results are deterministic.
-  /// k = 0 returns nothing; min_theta = 1.0 keeps only exact-similarity
-  /// matches. Thread-safe.
+  /// cut are resolved toward lower ids, so results are deterministic
+  /// and byte-identical to Search's k-prefix. Internally a bounded
+  /// partial sort: k << matches never pays a full sort of the match
+  /// set. k = 0 returns nothing; min_theta = 1.0 keeps only
+  /// exact-similarity matches. Thread-safe.
   std::vector<Match> TopK(const Record& query, size_t k, double min_theta,
                           const SearchOptions& options,
                           QueryStats* stats = nullptr) const;
@@ -92,6 +96,13 @@ class UnifiedSearcher {
  private:
   std::vector<uint32_t> Candidates(const Record& query,
                                    const SearchOptions& options) const;
+
+  /// Shared Search/TopK core: candidates (CSR count-merge probe) plus
+  /// Algorithm 1 verification, returned unsorted so each caller can
+  /// apply the cheapest ordering (full sort vs bounded partial sort).
+  std::vector<Match> VerifyCandidates(const Record& query,
+                                      const SearchOptions& options,
+                                      QueryStats* stats) const;
 
   Knowledge knowledge_;
   MsimOptions msim_;

@@ -59,6 +59,18 @@ int MinPartitionSize(const RecordPebbles& rp, size_t num_tokens,
 Signature SelectSignature(const RecordPebbles& rp, size_t num_tokens,
                           const SignatureOptions& options);
 
+/// The overlap a (probe, indexed) signature pair must witness before it
+/// becomes a candidate: min of the two effective taus, so a record
+/// whose selection had to lower its tau (see Signature::effective_tau)
+/// never filters losslessly below what it guarantees. The count-based
+/// candidate merge compares accumulated key counts against this.
+inline int MergeRequiredOverlap(const Signature& probe,
+                                const Signature& indexed) {
+  return probe.effective_tau < indexed.effective_tau
+             ? probe.effective_tau
+             : indexed.effective_tau;
+}
+
 }  // namespace aujoin
 
 #endif  // AUJOIN_JOIN_SIGNATURE_H_

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <memory>
 
 #include "datagen/corpus_gen.h"
@@ -117,6 +118,33 @@ TEST_F(SearchCorpusTest, TopKTruncatesAndKeepsBest) {
     ASSERT_EQ(top2.size(), 2u);
     EXPECT_EQ(top2[0], all[0]);
     EXPECT_EQ(top2[1], all[1]);
+  }
+}
+
+TEST_F(SearchCorpusTest, TopKOrderIsByteIdenticalToFullSortPrefix) {
+  // TopK runs a bounded partial sort instead of fully sorting every
+  // verified match; the documented (similarity desc, id asc) order is a
+  // strict total order, so for every k the result must equal Search's
+  // k-prefix exactly — ids and similarities bit for bit, including
+  // tie-breaks at the cut boundary.
+  UnifiedSearcher searcher(knowledge_, MsimOptions{});
+  searcher.Index(&corpus_.records);
+  UnifiedSearcher::SearchOptions options;
+  constexpr double kMinTheta = 0.3;
+  options.theta = kMinTheta;
+  for (size_t q = 0; q < corpus_.records.size(); q += 7) {
+    auto all = searcher.Search(corpus_.records[q], options);
+    for (size_t k = 1; k <= all.size() + 2; ++k) {
+      auto topk = searcher.TopK(corpus_.records[q], k, kMinTheta, {});
+      std::vector<UnifiedSearcher::Match> expected(
+          all.begin(), all.begin() + std::min(k, all.size()));
+      ASSERT_EQ(topk.size(), expected.size()) << "q=" << q << " k=" << k;
+      for (size_t i = 0; i < topk.size(); ++i) {
+        EXPECT_EQ(topk[i].id, expected[i].id) << "q=" << q << " k=" << k;
+        EXPECT_EQ(topk[i].similarity, expected[i].similarity)
+            << "q=" << q << " k=" << k;
+      }
+    }
   }
 }
 

@@ -363,6 +363,14 @@ int RunJoin(const Flags& flags) {
 int RunQuery(const Flags& flags) {
   DatasetSpec spec;
   if (!SpecFromFlags(flags, &spec)) return 1;
+  if (!spec.records2_path.empty()) {
+    // Silently serving --input while a second collection was loaded
+    // would answer every query from the wrong side; fail instead.
+    std::fprintf(stderr,
+                 "error: query serves a single collection; --input2 is a "
+                 "join-only flag\n");
+    return 1;
+  }
   Result<Dataset> dataset = LoadDataset(spec);
   if (!dataset.ok()) {
     std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
@@ -388,7 +396,11 @@ int RunQuery(const Flags& flags) {
   std::string line;
   while (std::getline(queries_in, line)) {
     if (!line.empty() && line.back() == '\r') line.pop_back();
-    if (line.empty()) continue;
+    // Skip blank lines, including whitespace-only ones: a trailing
+    // newline or stray spaces piped through stdin must not become a
+    // real (zero-token) query that inflates `queries` and skews the
+    // QPS --stats_out reports.
+    if (line.find_first_not_of(" \t\f\v\r") == std::string::npos) continue;
     queries.push_back(MakeRecord(static_cast<uint32_t>(queries.size()), line,
                                  &dataset->vocab, spec.tokenizer));
   }

@@ -1,13 +1,30 @@
 #!/usr/bin/env python3
-"""Guards BENCH_<name>.json result counts against checked-in expectations.
+"""Guards BENCH_<name>.json result AND candidate counts against
+checked-in expectations.
 
 The smoke grid runs on a seeded generated corpus, so every
 (algorithm, theta, tau) cell's match count is deterministic — any drift
 is a real behaviour change (better recall, a broken filter, a changed
 default) and must be acknowledged by regenerating the expectations
-file, not silently absorbed. Counts must also agree across the
-threads/partitioning dimensions (the parity contract), so cells are
-keyed without them: every run of a key must report the same count.
+file, not silently absorbed. Result counts must also agree across the
+threads/partitioning dimensions (the parity contract), so result cells
+are keyed without them: every run of a key must report the same count.
+
+Candidate counts (`candidates` — V_tau, what survives the signature
+filter and gets verified) are guarded too, so accidental filter
+weakening — e.g. the duplicate-posting bug class, where repeated
+signature keys double-count overlaps past the tau threshold — fails
+the smoke job even when verification still discards the extra pairs
+and `results` stays unchanged. Candidate cells additionally key on the
+partition limit: partition blocks select signatures against
+slice-local global orders, so partitioned candidate counts
+legitimately differ from monolithic ones (results may not). Across
+thread counts, candidates must agree exactly.
+
+Expectations file schema:
+
+  {"results": {"<alg> theta=<t> tau=<u>": N, ...},
+   "candidates": {"<alg> theta=<t> tau=<u> partition=<p>": N, ...}}
 
 Usage:
   python3 tools/check_bench_counts.py BENCH_smoke.json \
@@ -21,28 +38,57 @@ import json
 import sys
 
 
-def cell_key(run):
+def result_key(run):
     return "{} theta={:g} tau={:g}".format(
         run["algorithm"], run["theta"], run["tau"])
 
 
+def candidate_key(run):
+    return "{} partition={}".format(
+        result_key(run), run.get("max_partition_records", 0))
+
+
 def collect_counts(report):
-    """Map of cell key -> result count; fails on failed or inconsistent
+    """(results, candidates) cell maps; fails on failed or inconsistent
     runs."""
-    counts = {}
+    results = {}
+    candidates = {}
     errors = []
     for run in report.get("runs", []):
-        key = cell_key(run)
+        key = result_key(run)
         if not run.get("ok", False):
             errors.append(f"FAILED RUN {key}: {run.get('error', '?')}")
             continue
-        results = run["results"]
-        if key in counts and counts[key] != results:
+        count = run["results"]
+        if key in results and results[key] != count:
             errors.append(
-                f"INCONSISTENT {key}: {counts[key]} vs {results} across "
+                f"INCONSISTENT {key}: {results[key]} vs {count} across "
                 f"threads/partitioning (parity violation)")
-        counts[key] = results
-    return counts, errors
+        results[key] = count
+        ckey = candidate_key(run)
+        ccount = run["candidates"]
+        if ckey in candidates and candidates[ckey] != ccount:
+            errors.append(
+                f"INCONSISTENT candidates {ckey}: {candidates[ckey]} vs "
+                f"{ccount} across threads (parity violation)")
+        candidates[ckey] = ccount
+    return results, candidates, errors
+
+
+def compare(section, counts, expected, report_path, expected_path, errors):
+    for key, want in sorted(expected.items()):
+        if key not in counts:
+            print(f"MISSING {section} {key}: expected {want}, cell not in "
+                  f"{report_path} (grid shrank?)")
+            errors.append(key)
+        elif counts[key] != want:
+            print(f"DRIFT {section} {key}: expected {want}, got "
+                  f"{counts[key]}")
+            errors.append(key)
+    for key in sorted(set(counts) - set(expected)):
+        print(f"NEW {section} {key}: {counts[key]} not in {expected_path} "
+              f"(run with --update to record)")
+        errors.append(key)
 
 
 def main():
@@ -55,36 +101,31 @@ def main():
     with open(report_path, encoding="utf-8") as handle:
         report = json.load(handle)
 
-    counts, errors = collect_counts(report)
+    results, candidates, errors = collect_counts(report)
     for message in errors:
         print(message)
 
     if update:
         with open(expected_path, "w", encoding="utf-8") as handle:
-            json.dump(counts, handle, indent=2, sort_keys=True)
+            json.dump({"results": results, "candidates": candidates},
+                      handle, indent=2, sort_keys=True)
             handle.write("\n")
-        print(f"wrote {expected_path} ({len(counts)} cells)")
+        print(f"wrote {expected_path} ({len(results)} result cells, "
+              f"{len(candidates)} candidate cells)")
         return 1 if errors else 0
 
     with open(expected_path, encoding="utf-8") as handle:
         expected = json.load(handle)
 
-    for key, want in sorted(expected.items()):
-        if key not in counts:
-            print(f"MISSING {key}: expected {want} results, cell not in "
-                  f"{report_path} (grid shrank?)")
-            errors.append(key)
-        elif counts[key] != want:
-            print(f"DRIFT {key}: expected {want} results, got "
-                  f"{counts[key]}")
-            errors.append(key)
-    for key in sorted(set(counts) - set(expected)):
-        print(f"NEW {key}: {counts[key]} results not in {expected_path} "
-              f"(run with --update to record)")
-        errors.append(key)
+    compare("results", results, expected.get("results", {}), report_path,
+            expected_path, errors)
+    compare("candidates", candidates, expected.get("candidates", {}),
+            report_path, expected_path, errors)
 
-    print(f"checked {len(expected)} expected cells against "
-          f"{len(counts)} report cells: {len(errors)} problem(s)")
+    print(f"checked {len(expected.get('results', {}))} result + "
+          f"{len(expected.get('candidates', {}))} candidate cells against "
+          f"{len(results)} + {len(candidates)} report cells: "
+          f"{len(errors)} problem(s)")
     return 1 if errors else 0
 
 

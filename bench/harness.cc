@@ -118,6 +118,28 @@ std::string BenchReport::ToJson() const {
       out += ", \"probe_postings_per_sec\": ";
       AppendJsonDouble(run.probe_postings_per_sec, &out);
     }
+    if (!run.index_source.empty()) {
+      out += ",\n     \"index_source\": ";
+      AppendJsonString(run.index_source, &out);
+      out += ", \"snapshot_load_ms\": ";
+      AppendJsonDouble(run.snapshot_load_ms, &out);
+    }
+    if (run.has_snapshot) {
+      out += ",\n     \"rebuild_seconds\": ";
+      AppendJsonDouble(run.rebuild_seconds, &out);
+      out += ", \"snapshot_write_seconds\": ";
+      AppendJsonDouble(run.snapshot_write_seconds, &out);
+      out += ", \"snapshot_load_seconds\": ";
+      AppendJsonDouble(run.snapshot_load_seconds, &out);
+      out += ", \"cold_start_speedup\": ";
+      AppendJsonDouble(run.cold_start_speedup, &out);
+      out += ",\n     \"snapshot_bytes\": ";
+      AppendJsonUint(run.snapshot_bytes, &out);
+      out += ", \"append_records_per_sec\": ";
+      AppendJsonDouble(run.append_records_per_sec, &out);
+      out += ", \"refreeze_seconds\": ";
+      AppendJsonDouble(run.refreeze_seconds, &out);
+    }
     if (run.has_prf) {
       out += ",\n     \"precision\": ";
       AppendJsonDouble(run.prf.precision, &out);

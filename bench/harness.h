@@ -80,6 +80,25 @@ struct BenchRun {
   double index_build_seconds = 0.0;
   double probe_records_per_sec = 0.0;
   double probe_postings_per_sec = 0.0;
+
+  /// Serving provenance (aujoin query --stats_out): whether the run's
+  /// prepared index was "rebuilt" in-process or loaded from a
+  /// "snapshot", and the load cost in the latter case. Emitted to JSON
+  /// only when index_source is non-empty.
+  std::string index_source;
+  double snapshot_load_ms = 0.0;
+
+  /// Snapshot-bench extras (bench_snapshot): cold-start from a
+  /// snapshot vs a full rebuild, the write cost, and generational
+  /// append/refreeze throughput. Emitted only when has_snapshot.
+  bool has_snapshot = false;
+  double rebuild_seconds = 0.0;         // cold start by rebuilding
+  double snapshot_write_seconds = 0.0;  // Save() wall time
+  double snapshot_load_seconds = 0.0;   // cold start from the snapshot
+  double cold_start_speedup = 0.0;      // rebuild / load
+  uint64_t snapshot_bytes = 0;
+  double append_records_per_sec = 0.0;
+  double refreeze_seconds = 0.0;
 };
 
 /// Per-query latency percentiles in milliseconds. Takes the latencies

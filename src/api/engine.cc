@@ -15,9 +15,35 @@ void Engine::SetRecords(const std::vector<Record>& s,
   s_records_ = &s;
   t_records_ = (t == &s) ? nullptr : t;
   context_.reset();
+  from_snapshot_ = false;
+  snapshot_load_seconds_ = 0.0;
   std::lock_guard<std::mutex> lock(index_state_->mutex);
   index_state_->ready.store(false, std::memory_order_relaxed);
   index_.reset();
+}
+
+Status Engine::SaveIndex(const std::string& path) const {
+  Result<std::shared_ptr<const PreparedIndex>> index = ServingIndex();
+  if (!index.ok()) return index.status();
+  return (*index)->Save(path);
+}
+
+Status Engine::LoadIndex(const std::string& path) {
+  if (s_records_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Engine::LoadIndex called before SetRecords()");
+  }
+  WallTimer timer;
+  Result<std::shared_ptr<const PreparedIndex>> loaded = PreparedIndex::Load(
+      options_.knowledge, options_.msim, *s_records_, t_records_, path);
+  if (!loaded.ok()) return loaded.status();
+  context_.reset();  // a prepared join context would borrow the old index
+  from_snapshot_ = true;
+  snapshot_load_seconds_ = timer.Seconds();
+  std::lock_guard<std::mutex> lock(index_state_->mutex);
+  index_ = *loaded;
+  index_state_->ready.store(true, std::memory_order_release);
+  return Status::OK();
 }
 
 Result<std::shared_ptr<const PreparedIndex>> Engine::ServingIndex() const {

@@ -140,6 +140,31 @@ class Engine {
   /// long as the caller holds the shared_ptr (and the old records).
   Result<std::shared_ptr<const PreparedIndex>> ServingIndex() const;
 
+  /// Persists the prepared index (building it first if needed) as a
+  /// versioned snapshot at `path` — see storage/snapshot_format.h. A
+  /// later engine bound to the SAME records and knowledge can LoadIndex
+  /// it and skip preparation entirely.
+  Status SaveIndex(const std::string& path) const;
+
+  /// Replaces the lazy prepared index with one loaded from a snapshot,
+  /// skipping pebble generation and the CSR freeze (the mmap
+  /// cold-start path). Records must already be bound and must match
+  /// the snapshot's fingerprints (kFailedPrecondition otherwise;
+  /// damaged files return kCorruption). On failure the engine is
+  /// unchanged and the next Search/Join simply rebuilds. Mutation:
+  /// never call concurrently with serving, same rule as SetRecords.
+  Status LoadIndex(const std::string& path);
+
+  /// "snapshot" when the current index came from LoadIndex, "rebuilt"
+  /// when it was (or will be) built from the bound records.
+  const char* index_source() const {
+    return from_snapshot_ ? "snapshot" : "rebuilt";
+  }
+
+  /// Wall seconds the last successful LoadIndex spent (0 when the
+  /// index was rebuilt in-process).
+  double snapshot_load_seconds() const { return snapshot_load_seconds_; }
+
   /// Online search over the bound T side (== S for a self-join): every
   /// record with Approx USIM >= theta, ordered by similarity desc then
   /// id asc, truncated to options.k when set. Const and safe to call
@@ -202,6 +227,10 @@ class Engine {
   mutable std::unique_ptr<LazyIndexState> index_state_ =
       std::make_unique<LazyIndexState>();
   mutable std::shared_ptr<const PreparedIndex> index_;
+  /// Provenance of `index_`, written only by mutations (SetRecords /
+  /// LoadIndex) and read by stats reporting.
+  bool from_snapshot_ = false;
+  double snapshot_load_seconds_ = 0.0;
 };
 
 /// Fluent construction of an Engine; every setter has a sensible default

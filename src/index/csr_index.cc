@@ -1,29 +1,41 @@
 #include "index/csr_index.h"
 
 #include <algorithm>
+#include <utility>
 
 namespace aujoin {
+
+void CsrIndex::BindOwned() {
+  keys_ = owned_keys_.data();
+  offsets_ = owned_offsets_.data();
+  postings_ = owned_postings_.data();
+  slots_ = owned_slots_.data();
+  num_keys_ = owned_keys_.size();
+  num_postings_ = owned_postings_.size();
+  num_slots_ = owned_slots_.size();
+}
 
 CsrIndex CsrIndex::Freeze(const InvertedIndex& staging) {
   CsrIndex out;
   const auto& postings_map = staging.postings();
-  out.keys_.reserve(postings_map.size());
+  out.owned_keys_.reserve(postings_map.size());
   for (const auto& [key, ids] : postings_map) {
-    if (!ids.empty()) out.keys_.push_back(key);
+    if (!ids.empty()) out.owned_keys_.push_back(key);
   }
   // Ascending key order makes the layout (and every probe's posting
   // scan) deterministic regardless of the staging map's bucket order.
-  std::sort(out.keys_.begin(), out.keys_.end());
+  std::sort(out.owned_keys_.begin(), out.owned_keys_.end());
 
-  out.offsets_.resize(out.keys_.size() + 1, 0);
+  out.owned_offsets_.resize(out.owned_keys_.size() + 1, 0);
   uint64_t total = 0;
   for (const auto& [key, ids] : postings_map) total += ids.size();
 
-  out.postings_.reserve(total);
+  out.owned_postings_.reserve(total);
   std::vector<uint32_t> run;
-  for (size_t slot = 0; slot < out.keys_.size(); ++slot) {
-    out.offsets_[slot] = static_cast<uint32_t>(out.postings_.size());
-    run = postings_map.at(out.keys_[slot]);
+  for (size_t slot = 0; slot < out.owned_keys_.size(); ++slot) {
+    out.owned_offsets_[slot] =
+        static_cast<uint32_t>(out.owned_postings_.size());
+    run = postings_map.at(out.owned_keys_[slot]);
     // The staging Add dedupes within one record, but the same record may
     // legitimately be Added more than once (or out of id order) by an
     // arbitrary builder; the frozen contract is sorted + distinct.
@@ -33,21 +45,113 @@ CsrIndex CsrIndex::Freeze(const InvertedIndex& staging) {
       out.record_universe_ =
           std::max(out.record_universe_, static_cast<size_t>(id) + 1);
     }
-    out.postings_.insert(out.postings_.end(), run.begin(), run.end());
+    out.owned_postings_.insert(out.owned_postings_.end(), run.begin(),
+                               run.end());
   }
-  out.offsets_[out.keys_.size()] =
-      static_cast<uint32_t>(out.postings_.size());
+  out.owned_offsets_[out.owned_keys_.size()] =
+      static_cast<uint32_t>(out.owned_postings_.size());
 
   // Linear-probe table at <= 50% load: next power of two >= 2 * keys.
   size_t table_size = 1;
-  while (table_size < out.keys_.size() * 2) table_size <<= 1;
-  out.slots_.assign(out.keys_.empty() ? 0 : table_size, kEmptySlot);
+  while (table_size < out.owned_keys_.size() * 2) table_size <<= 1;
+  out.owned_slots_.assign(out.owned_keys_.empty() ? 0 : table_size,
+                          kEmptySlot);
   out.mask_ = table_size - 1;
-  for (size_t slot = 0; slot < out.keys_.size(); ++slot) {
-    size_t h = MixKey(out.keys_[slot]) & out.mask_;
-    while (out.slots_[h] != kEmptySlot) h = (h + 1) & out.mask_;
-    out.slots_[h] = static_cast<uint32_t>(slot);
+  for (size_t slot = 0; slot < out.owned_keys_.size(); ++slot) {
+    size_t h = MixKey(out.owned_keys_[slot]) & out.mask_;
+    while (out.owned_slots_[h] != kEmptySlot) h = (h + 1) & out.mask_;
+    out.owned_slots_[h] = static_cast<uint32_t>(slot);
   }
+  out.BindOwned();
+  return out;
+}
+
+Result<CsrIndex> CsrIndex::FromSections(const uint64_t* keys, size_t num_keys,
+                                        const uint32_t* offsets,
+                                        const uint32_t* postings,
+                                        size_t num_postings,
+                                        const uint32_t* slots, size_t num_slots,
+                                        size_t record_universe,
+                                        std::shared_ptr<const void> owner) {
+  // Checksums catch bit rot, but a checksum-valid file written by a
+  // buggy (or hostile) producer could still encode structure whose use
+  // would be out-of-bounds reads or an unterminated probe loop. Reject
+  // anything Find could trip over.
+  if (num_keys > 0 && (keys == nullptr || offsets == nullptr)) {
+    return Status::Corruption("CSR sections missing keys/offsets arrays");
+  }
+  for (size_t i = 0; i + 1 < num_keys; ++i) {
+    if (keys[i] >= keys[i + 1]) {
+      return Status::Corruption("CSR keys not strictly ascending at slot " +
+                                std::to_string(i));
+    }
+  }
+  if (offsets != nullptr && offsets[0] != 0) {
+    return Status::Corruption("CSR offsets do not start at zero");
+  }
+  for (size_t i = 0; i < num_keys; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::Corruption("CSR offsets not monotone at slot " +
+                                std::to_string(i));
+    }
+  }
+  uint32_t last_offset = offsets == nullptr ? 0 : offsets[num_keys];
+  if (last_offset != num_postings) {
+    return Status::Corruption("CSR offsets end at " +
+                              std::to_string(last_offset) +
+                              ", postings hold " +
+                              std::to_string(num_postings) + " entries");
+  }
+  for (size_t i = 0; i < num_postings; ++i) {
+    if (postings[i] >= record_universe) {
+      return Status::Corruption(
+          "CSR posting id " + std::to_string(postings[i]) +
+          " outside record universe " + std::to_string(record_universe));
+    }
+  }
+  if (num_keys == 0) {
+    if (num_slots != 0) {
+      return Status::Corruption("CSR slot table nonempty for an empty index");
+    }
+  } else {
+    if (slots == nullptr) {
+      return Status::Corruption("CSR sections missing the slot table");
+    }
+    if (num_slots == 0 || (num_slots & (num_slots - 1)) != 0) {
+      return Status::Corruption("CSR slot table size " +
+                                std::to_string(num_slots) +
+                                " is not a power of two");
+    }
+    size_t occupied = 0;
+    for (size_t i = 0; i < num_slots; ++i) {
+      if (slots[i] == kEmptySlot) continue;
+      if (slots[i] >= num_keys) {
+        return Status::Corruption("CSR slot entry " + std::to_string(slots[i]) +
+                                  " outside key range");
+      }
+      ++occupied;
+    }
+    // A full table would make an absent-key probe loop forever; exactly
+    // num_keys occupied entries also rules out duplicate slot targets.
+    if (occupied != num_keys || occupied == num_slots) {
+      return Status::Corruption(
+          "CSR slot table occupancy " + std::to_string(occupied) + " of " +
+          std::to_string(num_slots) + " inconsistent with " +
+          std::to_string(num_keys) + " keys");
+    }
+  }
+
+  CsrIndex out;
+  out.owner_ = std::move(owner);
+  out.keys_ = keys;
+  out.offsets_ = offsets;
+  out.postings_ = postings;
+  out.slots_ = slots;
+  out.num_keys_ = num_keys;
+  out.num_postings_ = num_postings;
+  out.num_slots_ = num_slots;
+  out.mask_ = num_slots == 0 ? 0 : num_slots - 1;
+  out.record_universe_ = record_universe;
   return out;
 }
 

@@ -9,21 +9,31 @@
 /// posting run. CandidateAccumulator is the matching count-based merge
 /// scratch: probes accumulate per-record occurrence counts into a
 /// reusable epoch-stamped array instead of deduping through a hash set.
+///
+/// Storage model: the index reads through raw-pointer views that
+/// either point at its own vectors (Freeze) or at externally owned
+/// flat arrays (FromSections — the mmap'd snapshot sections of
+/// storage/snapshot_reader.h, kept alive by the shared owner handle).
+/// Either way every probe method is const and thread-safe, and the
+/// view arrays double as the zero-copy write side of SnapshotWriter.
 
 #ifndef AUJOIN_INDEX_CSR_INDEX_H_
 #define AUJOIN_INDEX_CSR_INDEX_H_
 
 #include <cstddef>
 #include <cstdint>
+#include <memory>
 #include <vector>
 
 #include "index/inverted_index.h"
+#include "util/status.h"
 
 namespace aujoin {
 
 /// Immutable CSR posting storage over 64-bit pebble keys. Obtained by
-/// freezing a staging InvertedIndex; afterwards every method is const
-/// and safe to call from any number of threads concurrently.
+/// freezing a staging InvertedIndex or by adopting snapshot sections;
+/// afterwards every method is const and safe to call from any number
+/// of threads concurrently.
 class CsrIndex {
  public:
   /// One key's posting run: a contiguous span of ascending, distinct
@@ -39,42 +49,77 @@ class CsrIndex {
 
   CsrIndex() = default;
 
+  // The views alias the owned vectors' heap buffers, which vector
+  // moves transfer intact — so moving is safe, but a copy would leave
+  // the views pointing into the source. Share a frozen index through
+  // shared_ptr (the PreparedIndex pattern) instead of copying it.
+  CsrIndex(const CsrIndex&) = delete;
+  CsrIndex& operator=(const CsrIndex&) = delete;
+  CsrIndex(CsrIndex&&) = default;
+  CsrIndex& operator=(CsrIndex&&) = default;
+
   /// Freezes the staging map: keys are laid out in ascending key order,
   /// each posting run sorted and deduped, and a linear-probe table maps
   /// key -> slot. The staging structure can be discarded afterwards.
   static CsrIndex Freeze(const InvertedIndex& staging);
 
+  /// Adopts already-frozen flat sections without copying them — the
+  /// mmap cold-start path. `owner` keeps the backing memory (e.g. a
+  /// SnapshotReader's mapping) alive for the index's lifetime. Every
+  /// structural invariant is re-validated here (ascending keys,
+  /// monotone offsets, posting ids inside `record_universe`, a
+  /// power-of-two slot table with at least one empty slot so probes
+  /// terminate); violations return kCorruption, never UB.
+  static Result<CsrIndex> FromSections(
+      const uint64_t* keys, size_t num_keys, const uint32_t* offsets,
+      const uint32_t* postings, size_t num_postings, const uint32_t* slots,
+      size_t num_slots, size_t record_universe,
+      std::shared_ptr<const void> owner);
+
   /// The posting run of a key; empty when the key was never indexed.
   Postings Find(uint64_t key) const {
-    if (slots_.empty()) return Postings{};
+    if (num_slots_ == 0) return Postings{};
     size_t h = MixKey(key) & mask_;
     while (true) {
       uint32_t slot = slots_[h];
       if (slot == kEmptySlot) return Postings{};
       if (keys_[slot] == key) {
-        return Postings{postings_.data() + offsets_[slot],
+        return Postings{postings_ + offsets_[slot],
                         offsets_[slot + 1] - offsets_[slot]};
       }
       h = (h + 1) & mask_;
     }
   }
 
-  size_t num_keys() const { return keys_.size(); }
+  size_t num_keys() const { return num_keys_; }
 
   /// Distinct (key, record) postings — duplicates are gone after Freeze.
-  uint64_t total_postings() const { return postings_.size(); }
+  uint64_t total_postings() const { return num_postings_; }
 
   /// 1 + the largest posted record id (0 when empty): the universe a
   /// CandidateAccumulator must cover to count this index's postings.
   size_t record_universe() const { return record_universe_; }
 
-  /// Heap bytes of the frozen layout (keys + offsets + postings + table).
+  /// Bytes of the frozen layout (keys + offsets + postings + table) —
+  /// heap bytes when owned, mapped bytes when snapshot-backed.
   size_t memory_bytes() const {
-    return keys_.size() * sizeof(uint64_t) +
-           offsets_.size() * sizeof(uint32_t) +
-           postings_.size() * sizeof(uint32_t) +
-           slots_.size() * sizeof(uint32_t);
+    return num_keys_ * sizeof(uint64_t) +
+           (num_keys_ == 0 ? 0 : (num_keys_ + 1)) * sizeof(uint32_t) +
+           num_postings_ * sizeof(uint32_t) + num_slots_ * sizeof(uint32_t);
   }
+
+  /// True when the arrays live in externally owned memory (a snapshot
+  /// mapping) rather than this object's vectors.
+  bool borrows_external_storage() const { return owner_ != nullptr; }
+
+  // Raw flat sections — what SnapshotWriter serialises verbatim. The
+  // offsets view always has num_keys() + 1 entries (a single zero for
+  // an empty index); the slots view has num_slots() entries.
+  const uint64_t* keys_data() const { return keys_; }
+  const uint32_t* offsets_data() const { return offsets_; }
+  const uint32_t* postings_data() const { return postings_; }
+  const uint32_t* slots_data() const { return slots_; }
+  size_t num_slots() const { return num_slots_; }
 
  private:
   static constexpr uint32_t kEmptySlot = 0xFFFFFFFFu;
@@ -89,10 +134,25 @@ class CsrIndex {
     return x ^ (x >> 31);
   }
 
-  std::vector<uint64_t> keys_;      // slot -> key, ascending
-  std::vector<uint32_t> offsets_;   // slot -> postings_ begin; size keys+1
-  std::vector<uint32_t> postings_;  // flat runs, sorted + deduped per key
-  std::vector<uint32_t> slots_;     // open-addressed key hash -> slot
+  /// Points the views at the owned vectors (after Freeze fills them).
+  void BindOwned();
+
+  // Owned storage (empty in snapshot-view mode).
+  std::vector<uint64_t> owned_keys_;     // slot -> key, ascending
+  std::vector<uint32_t> owned_offsets_;  // slot -> postings begin; keys+1
+  std::vector<uint32_t> owned_postings_;  // flat runs, sorted+deduped per key
+  std::vector<uint32_t> owned_slots_;     // open-addressed key hash -> slot
+  /// Keeps externally owned storage (the snapshot mapping) alive.
+  std::shared_ptr<const void> owner_;
+
+  // The read views every probe goes through.
+  const uint64_t* keys_ = nullptr;
+  const uint32_t* offsets_ = nullptr;
+  const uint32_t* postings_ = nullptr;
+  const uint32_t* slots_ = nullptr;
+  size_t num_keys_ = 0;
+  size_t num_postings_ = 0;
+  size_t num_slots_ = 0;
   size_t mask_ = 0;
   size_t record_universe_ = 0;
 };

@@ -47,6 +47,26 @@ uint64_t GlobalOrder::Frequency(uint64_t key) const {
   return it == freq_.end() ? 0 : it->second;
 }
 
+std::vector<GlobalOrder::RankedKey> GlobalOrder::ExportRankOrder() const {
+  std::vector<RankedKey> rows(rank_.size());
+  for (const auto& [key, rank] : rank_) {
+    rows[rank - 1] = RankedKey{key, Frequency(key)};
+  }
+  return rows;
+}
+
+void GlobalOrder::ImportRankOrder(const RankedKey* rows, size_t count) {
+  freq_.clear();
+  rank_.clear();
+  freq_.reserve(count);
+  rank_.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    freq_[rows[i].key] = rows[i].frequency;
+    rank_[rows[i].key] = i + 1;
+  }
+  finalized_ = true;
+}
+
 void GlobalOrder::SortPebbles(RecordPebbles* rp) const {
   std::stable_sort(rp->pebbles.begin(), rp->pebbles.end(),
                    [this](const Pebble& a, const Pebble& b) {

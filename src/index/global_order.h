@@ -39,6 +39,23 @@ class GlobalOrder {
   size_t num_keys() const { return freq_.size(); }
   bool finalized() const { return finalized_; }
 
+  /// One exported (key, frequency) pair; position in the exported
+  /// vector is rank - 1.
+  struct RankedKey {
+    uint64_t key = 0;
+    uint64_t frequency = 0;
+  };
+
+  /// The finalized order as flat rows in ascending rank: row i holds the
+  /// key with rank i + 1 and its document frequency. This is the
+  /// snapshot serialisation of the order (storage/index_snapshot.cc).
+  std::vector<RankedKey> ExportRankOrder() const;
+
+  /// Rebuilds a finalized order from exported rows: row i gets rank
+  /// i + 1 and its stored frequency, exactly reversing ExportRankOrder.
+  /// Replaces any existing state.
+  void ImportRankOrder(const RankedKey* rows, size_t count);
+
  private:
   std::unordered_map<uint64_t, uint64_t> freq_;
   std::unordered_map<uint64_t, uint64_t> rank_;

@@ -71,8 +71,9 @@ const CsrIndex& PreparedIndex::ServingIndex(double* built_seconds) const {
         staging.Add(static_cast<uint32_t>(i), keys);
       }
       serving_index_ = CsrIndex::Freeze(staging);
-      index_seconds_ = timer.Seconds();
-      if (built_seconds != nullptr) *built_seconds = index_seconds_;
+      double seconds = timer.Seconds();
+      index_seconds_.store(seconds, std::memory_order_relaxed);
+      if (built_seconds != nullptr) *built_seconds = seconds;
       serving_built_.store(true, std::memory_order_release);
     }
   }
@@ -80,8 +81,9 @@ const CsrIndex& PreparedIndex::ServingIndex(double* built_seconds) const {
 }
 
 double PreparedIndex::index_seconds() const {
-  return serving_built_.load(std::memory_order_acquire) ? index_seconds_
-                                                        : 0.0;
+  return serving_built_.load(std::memory_order_acquire)
+             ? index_seconds_.load(std::memory_order_relaxed)
+             : 0.0;
 }
 
 RecordPebbles PreparedIndex::GenerateQueryPebbles(

@@ -16,6 +16,7 @@
 #include <cstdint>
 #include <memory>
 #include <mutex>
+#include <string>
 #include <vector>
 
 #include "core/knowledge.h"
@@ -24,6 +25,7 @@
 #include "index/csr_index.h"
 #include "index/global_order.h"
 #include "index/pebble.h"
+#include "util/status.h"
 
 namespace aujoin {
 
@@ -97,6 +99,27 @@ class PreparedIndex {
   /// with each other, keeping distinct-key counts and weights exact).
   RecordPebbles GenerateQueryPebbles(const Record& query) const;
 
+  /// Serialises the prepared state (both sides' pebble tables, the gram
+  /// dictionary, the global order and the frozen serving CSR) into the
+  /// versioned snapshot format at `path`, forcing the serving index to
+  /// exist first. The written file embeds fingerprints of the borrowed
+  /// records and knowledge so Load can refuse a mismatched world.
+  /// Implemented in storage/index_snapshot.cc.
+  Status Save(const std::string& path) const;
+
+  /// Rebuilds a prepared index from a snapshot instead of re-running
+  /// pebble generation. The caller supplies the same knowledge, options
+  /// and record collections the snapshot was built from (records are
+  /// borrowed exactly as in Build); fingerprint mismatches return
+  /// kFailedPrecondition, damaged files kCorruption — never a partially
+  /// loaded index. The CSR serving sections are served zero-copy out of
+  /// the snapshot mapping, which the returned index keeps alive.
+  /// Implemented in storage/index_snapshot.cc.
+  static Result<std::shared_ptr<const PreparedIndex>> Load(
+      const Knowledge& knowledge, const MsimOptions& msim,
+      const std::vector<Record>& s, const std::vector<Record>* t,
+      const std::string& path);
+
  private:
   PreparedIndex() = default;
 
@@ -111,11 +134,15 @@ class PreparedIndex {
   double prepare_seconds_ = 0.0;
 
   // Lazy serving index: `serving_built_` is the release/acquire flag
-  // that publishes `serving_index_` + `index_seconds_` once built.
+  // that publishes `serving_index_` + `index_seconds_` once built. The
+  // stats field is atomic so a stats poller racing the builder thread
+  // reads a whole double, never torn halves (relaxed is enough: the
+  // builder stores it before the release store of the flag, and every
+  // reader acquires the flag first).
   mutable std::mutex serving_mutex_;
   mutable std::atomic<bool> serving_built_{false};
   mutable CsrIndex serving_index_;
-  mutable double index_seconds_ = 0.0;
+  mutable std::atomic<double> index_seconds_{0.0};
 };
 
 }  // namespace aujoin

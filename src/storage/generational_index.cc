@@ -1,0 +1,187 @@
+#include "storage/generational_index.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace aujoin {
+namespace {
+
+/// The serving order shared with UnifiedSearcher: similarity desc,
+/// id asc.
+bool BetterMatch(const UnifiedSearcher::Match& a,
+                 const UnifiedSearcher::Match& b) {
+  if (a.similarity != b.similarity) return a.similarity > b.similarity;
+  return a.id < b.id;
+}
+
+}  // namespace
+
+GenerationalIndex::GenerationalIndex(const Knowledge& knowledge,
+                                     const MsimOptions& msim,
+                                     std::vector<Record> initial)
+    : knowledge_(knowledge), msim_(msim) {
+  for (size_t i = 0; i < initial.size(); ++i) {
+    initial[i].id = static_cast<uint32_t>(i);
+  }
+  frozen_ = BuildGeneration(knowledge_, msim_, std::move(initial));
+}
+
+std::shared_ptr<const GenerationalIndex::Generation>
+GenerationalIndex::BuildGeneration(const Knowledge& knowledge,
+                                   const MsimOptions& msim,
+                                   std::vector<Record> records) {
+  auto gen = std::make_shared<Generation>();
+  gen->records =
+      std::make_shared<const std::vector<Record>>(std::move(records));
+  gen->index = PreparedIndex::Build(knowledge, msim, *gen->records, nullptr);
+  return gen;
+}
+
+uint32_t GenerationalIndex::Append(Record record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint32_t id = static_cast<uint32_t>(frozen_->records->size() +
+                                      staging_records_.size());
+  record.id = id;
+  staging_records_.push_back(std::move(record));
+  staging_gen_.reset();  // the next query re-prepares the staging side
+  return id;
+}
+
+void GenerationalIndex::Pin(std::shared_ptr<const Generation>* frozen,
+                            std::shared_ptr<const Generation>* staging) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (staging_gen_ == nullptr && !staging_records_.empty()) {
+    // Prepare the staging mini index over a COPY of the buffer: a
+    // concurrent Append may grow (and reallocate) staging_records_
+    // while this generation is still serving queries.
+    staging_gen_ = BuildGeneration(knowledge_, msim_, staging_records_);
+  }
+  *frozen = frozen_;
+  *staging = staging_gen_;
+}
+
+std::vector<GenerationalIndex::Match> GenerationalIndex::MergeMatches(
+    std::vector<Match> frozen, std::vector<Match> staging,
+    uint32_t staging_offset) {
+  if (staging.empty()) return frozen;
+  // Staging match ids are positions inside the staging snapshot; the
+  // global id adds the frozen record count pinned with it.
+  for (Match& m : staging) m.id += staging_offset;
+  std::vector<Match> merged;
+  merged.reserve(frozen.size() + staging.size());
+  std::merge(frozen.begin(), frozen.end(), staging.begin(), staging.end(),
+             std::back_inserter(merged), BetterMatch);
+  return merged;
+}
+
+std::vector<GenerationalIndex::Match> GenerationalIndex::Search(
+    const Record& query, const SearchOptions& options,
+    QueryStats* stats) const {
+  std::shared_ptr<const Generation> frozen;
+  std::shared_ptr<const Generation> staging;
+  Pin(&frozen, &staging);
+  std::vector<Match> frozen_matches =
+      UnifiedSearcher(frozen->index).Search(query, options, stats);
+  if (staging == nullptr) return frozen_matches;
+  std::vector<Match> staging_matches =
+      UnifiedSearcher(staging->index).Search(query, options, stats);
+  if (stats != nullptr) {
+    // Both sub-searches counted the query; the union serves it once.
+    stats->queries -= 1;
+  }
+  return MergeMatches(std::move(frozen_matches), std::move(staging_matches),
+                      static_cast<uint32_t>(frozen->records->size()));
+}
+
+std::vector<GenerationalIndex::Match> GenerationalIndex::TopK(
+    const Record& query, size_t k, double min_theta,
+    const SearchOptions& options, QueryStats* stats) const {
+  std::shared_ptr<const Generation> frozen;
+  std::shared_ptr<const Generation> staging;
+  Pin(&frozen, &staging);
+  std::vector<Match> frozen_matches =
+      UnifiedSearcher(frozen->index).TopK(query, k, min_theta, options, stats);
+  if (staging == nullptr) return frozen_matches;
+  std::vector<Match> staging_matches = UnifiedSearcher(staging->index)
+                                           .TopK(query, k, min_theta, options,
+                                                 stats);
+  if (stats != nullptr) {
+    stats->queries -= 1;
+  }
+  // The union's top k is inside the union of the per-generation top
+  // ks, so merging the two k-prefixes and cutting at k is exact.
+  std::vector<Match> merged =
+      MergeMatches(std::move(frozen_matches), std::move(staging_matches),
+                   static_cast<uint32_t>(frozen->records->size()));
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+std::vector<std::vector<GenerationalIndex::Match>>
+GenerationalIndex::BatchSearch(const std::vector<Record>& queries,
+                               const SearchOptions& options,
+                               QueryStats* stats) const {
+  std::vector<std::vector<Match>> out;
+  out.reserve(queries.size());
+  for (const Record& query : queries) {
+    out.push_back(Search(query, options, stats));
+  }
+  return out;
+}
+
+void GenerationalIndex::Refreeze() {
+  std::lock_guard<std::mutex> refreeze_lock(refreeze_mutex_);
+  std::vector<Record> merged;
+  size_t batch = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    batch = staging_records_.size();
+    if (batch == 0) return;
+    merged.reserve(frozen_->records->size() + batch);
+    merged = *frozen_->records;
+    merged.insert(merged.end(), staging_records_.begin(),
+                  staging_records_.begin() + batch);
+  }
+  // The expensive part — pebble generation + freeze over the union —
+  // runs with no lock held; queries keep serving the old generation.
+  std::shared_ptr<const Generation> next =
+      BuildGeneration(knowledge_, msim_, std::move(merged));
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    frozen_ = next;
+    // Records appended during the rebuild stay in staging. Their global
+    // ids are unchanged: the frozen side grew by exactly the `batch`
+    // records that left staging ahead of them.
+    staging_records_.erase(staging_records_.begin(),
+                           staging_records_.begin() + batch);
+    staging_gen_.reset();
+    ++generation_;
+  }
+}
+
+size_t GenerationalIndex::num_frozen() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frozen_->records->size();
+}
+
+size_t GenerationalIndex::num_staged() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return staging_records_.size();
+}
+
+size_t GenerationalIndex::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frozen_->records->size() + staging_records_.size();
+}
+
+uint64_t GenerationalIndex::generation() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return generation_;
+}
+
+std::shared_ptr<const PreparedIndex> GenerationalIndex::frozen_index() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return frozen_->index;
+}
+
+}  // namespace aujoin

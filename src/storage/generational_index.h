@@ -1,0 +1,143 @@
+/// \file
+/// GenerationalIndex — LSM-style incremental serving on top of the
+/// immutable PreparedIndex. The frozen generation is a full
+/// PreparedIndex (pebbles + global order + CSR serving index) over
+/// every compacted record; appended records land in a small mutable
+/// staging buffer that is prepared lazily as its own mini index.
+/// Queries probe both generations and merge the results under the
+/// serving order (similarity desc, id asc) — correct because the
+/// signature filter is lossless per record pair, so searching two
+/// disjoint sub-collections equals searching their union. Refreeze
+/// compacts frozen + staging into a new immutable generation built
+/// off-lock and swapped in atomically via shared_ptr, exactly the
+/// memtable-flush / SST-compaction split of an LSM tree.
+///
+/// Thread-safety: Append/Search/TopK/BatchSearch/Refreeze may all be
+/// called concurrently. A query takes the mutex only long enough to
+/// pin both generation pointers (building the staging mini index on
+/// first use after an append); verification runs lock-free on the
+/// pinned immutable snapshots. Refreeze runs the expensive rebuild
+/// outside the mutex, so queries and appends proceed during
+/// compaction; concurrent Refreeze calls serialise on their own mutex.
+
+#ifndef AUJOIN_STORAGE_GENERATIONAL_INDEX_H_
+#define AUJOIN_STORAGE_GENERATIONAL_INDEX_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "core/knowledge.h"
+#include "core/measures.h"
+#include "core/record.h"
+#include "index/prepared_index.h"
+#include "join/search.h"
+
+namespace aujoin {
+
+class GenerationalIndex {
+ public:
+  using Match = UnifiedSearcher::Match;
+  using SearchOptions = UnifiedSearcher::SearchOptions;
+  using QueryStats = UnifiedSearcher::QueryStats;
+
+  /// Builds the initial frozen generation over `initial` (possibly
+  /// empty). Unlike PreparedIndex, the generational index OWNS its
+  /// records — generations keep them alive through shared_ptr so a
+  /// query pinned to an old generation stays valid across a refreeze
+  /// swap. `knowledge` is the usual non-owning bundle and must outlive
+  /// the index.
+  GenerationalIndex(const Knowledge& knowledge, const MsimOptions& msim,
+                    std::vector<Record> initial);
+
+  /// Appends one record to the staging buffer and returns its global
+  /// id (frozen + staging position — stable across refreezes). The
+  /// record's `id` field is overwritten with that global id, matching
+  /// the position-is-id convention of ingested collections. O(1) plus
+  /// one staging re-preparation amortised into the next query.
+  uint32_t Append(Record record);
+
+  /// All records (frozen + staging) with Approx USIM >= theta, merged
+  /// under the serving order (similarity desc, global id asc) — the
+  /// same contract as UnifiedSearcher::Search over the union
+  /// collection.
+  std::vector<Match> Search(const Record& query, const SearchOptions& options,
+                            QueryStats* stats = nullptr) const;
+
+  /// The k best matches with similarity >= min_theta under the serving
+  /// order; byte-identical to the k-prefix of Search's result.
+  std::vector<Match> TopK(const Record& query, size_t k, double min_theta,
+                          const SearchOptions& options,
+                          QueryStats* stats = nullptr) const;
+
+  /// Search for each query in order; stats accumulate across the batch.
+  std::vector<std::vector<Match>> BatchSearch(
+      const std::vector<Record>& queries, const SearchOptions& options,
+      QueryStats* stats = nullptr) const;
+
+  /// Compacts frozen + staging into a new frozen generation. The
+  /// rebuild runs outside the serving mutex (queries and appends
+  /// continue, served by the old generation); records appended during
+  /// the rebuild stay in staging with their ids intact. No-op when
+  /// staging is empty.
+  void Refreeze();
+
+  /// Records in the frozen generation / the staging buffer / total.
+  size_t num_frozen() const;
+  size_t num_staged() const;
+  size_t size() const;
+
+  /// Completed refreeze compactions (generation number of the frozen
+  /// index; 0 = the initial build).
+  uint64_t generation() const;
+
+  /// The current frozen generation's index, e.g. for snapshotting the
+  /// compacted state. The matching records are
+  /// frozen_index()->t_records() and stay alive while the returned
+  /// pointer is held.
+  std::shared_ptr<const PreparedIndex> frozen_index() const;
+
+ private:
+  /// One immutable generation: the records and the index borrowing
+  /// them, destroyed together once the last query lets go.
+  struct Generation {
+    std::shared_ptr<const std::vector<Record>> records;
+    std::shared_ptr<const PreparedIndex> index;
+  };
+
+  /// Pins (frozen, staging) under the mutex; builds the staging mini
+  /// index first if an append invalidated it. The staging entry is
+  /// null when the staging buffer is empty.
+  void Pin(std::shared_ptr<const Generation>* frozen,
+           std::shared_ptr<const Generation>* staging) const;
+
+  static std::shared_ptr<const Generation> BuildGeneration(
+      const Knowledge& knowledge, const MsimOptions& msim,
+      std::vector<Record> records);
+
+  /// Merges two per-generation result lists (already sorted by the
+  /// serving order) into one, offsetting staging ids by the frozen
+  /// record count.
+  static std::vector<Match> MergeMatches(std::vector<Match> frozen,
+                                         std::vector<Match> staging,
+                                         uint32_t staging_offset);
+
+  Knowledge knowledge_;
+  MsimOptions msim_;
+
+  mutable std::mutex mutex_;
+  std::shared_ptr<const Generation> frozen_;
+  std::vector<Record> staging_records_;
+  /// Lazily built over a copy of `staging_records_`; reset by Append
+  /// and Refreeze. Mutable: queries build it on demand.
+  mutable std::shared_ptr<const Generation> staging_gen_;
+  uint64_t generation_ = 0;
+
+  /// Serialises refreezes without blocking serving.
+  std::mutex refreeze_mutex_;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_STORAGE_GENERATIONAL_INDEX_H_

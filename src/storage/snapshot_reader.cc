@@ -1,0 +1,159 @@
+#include "storage/snapshot_reader.h"
+
+#include <cstdio>
+#include <cstring>
+
+#include "storage/checksum.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#define AUJOIN_SNAPSHOT_MMAP 1
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+#endif
+
+namespace aujoin {
+namespace {
+
+Status CorruptionAt(const std::string& path, const std::string& what) {
+  return Status::Corruption(path + ": " + what);
+}
+
+}  // namespace
+
+SnapshotReader::~SnapshotReader() {
+  if (data_ == nullptr) return;
+#if AUJOIN_SNAPSHOT_MMAP
+  if (mapped_) {
+    munmap(const_cast<uint8_t*>(data_), size_);
+    return;
+  }
+#endif
+  delete[] data_;
+}
+
+Result<std::shared_ptr<const SnapshotReader>> SnapshotReader::Open(
+    const std::string& path) {
+  // Private constructor: build through a raw new, publish as const.
+  std::shared_ptr<SnapshotReader> reader(new SnapshotReader());
+  reader->path_ = path;
+
+#if AUJOIN_SNAPSHOT_MMAP
+  int fd = open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    return Status::IoError("cannot open " + path);
+  }
+  struct stat st;
+  if (fstat(fd, &st) != 0) {
+    close(fd);
+    return Status::IoError("cannot stat " + path);
+  }
+  reader->size_ = static_cast<uint64_t>(st.st_size);
+  if (reader->size_ > 0) {
+    void* map = mmap(nullptr, reader->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (map == MAP_FAILED) {
+      close(fd);
+      return Status::IoError("cannot mmap " + path);
+    }
+    reader->data_ = static_cast<const uint8_t*>(map);
+    reader->mapped_ = true;
+  }
+  close(fd);
+#else
+  std::FILE* file = std::fopen(path.c_str(), "rb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + path);
+  }
+  std::fseek(file, 0, SEEK_END);
+  long size = std::ftell(file);
+  std::fseek(file, 0, SEEK_SET);
+  reader->size_ = size < 0 ? 0 : static_cast<uint64_t>(size);
+  if (reader->size_ > 0) {
+    auto* buffer = new uint8_t[reader->size_];
+    if (std::fread(buffer, 1, reader->size_, file) != reader->size_) {
+      delete[] buffer;
+      std::fclose(file);
+      return Status::IoError("short read from " + path);
+    }
+    reader->data_ = buffer;
+  }
+  std::fclose(file);
+#endif
+
+  // Header: size, magic, checksum, then version (a corrupted file must
+  // not pass as "wrong version", so the checksum gates the skew check).
+  if (reader->size_ < sizeof(SnapshotHeader)) {
+    return CorruptionAt(path, "truncated before the header (" +
+                                  std::to_string(reader->size_) + " bytes)");
+  }
+  SnapshotHeader header;
+  std::memcpy(&header, reader->data_, sizeof(header));
+  if (header.magic != kSnapshotMagic) {
+    return CorruptionAt(path, "bad magic (not an aujoin snapshot)");
+  }
+  uint64_t expected_checksum =
+      Xxh64(reader->data_, sizeof(header) - sizeof(header.header_checksum));
+  if (header.header_checksum != expected_checksum) {
+    return CorruptionAt(path, "header checksum mismatch");
+  }
+  if (header.format_version != kSnapshotFormatVersion) {
+    return Status::FailedPrecondition(
+        path + ": snapshot format version " +
+        std::to_string(header.format_version) + ", this build reads version " +
+        std::to_string(kSnapshotFormatVersion));
+  }
+  if (header.file_size != reader->size_) {
+    return CorruptionAt(path, "file is " + std::to_string(reader->size_) +
+                                  " bytes, header declares " +
+                                  std::to_string(header.file_size) +
+                                  " (truncated or appended)");
+  }
+
+  // Section table bounds, then each section's bounds + checksum. After
+  // this loop every byte a consumer can reach has been validated.
+  uint64_t table_bytes = static_cast<uint64_t>(header.section_count) *
+                         sizeof(SnapshotSectionEntry);
+  if (sizeof(SnapshotHeader) + table_bytes > reader->size_) {
+    return CorruptionAt(path, "section table overruns the file");
+  }
+  reader->table_.resize(header.section_count);
+  std::memcpy(reader->table_.data(), reader->data_ + sizeof(SnapshotHeader),
+              table_bytes);
+  for (const SnapshotSectionEntry& entry : reader->table_) {
+    if (entry.offset % kSnapshotAlignment != 0) {
+      return CorruptionAt(path, "section " + std::to_string(entry.id) +
+                                    " is misaligned");
+    }
+    if (entry.offset > reader->size_ ||
+        entry.size > reader->size_ - entry.offset) {
+      return CorruptionAt(path, "section " + std::to_string(entry.id) +
+                                    " overruns the file");
+    }
+    uint64_t checksum = Xxh64(reader->data_ + entry.offset, entry.size);
+    if (checksum != entry.checksum) {
+      return CorruptionAt(path, "section " + std::to_string(entry.id) +
+                                    " checksum mismatch");
+    }
+  }
+  return std::shared_ptr<const SnapshotReader>(std::move(reader));
+}
+
+bool SnapshotReader::Has(uint32_t id) const {
+  for (const SnapshotSectionEntry& entry : table_) {
+    if (entry.id == id) return true;
+  }
+  return false;
+}
+
+Result<SnapshotReader::Section> SnapshotReader::Find(uint32_t id) const {
+  for (const SnapshotSectionEntry& entry : table_) {
+    if (entry.id == id) {
+      return Section{data_ + entry.offset, entry.size};
+    }
+  }
+  return Status::NotFound(path_ + ": snapshot has no section " +
+                          std::to_string(id));
+}
+
+}  // namespace aujoin

@@ -1,0 +1,89 @@
+/// \file
+/// SnapshotReader — the mmap cold-start side of the snapshot format.
+/// Open maps the file read-only and validates everything up front:
+/// magic, format version, header checksum, declared vs actual file
+/// size, section-table bounds, per-section alignment and XXH64
+/// payload checksums. After a successful Open every section is a
+/// bounds-checked (pointer, size) view directly into the mapping — no
+/// parsing, no copies — and the reader's shared_ptr keeps the mapping
+/// alive for any index structure serving straight out of it (the
+/// CsrIndex view mode threads that ownership through
+/// CsrIndex::FromSections).
+///
+/// Failure taxonomy (never UB, never a crash):
+///   kIoError            the OS could not open/read/map the file
+///   kCorruption         truncation, bad magic, checksum mismatch,
+///                       malformed section layout
+///   kFailedPrecondition format-version skew (valid file, other version)
+///   kNotFound           a required section id is absent
+
+#ifndef AUJOIN_STORAGE_SNAPSHOT_READER_H_
+#define AUJOIN_STORAGE_SNAPSHOT_READER_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "storage/snapshot_format.h"
+#include "util/status.h"
+
+namespace aujoin {
+
+class SnapshotReader {
+ public:
+  /// One validated section: `data` points into the mapping (64-byte
+  /// aligned), `size` is the payload byte count.
+  struct Section {
+    const uint8_t* data = nullptr;
+    uint64_t size = 0;
+  };
+
+  /// Maps and fully validates `path`. The returned reader is immutable
+  /// and safe to share across threads.
+  static Result<std::shared_ptr<const SnapshotReader>> Open(
+      const std::string& path);
+
+  ~SnapshotReader();
+  SnapshotReader(const SnapshotReader&) = delete;
+  SnapshotReader& operator=(const SnapshotReader&) = delete;
+
+  bool Has(uint32_t id) const;
+
+  /// The section with `id`; kNotFound when the snapshot lacks it.
+  Result<Section> Find(uint32_t id) const;
+
+  /// The section interpreted as `count` elements of trivially copyable
+  /// T; kCorruption when the payload size disagrees.
+  template <typename T>
+  Result<const T*> Array(uint32_t id, uint64_t count) const {
+    Result<Section> section = Find(id);
+    if (!section.ok()) return section.status();
+    if (section->size != count * sizeof(T)) {
+      return Status::Corruption(
+          "section " + std::to_string(id) + " holds " +
+          std::to_string(section->size) + " bytes, expected " +
+          std::to_string(count * sizeof(T)) + " (" + std::to_string(count) +
+          " x " + std::to_string(sizeof(T)) + ")");
+    }
+    return reinterpret_cast<const T*>(section->data);
+  }
+
+  uint64_t file_size() const { return size_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  SnapshotReader() = default;
+
+  std::string path_;
+  const uint8_t* data_ = nullptr;
+  uint64_t size_ = 0;
+  /// True when `data_` is an mmap to munmap; false for the heap
+  /// fallback (non-POSIX builds), freed with delete[].
+  bool mapped_ = false;
+  std::vector<SnapshotSectionEntry> table_;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_STORAGE_SNAPSHOT_READER_H_

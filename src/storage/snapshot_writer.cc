@@ -1,0 +1,113 @@
+#include "storage/snapshot_writer.h"
+
+#include <cstdio>
+#include <cstring>
+#include <set>
+
+#include "storage/checksum.h"
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <unistd.h>
+#endif
+
+namespace aujoin {
+namespace {
+
+/// Zero padding written between aligned regions.
+const char kZeros[kSnapshotAlignment] = {};
+
+Status WriteAll(std::FILE* file, const void* data, size_t size,
+                const std::string& path) {
+  if (size == 0) return Status::OK();
+  if (std::fwrite(data, 1, size, file) != size) {
+    return Status::IoError("short write to " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+uint64_t SnapshotWriter::FileSize() const {
+  uint64_t offset = AlignUpSnapshot(
+      sizeof(SnapshotHeader) + sections_.size() * sizeof(SnapshotSectionEntry));
+  for (const Pending& s : sections_) {
+    offset = AlignUpSnapshot(offset + s.size);
+  }
+  return offset;
+}
+
+Status SnapshotWriter::Finish() {
+  std::set<uint32_t> ids;
+  for (const Pending& s : sections_) {
+    if (!ids.insert(s.id).second) {
+      return Status::InvalidArgument("duplicate snapshot section id " +
+                                     std::to_string(s.id));
+    }
+  }
+
+  // Lay out the file: header, table, then each payload aligned.
+  std::vector<SnapshotSectionEntry> table(sections_.size());
+  uint64_t offset = AlignUpSnapshot(
+      sizeof(SnapshotHeader) + sections_.size() * sizeof(SnapshotSectionEntry));
+  for (size_t i = 0; i < sections_.size(); ++i) {
+    table[i].id = sections_[i].id;
+    table[i].offset = offset;
+    table[i].size = sections_[i].size;
+    table[i].checksum = Xxh64(sections_[i].data, sections_[i].size);
+    offset = AlignUpSnapshot(offset + sections_[i].size);
+  }
+
+  SnapshotHeader header;
+  header.section_count = static_cast<uint32_t>(sections_.size());
+  header.file_size = offset;
+  header.header_checksum =
+      Xxh64(&header, sizeof(header) - sizeof(header.header_checksum));
+
+  const std::string tmp_path = path_ + ".tmp";
+  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
+  if (file == nullptr) {
+    return Status::IoError("cannot open " + tmp_path + " for writing");
+  }
+  Status status = WriteAll(file, &header, sizeof(header), tmp_path);
+  if (status.ok()) {
+    status = WriteAll(file, table.data(),
+                      table.size() * sizeof(SnapshotSectionEntry), tmp_path);
+  }
+  uint64_t written =
+      sizeof(header) + table.size() * sizeof(SnapshotSectionEntry);
+  for (size_t i = 0; status.ok() && i < sections_.size(); ++i) {
+    uint64_t pad = table[i].offset - written;
+    status = WriteAll(file, kZeros, pad, tmp_path);
+    if (!status.ok()) break;
+    status = WriteAll(file, sections_[i].data, sections_[i].size, tmp_path);
+    written = table[i].offset + table[i].size;
+  }
+  if (status.ok()) {
+    uint64_t pad = offset - written;
+    status = WriteAll(file, kZeros, pad, tmp_path);
+  }
+  if (status.ok() && std::fflush(file) != 0) {
+    status = Status::IoError("flush failed for " + tmp_path);
+  }
+#if defined(__unix__) || defined(__APPLE__)
+  // Durability before the rename publishes the file under its real
+  // name; without it a crash can rename an unflushed (torn) snapshot.
+  if (status.ok() && fsync(fileno(file)) != 0) {
+    status = Status::IoError("fsync failed for " + tmp_path);
+  }
+#endif
+  if (std::fclose(file) != 0 && status.ok()) {
+    status = Status::IoError("close failed for " + tmp_path);
+  }
+  if (!status.ok()) {
+    std::remove(tmp_path.c_str());
+    return status;
+  }
+  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    std::remove(tmp_path.c_str());
+    return Status::IoError("cannot rename " + tmp_path + " to " + path_);
+  }
+  return Status::OK();
+}
+
+}  // namespace aujoin

@@ -1,0 +1,57 @@
+/// \file
+/// SnapshotWriter — serialises a set of flat sections into the
+/// versioned snapshot file format (storage/snapshot_format.h). The
+/// writer is deliberately dumb: callers declare sections as (id, ptr,
+/// size) and Finish lays them out aligned, checksummed and fronted by
+/// the header + section table. Writes go to `<path>.tmp` and are
+/// renamed into place on success, so a crashed or failed write never
+/// leaves a half-snapshot under the target name (the standard
+/// write-temp-then-rename durability idiom of LSM stores).
+
+#ifndef AUJOIN_STORAGE_SNAPSHOT_WRITER_H_
+#define AUJOIN_STORAGE_SNAPSHOT_WRITER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/snapshot_format.h"
+#include "util/status.h"
+
+namespace aujoin {
+
+/// Accumulates section descriptors, then writes the whole snapshot in
+/// one pass. Section payload memory is borrowed: it must stay alive
+/// and unchanged until Finish returns (the writer streams straight
+/// from the caller's arrays instead of doubling the index in RAM).
+class SnapshotWriter {
+ public:
+  explicit SnapshotWriter(std::string path) : path_(std::move(path)) {}
+
+  /// Declares one section. Duplicate ids are rejected at Finish; a
+  /// zero-size section is legal (empty collection side, empty CSR).
+  void AddSection(uint32_t id, const void* data, size_t size) {
+    sections_.push_back(Pending{id, static_cast<const uint8_t*>(data), size});
+  }
+
+  /// Writes header + table + aligned payloads to `<path>.tmp`, fsyncs,
+  /// and renames over `path`. Returns the first I/O or layout error.
+  Status Finish();
+
+  /// Total bytes the snapshot will occupy (available before Finish).
+  uint64_t FileSize() const;
+
+ private:
+  struct Pending {
+    uint32_t id = 0;
+    const uint8_t* data = nullptr;
+    size_t size = 0;
+  };
+
+  std::string path_;
+  std::vector<Pending> sections_;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_STORAGE_SNAPSHOT_WRITER_H_

@@ -21,6 +21,8 @@ const char* CodeName(StatusCode code) {
       return "IoError";
     case StatusCode::kInternal:
       return "Internal";
+    case StatusCode::kCorruption:
+      return "Corruption";
   }
   return "Unknown";
 }

@@ -19,6 +19,12 @@ enum class StatusCode {
   kFailedPrecondition,
   kIoError,
   kInternal,
+  /// On-disk data failed validation: bad magic, checksum mismatch,
+  /// truncation, malformed section layout. Distinct from kIoError (the
+  /// OS could not read the bytes) and from kFailedPrecondition (the
+  /// bytes are valid but describe a different world). RocksDB draws the
+  /// same line with Status::Corruption.
+  kCorruption,
 };
 
 /// Lightweight status object. Cheap to copy in the OK case (no allocation);
@@ -49,6 +55,9 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,547 @@
+// The src/storage/ persistence subsystem: snapshot round-trips
+// (build -> Save -> Load must serve byte-identical Search/Join results
+// on the CSV and JSONL fixtures), strict corruption handling (every
+// damaged byte surfaces as a typed Status, never UB — the suite runs
+// under ASan/UBSan in CI), and the LSM-style GenerationalIndex
+// (append + refreeze == from-scratch build; concurrent queries during
+// a refreeze are clean under the TSan job's ctest filter).
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <memory>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "api/engine.h"
+#include "dataset/dataset.h"
+#include "index/prepared_index.h"
+#include "join/search.h"
+#include "storage/checksum.h"
+#include "storage/generational_index.h"
+#include "storage/snapshot_format.h"
+#include "storage/snapshot_reader.h"
+#include "test_fixtures.h"
+
+namespace aujoin {
+namespace {
+
+constexpr double kTheta = 0.7;
+
+std::vector<uint8_t> ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  return std::vector<uint8_t>((std::istreambuf_iterator<char>(in)),
+                              std::istreambuf_iterator<char>());
+}
+
+void WriteFileBytes(const std::string& path,
+                    const std::vector<uint8_t>& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(reinterpret_cast<const char*>(bytes.data()),
+            static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+/// Every record searched once; the full result matrix is the equality
+/// fingerprint for round-trip and refreeze parity.
+std::vector<std::vector<UnifiedSearcher::Match>> SweepAll(
+    std::shared_ptr<const PreparedIndex> index,
+    const std::vector<Record>& queries) {
+  UnifiedSearcher searcher(std::move(index));
+  UnifiedSearcher::SearchOptions options;
+  options.theta = kTheta;
+  options.tau = 1;
+  std::vector<std::vector<UnifiedSearcher::Match>> out;
+  out.reserve(queries.size());
+  for (const Record& q : queries) out.push_back(searcher.Search(q, options));
+  return out;
+}
+
+// --- round trip on the checked-in fixtures ----------------------------
+
+class SnapshotRoundTripTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  void SetUp() override {
+    const std::string root = AUJOIN_SOURCE_DIR;
+    DatasetSpec spec;
+    spec.records_path = root + "/data/poi." + GetParam();
+    spec.reader.columns = {"name", "city"};
+    spec.reader.has_header = true;
+    spec.rules_path = root + "/data/poi_rules.tsv";
+    spec.taxonomy_path = root + "/data/poi_taxonomy.tsv";
+    spec.tokenizer.split_punctuation = true;
+    Result<Dataset> loaded = LoadDataset(spec);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    dataset_ = std::make_unique<Dataset>(std::move(*loaded));
+    path_ = ::testing::TempDir() + "aujoin_roundtrip_" + GetParam() +
+            ".aujsnap";
+  }
+
+  void TearDown() override { std::remove(path_.c_str()); }
+
+  Engine MakeEngine() const {
+    Engine engine = EngineBuilder()
+                        .SetKnowledge(dataset_->knowledge())
+                        .SetMeasures("TJS")
+                        .SetQ(3)
+                        .Build();
+    engine.SetRecords(dataset_->records);
+    return engine;
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::string path_;
+};
+
+TEST_P(SnapshotRoundTripTest, SearchAndJoinAreByteIdentical) {
+  Engine builder = MakeEngine();
+  ASSERT_TRUE(builder.SaveIndex(path_).ok());
+  EXPECT_STREQ(builder.index_source(), "rebuilt");
+
+  Engine served = MakeEngine();
+  Status mounted = served.LoadIndex(path_);
+  ASSERT_TRUE(mounted.ok()) << mounted.ToString();
+  EXPECT_STREQ(served.index_source(), "snapshot");
+  EXPECT_GE(served.snapshot_load_seconds(), 0.0);
+
+  // Search parity, every record as a query, matches AND similarities.
+  Result<std::shared_ptr<const PreparedIndex>> built = builder.ServingIndex();
+  Result<std::shared_ptr<const PreparedIndex>> loaded = served.ServingIndex();
+  ASSERT_TRUE(built.ok());
+  ASSERT_TRUE(loaded.ok());
+  EXPECT_EQ(SweepAll(*built, dataset_->records),
+            SweepAll(*loaded, dataset_->records));
+
+  // Join parity through the full Engine path (the join context adopts
+  // the mounted index).
+  EngineJoinOptions join_options;
+  join_options.theta = kTheta;
+  join_options.tau = 2;
+  Result<JoinResult> from_build = builder.Join("unified", join_options);
+  Result<JoinResult> from_snapshot = served.Join("unified", join_options);
+  ASSERT_TRUE(from_build.ok());
+  ASSERT_TRUE(from_snapshot.ok());
+  EXPECT_FALSE(from_build->pairs.empty());
+  EXPECT_EQ(from_build->pairs, from_snapshot->pairs);
+}
+
+TEST_P(SnapshotRoundTripTest, LoadedCsrServesZeroCopyFromTheMapping) {
+  Engine builder = MakeEngine();
+  ASSERT_TRUE(builder.SaveIndex(path_).ok());
+  Result<std::shared_ptr<const PreparedIndex>> loaded = PreparedIndex::Load(
+      dataset_->knowledge(), MsimOptions{.q = 3}, dataset_->records, nullptr,
+      path_);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_TRUE((*loaded)->ServingIndex().borrows_external_storage());
+  // The loaded index never paid a freeze in this process.
+  EXPECT_EQ((*loaded)->index_seconds(), 0.0);
+
+  Result<std::shared_ptr<const PreparedIndex>> built =
+      builder.ServingIndex();
+  ASSERT_TRUE(built.ok());
+  const CsrIndex& a = (*built)->ServingIndex();
+  const CsrIndex& b = (*loaded)->ServingIndex();
+  EXPECT_FALSE(a.borrows_external_storage());
+  EXPECT_EQ(a.num_keys(), b.num_keys());
+  EXPECT_EQ(a.total_postings(), b.total_postings());
+  EXPECT_EQ(a.record_universe(), b.record_universe());
+}
+
+TEST_P(SnapshotRoundTripTest, MismatchedWorldIsRefused) {
+  Engine builder = MakeEngine();
+  ASSERT_TRUE(builder.SaveIndex(path_).ok());
+
+  // Fewer records than the snapshot was built from.
+  std::vector<Record> fewer(dataset_->records.begin(),
+                            dataset_->records.end() - 1);
+  Result<std::shared_ptr<const PreparedIndex>> short_load =
+      PreparedIndex::Load(dataset_->knowledge(), MsimOptions{.q = 3}, fewer,
+                          nullptr, path_);
+  ASSERT_FALSE(short_load.ok());
+  EXPECT_EQ(short_load.status().code(), StatusCode::kFailedPrecondition);
+
+  // Same records, different similarity options.
+  Result<std::shared_ptr<const PreparedIndex>> skewed =
+      PreparedIndex::Load(dataset_->knowledge(), MsimOptions{.q = 4},
+                          dataset_->records, nullptr, path_);
+  ASSERT_FALSE(skewed.ok());
+  EXPECT_EQ(skewed.status().code(), StatusCode::kFailedPrecondition);
+
+  // Same shape, different record contents: swap two records' texts by
+  // re-ingesting with the columns reversed? Simpler: permute ids via a
+  // reversed copy — the order-sensitive fingerprint must catch it.
+  std::vector<Record> reversed(dataset_->records.rbegin(),
+                               dataset_->records.rend());
+  Result<std::shared_ptr<const PreparedIndex>> permuted =
+      PreparedIndex::Load(dataset_->knowledge(), MsimOptions{.q = 3},
+                          reversed, nullptr, path_);
+  ASSERT_FALSE(permuted.ok());
+  EXPECT_EQ(permuted.status().code(), StatusCode::kFailedPrecondition);
+}
+
+INSTANTIATE_TEST_SUITE_P(Fixtures, SnapshotRoundTripTest,
+                         ::testing::Values("csv", "jsonl"));
+
+// --- corruption: typed errors, never UB -------------------------------
+
+class SnapshotCorruptionTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string root = AUJOIN_SOURCE_DIR;
+    DatasetSpec spec;
+    spec.records_path = root + "/data/poi.csv";
+    spec.reader.columns = {"name", "city"};
+    spec.reader.has_header = true;
+    spec.rules_path = root + "/data/poi_rules.tsv";
+    spec.taxonomy_path = root + "/data/poi_taxonomy.tsv";
+    spec.tokenizer.split_punctuation = true;
+    Result<Dataset> loaded = LoadDataset(spec);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    dataset_ = std::make_unique<Dataset>(std::move(*loaded));
+
+    path_ = ::testing::TempDir() + "aujoin_corruption.aujsnap";
+    damaged_path_ = ::testing::TempDir() + "aujoin_damaged.aujsnap";
+    Engine engine = EngineBuilder()
+                        .SetKnowledge(dataset_->knowledge())
+                        .SetMeasures("TJS")
+                        .SetQ(3)
+                        .Build();
+    engine.SetRecords(dataset_->records);
+    ASSERT_TRUE(engine.SaveIndex(path_).ok());
+    bytes_ = ReadFileBytes(path_);
+    ASSERT_GE(bytes_.size(), sizeof(SnapshotHeader));
+  }
+
+  void TearDown() override {
+    std::remove(path_.c_str());
+    std::remove(damaged_path_.c_str());
+  }
+
+  /// Writes `bytes` to the damaged path and attempts a full
+  /// PreparedIndex::Load — the strictest consumer of the format.
+  Status TryLoad(const std::vector<uint8_t>& bytes) {
+    WriteFileBytes(damaged_path_, bytes);
+    Result<std::shared_ptr<const PreparedIndex>> load = PreparedIndex::Load(
+        dataset_->knowledge(), MsimOptions{.q = 3}, dataset_->records,
+        nullptr, damaged_path_);
+    return load.ok() ? Status::OK() : load.status();
+  }
+
+  std::vector<SnapshotSectionEntry> SectionTable() const {
+    SnapshotHeader header;
+    std::memcpy(&header, bytes_.data(), sizeof(header));
+    std::vector<SnapshotSectionEntry> table(header.section_count);
+    std::memcpy(table.data(), bytes_.data() + sizeof(header),
+                header.section_count * sizeof(SnapshotSectionEntry));
+    return table;
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+  std::string path_;
+  std::string damaged_path_;
+  std::vector<uint8_t> bytes_;
+};
+
+TEST_F(SnapshotCorruptionTest, BadMagicIsCorruption) {
+  std::vector<uint8_t> bad = bytes_;
+  bad[0] ^= 0xFF;
+  Status status = TryLoad(bad);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST_F(SnapshotCorruptionTest, VersionSkewIsFailedPrecondition) {
+  std::vector<uint8_t> skewed = bytes_;
+  SnapshotHeader header;
+  std::memcpy(&header, skewed.data(), sizeof(header));
+  header.format_version = kSnapshotFormatVersion + 7;
+  // Re-seal the header so the version check (not the checksum) fires:
+  // a corrupted file must not masquerade as a valid other-version one.
+  header.header_checksum =
+      Xxh64(&header, sizeof(header) - sizeof(header.header_checksum));
+  std::memcpy(skewed.data(), &header, sizeof(header));
+  Status status = TryLoad(skewed);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SnapshotCorruptionTest, HeaderBitFlipIsCorruption) {
+  // Any of the 56 sealed header bytes flipping must fail the header
+  // checksum (or the magic check for the first eight).
+  for (size_t pos : {size_t{3}, size_t{9}, size_t{13}, size_t{17},
+                     size_t{40}, size_t{55}}) {
+    std::vector<uint8_t> bad = bytes_;
+    bad[pos] ^= 0x10;
+    Status status = TryLoad(bad);
+    ASSERT_FALSE(status.ok()) << "flipped header byte " << pos;
+    EXPECT_EQ(status.code(), StatusCode::kCorruption) << "byte " << pos;
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, EverySectionBitFlipIsCorruption) {
+  for (const SnapshotSectionEntry& entry : SectionTable()) {
+    if (entry.size == 0) continue;
+    std::vector<uint8_t> bad = bytes_;
+    bad[entry.offset + entry.size / 2] ^= 0x01;
+    Status status = TryLoad(bad);
+    ASSERT_FALSE(status.ok()) << "flipped a byte of section " << entry.id;
+    EXPECT_EQ(status.code(), StatusCode::kCorruption)
+        << "section " << entry.id << ": " << status.ToString();
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, SectionTableBitFlipIsTypedError) {
+  // The table itself is not separately checksummed; flipping its bytes
+  // must still land in a typed error (bounds, checksum or lookup
+  // failure downstream), never UB. Cover every entry's id, offset,
+  // size and checksum fields.
+  std::vector<SnapshotSectionEntry> table = SectionTable();
+  for (size_t entry_index = 0; entry_index < table.size(); ++entry_index) {
+    for (size_t field_offset : {size_t{0}, size_t{8}, size_t{16},
+                                size_t{24}}) {
+      std::vector<uint8_t> bad = bytes_;
+      size_t pos = sizeof(SnapshotHeader) +
+                   entry_index * sizeof(SnapshotSectionEntry) + field_offset;
+      bad[pos] ^= 0x40;
+      Status status = TryLoad(bad);
+      EXPECT_FALSE(status.ok())
+          << "entry " << entry_index << " field at +" << field_offset;
+    }
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, TruncationAtEveryBoundaryIsCorruption) {
+  std::vector<size_t> cuts = {0, 1, sizeof(SnapshotHeader) / 2,
+                              sizeof(SnapshotHeader) - 1,
+                              sizeof(SnapshotHeader), bytes_.size() - 1};
+  for (const SnapshotSectionEntry& entry : SectionTable()) {
+    cuts.push_back(entry.offset);
+    cuts.push_back(entry.offset + entry.size / 2);
+  }
+  for (size_t cut : cuts) {
+    ASSERT_LT(cut, bytes_.size());
+    std::vector<uint8_t> truncated(bytes_.begin(), bytes_.begin() + cut);
+    Status status = TryLoad(truncated);
+    ASSERT_FALSE(status.ok()) << "truncated to " << cut << " bytes";
+    EXPECT_EQ(status.code(), StatusCode::kCorruption)
+        << "cut " << cut << ": " << status.ToString();
+  }
+}
+
+TEST_F(SnapshotCorruptionTest, TrailingGarbageIsCorruption) {
+  // Appending bytes breaks the declared-size check even though every
+  // section checksum still passes.
+  std::vector<uint8_t> grown = bytes_;
+  grown.insert(grown.end(), 64, 0xAB);
+  Status status = TryLoad(grown);
+  ASSERT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kCorruption);
+}
+
+TEST_F(SnapshotCorruptionTest, MissingFileIsIoError) {
+  Result<std::shared_ptr<const SnapshotReader>> open =
+      SnapshotReader::Open(::testing::TempDir() + "aujoin_no_such.aujsnap");
+  ASSERT_FALSE(open.ok());
+  EXPECT_EQ(open.status().code(), StatusCode::kIoError);
+}
+
+// --- generational serving ---------------------------------------------
+
+class GenerationalIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    const std::string root = AUJOIN_SOURCE_DIR;
+    DatasetSpec spec;
+    spec.records_path = root + "/data/poi.csv";
+    spec.reader.columns = {"name", "city"};
+    spec.reader.has_header = true;
+    spec.rules_path = root + "/data/poi_rules.tsv";
+    spec.taxonomy_path = root + "/data/poi_taxonomy.tsv";
+    spec.tokenizer.split_punctuation = true;
+    Result<Dataset> loaded = LoadDataset(spec);
+    ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+    dataset_ = std::make_unique<Dataset>(std::move(*loaded));
+  }
+
+  GenerationalIndex::SearchOptions Options() const {
+    GenerationalIndex::SearchOptions options;
+    options.theta = kTheta;
+    options.tau = 1;
+    return options;
+  }
+
+  std::unique_ptr<Dataset> dataset_;
+};
+
+TEST_F(GenerationalIndexTest, StagingProbeEqualsScratchBuildOverTheUnion) {
+  const std::vector<Record>& records = dataset_->records;
+  ASSERT_GE(records.size(), 4u);
+  size_t base = records.size() / 2;
+
+  GenerationalIndex generational(
+      dataset_->knowledge(), MsimOptions{.q = 3},
+      std::vector<Record>(records.begin(), records.begin() + base));
+  for (size_t i = base; i < records.size(); ++i) {
+    EXPECT_EQ(generational.Append(records[i]), static_cast<uint32_t>(i));
+  }
+  EXPECT_EQ(generational.num_frozen(), base);
+  EXPECT_EQ(generational.num_staged(), records.size() - base);
+  EXPECT_EQ(generational.size(), records.size());
+  EXPECT_EQ(generational.generation(), 0u);
+
+  auto scratch = PreparedIndex::Build(dataset_->knowledge(),
+                                      MsimOptions{.q = 3}, records, nullptr);
+  UnifiedSearcher reference(scratch);
+  UnifiedSearcher::SearchOptions options = Options();
+  bool any_matches = false;
+  for (const Record& query : records) {
+    std::vector<UnifiedSearcher::Match> expected =
+        reference.Search(query, options);
+    // BEFORE refreeze: merged staging + frozen probe.
+    EXPECT_EQ(generational.Search(query, Options()), expected)
+        << "staged probe diverged for query " << query.id;
+    any_matches = any_matches || !expected.empty();
+  }
+  ASSERT_TRUE(any_matches) << "fixture produced no matches; test is vacuous";
+
+  // AFTER refreeze: one compacted immutable generation.
+  generational.Refreeze();
+  EXPECT_EQ(generational.generation(), 1u);
+  EXPECT_EQ(generational.num_frozen(), records.size());
+  EXPECT_EQ(generational.num_staged(), 0u);
+  for (const Record& query : records) {
+    EXPECT_EQ(generational.Search(query, Options()),
+              reference.Search(query, options))
+        << "refrozen probe diverged for query " << query.id;
+  }
+  EXPECT_EQ(SweepAll(generational.frozen_index(), records),
+            SweepAll(scratch, records));
+}
+
+TEST_F(GenerationalIndexTest, TopKEqualsTheKPrefixOfSearch) {
+  const std::vector<Record>& records = dataset_->records;
+  size_t base = records.size() / 2;
+  GenerationalIndex generational(
+      dataset_->knowledge(), MsimOptions{.q = 3},
+      std::vector<Record>(records.begin(), records.begin() + base));
+  for (size_t i = base; i < records.size(); ++i) {
+    generational.Append(records[i]);
+  }
+  for (const Record& query : records) {
+    std::vector<GenerationalIndex::Match> all =
+        generational.Search(query, Options());
+    for (size_t k = 0; k <= all.size() + 1; ++k) {
+      std::vector<GenerationalIndex::Match> top =
+          generational.TopK(query, k, kTheta, Options());
+      std::vector<GenerationalIndex::Match> expected(
+          all.begin(), all.begin() + std::min(k, all.size()));
+      EXPECT_EQ(top, expected) << "query " << query.id << " k=" << k;
+    }
+  }
+}
+
+TEST_F(GenerationalIndexTest, EmptyInitialGenerationServes) {
+  GenerationalIndex generational(dataset_->knowledge(), MsimOptions{.q = 3},
+                                 {});
+  EXPECT_EQ(generational.size(), 0u);
+  EXPECT_TRUE(
+      generational.Search(dataset_->records[0], Options()).empty());
+  for (const Record& r : dataset_->records) generational.Append(r);
+  generational.Refreeze();
+  auto scratch = PreparedIndex::Build(dataset_->knowledge(),
+                                      MsimOptions{.q = 3}, dataset_->records,
+                                      nullptr);
+  EXPECT_EQ(SweepAll(generational.frozen_index(), dataset_->records),
+            SweepAll(scratch, dataset_->records));
+}
+
+TEST_F(GenerationalIndexTest, ConcurrentQueriesDuringRefreezeAreClean) {
+  const std::vector<Record>& records = dataset_->records;
+  size_t base = records.size() / 2;
+  GenerationalIndex generational(
+      dataset_->knowledge(), MsimOptions{.q = 3},
+      std::vector<Record>(records.begin(), records.begin() + base));
+
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> served{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      size_t q = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        generational.Search(records[q % records.size()], Options());
+        generational.TopK(records[q % records.size()], 3, kTheta, Options());
+        served.fetch_add(1, std::memory_order_relaxed);
+        ++q;
+      }
+    });
+  }
+  // The writer interleaves appends with refreezes, so readers race both
+  // the staging rebuild and the generation swap.
+  for (size_t i = base; i < records.size(); ++i) {
+    generational.Append(records[i]);
+    generational.Refreeze();
+  }
+  while (served.load(std::memory_order_relaxed) < 32) {
+    std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : readers) t.join();
+
+  EXPECT_EQ(generational.num_frozen(), records.size());
+  EXPECT_EQ(generational.num_staged(), 0u);
+  auto scratch = PreparedIndex::Build(dataset_->knowledge(),
+                                      MsimOptions{.q = 3}, records, nullptr);
+  EXPECT_EQ(SweepAll(generational.frozen_index(), records),
+            SweepAll(scratch, records));
+}
+
+// --- lazy serving-index stats: no torn reads --------------------------
+
+TEST(PreparedIndexStatsTest, ConcurrentStatsPollDuringLazyBuildIsClean) {
+  // Regression for the torn index_seconds read: pollers hammer
+  // index_seconds() while other threads race the one-shot lazy CSR
+  // build. The store now happens-before the release flag (and the
+  // field is atomic), so TSan must stay quiet and every observed value
+  // is either exactly 0.0 (not built yet) or the final build cost.
+  Figure1World world;
+  std::vector<Record> records;
+  for (uint32_t i = 0; i < 24; ++i) {
+    records.push_back(world.MakeRec(
+        i, i % 2 == 0 ? "coffee shop latte helsingki " + std::to_string(i)
+                      : "espresso cafe helsinki " + std::to_string(i)));
+  }
+  auto index = PreparedIndex::Build(world.knowledge(), MsimOptions{.q = 3},
+                                    records, nullptr);
+
+  std::atomic<bool> start{false};
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 3; ++t) {
+    threads.emplace_back([&] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      index->ServingIndex();
+    });
+    threads.emplace_back([&] {
+      while (!start.load(std::memory_order_acquire)) std::this_thread::yield();
+      while (!stop.load(std::memory_order_relaxed)) {
+        double seconds = index->index_seconds();
+        EXPECT_GE(seconds, 0.0);
+      }
+    });
+  }
+  start.store(true, std::memory_order_release);
+  index->ServingIndex();
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& t : threads) t.join();
+  EXPECT_GE(index->index_seconds(), 0.0);
+}
+
+}  // namespace
+}  // namespace aujoin

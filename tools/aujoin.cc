@@ -9,7 +9,9 @@
 //                --theta=0.7 --tau=2 [--algorithm=unified] [--out=-]
 //                [--stats_out=BENCH_cli.json] [--require_nonzero]
 //   aujoin query --input=... [--queries=FILE] [--topk=10] [--theta=0.7]
-//                [--threads=0] [--stats_out=BENCH_query.json]
+//                [--threads=0] [--snapshot=FILE]
+//                [--stats_out=BENCH_query.json]
+//   aujoin snapshot --input=... --snapshot=index.aujsnap
 //   aujoin tune  --input=... [--theta=0.8] [--sample=0.05]
 //   aujoin stats --input=... [--rules=...] [--taxonomy=...]
 //
@@ -19,7 +21,10 @@
 // docs/bench-schema.md). `query` serves online similarity search over
 // the ingested collection from a shared immutable PreparedIndex —
 // queries come from a file or stdin, one per line, fanned across the
-// engine's thread pool. `tune` runs Algorithm 7 and reports the
+// engine's thread pool. `snapshot` persists the prepared index as a
+// versioned on-disk snapshot (docs/snapshot-format.md) that later
+// query/join invocations mount with --snapshot=FILE, skipping
+// preparation entirely. `tune` runs Algorithm 7 and reports the
 // suggested overlap constraint tau as JSON. `stats` ingests and prints
 // the dataset manifest. Full flag reference: docs/cli.md.
 
@@ -46,10 +51,11 @@ namespace {
 constexpr const char* kUsage = R"(usage: aujoin <command> [--flags]
 
 commands:
-  join    ingest a dataset and run a similarity self- or R x S join
-  query   ingest a dataset, index it once, answer similarity queries
-  tune    run Algorithm 7 to suggest the overlap constraint tau
-  stats   ingest a dataset and print its manifest as JSON
+  join      ingest a dataset and run a similarity self- or R x S join
+  query     ingest a dataset, index it once, answer similarity queries
+  snapshot  ingest a dataset, prepare its index, persist it to disk
+  tune      run Algorithm 7 to suggest the overlap constraint tau
+  stats     ingest a dataset and print its manifest as JSON
 
 ingestion flags (all commands):
   --input=FILE           records file (required)
@@ -73,6 +79,8 @@ engine flags (join, tune):
 
 join flags:
   --algorithm=unified    unified | kjoin | pkduck | adaptjoin | combination
+  --snapshot=FILE        serve from a persisted index snapshot (unified,
+                         monolithic, self-join only; hard error on mismatch)
   --theta=0.8            similarity threshold
   --tau=2                overlap constraint (0 = pick with Algorithm 7)
   --sample=0.05          tuner sampling probability when --tau=0
@@ -85,6 +93,8 @@ join flags:
 
 query flags:
   --queries=FILE         query texts, one per line (- or omitted = stdin)
+  --snapshot=FILE        serve from a persisted index snapshot instead of
+                         rebuilding (hard error when it does not match)
   --theta=0.8            similarity threshold
   --tau=1                overlap constraint on the query signature
   --topk=0               keep only the k best matches per query (0 = all)
@@ -94,6 +104,11 @@ query flags:
   --stats_out=FILE       write serving stats in the BENCH_<name>.json schema
   --name=query           report name for --stats_out
   --require_nonzero      exit 1 when no query finds any match
+
+snapshot flags:
+  --snapshot=FILE        output snapshot path (required)
+  --stats_out=FILE       write build/save stats in the BENCH schema
+  --name=snapshot        report name for --stats_out
 
 tune flags:
   --theta=0.8            similarity threshold to tune for
@@ -239,6 +254,88 @@ bool WriteCliReport(const BenchReport& report, const std::string& path) {
   return true;
 }
 
+/// Mounts --snapshot into the engine when the flag is set. Failure is a
+/// hard error, not a silent rebuild: a CI run that claims snapshot
+/// serving must actually serve from the snapshot.
+bool MaybeLoadSnapshot(const Flags& flags, Engine* engine) {
+  std::string path = flags.GetString("snapshot", "");
+  if (path.empty()) return true;
+  Status status = engine->LoadIndex(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: cannot mount snapshot %s: %s\n",
+                 path.c_str(), status.ToString().c_str());
+    return false;
+  }
+  std::fprintf(stderr, "snapshot: mounted %s in %.3fs\n", path.c_str(),
+               engine->snapshot_load_seconds());
+  return true;
+}
+
+int RunSnapshot(const Flags& flags) {
+  DatasetSpec spec;
+  if (!SpecFromFlags(flags, &spec)) return 1;
+  if (!spec.records2_path.empty()) {
+    std::fprintf(stderr,
+                 "error: snapshot persists a single collection; --input2 is "
+                 "a join-only flag\n");
+    return 1;
+  }
+  std::string path = flags.GetString("snapshot", "");
+  if (path.empty()) {
+    std::fprintf(stderr, "error: --snapshot=FILE is required\n");
+    return 1;
+  }
+  Result<Dataset> dataset = LoadDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "ingested: %s\n", dataset->manifest.ToJson().c_str());
+
+  Engine engine = EngineFromFlags(flags, *dataset);
+  engine.SetRecords(dataset->records);
+  Result<std::shared_ptr<const PreparedIndex>> index = engine.ServingIndex();
+  if (!index.ok()) {
+    std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
+    return 1;
+  }
+  WallTimer save_timer;
+  Status status = engine.SaveIndex(path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  double save_seconds = save_timer.Seconds();
+  uint64_t snapshot_bytes = 0;
+  {
+    std::ifstream probe(path, std::ios::binary | std::ios::ate);
+    if (probe) snapshot_bytes = static_cast<uint64_t>(probe.tellg());
+  }
+  std::fprintf(stderr,
+               "snapshot: %zu records -> %s (%llu bytes) "
+               "prepare=%.3fs write=%.3fs\n",
+               dataset->records.size(), path.c_str(),
+               static_cast<unsigned long long>(snapshot_bytes),
+               (*index)->prepare_seconds(), save_seconds);
+
+  std::string stats_out = flags.GetString("stats_out", "");
+  if (!stats_out.empty()) {
+    BenchRun run;
+    BenchReport report = MakeCliReport(flags, *dataset, "snapshot", &run);
+    run.algorithm = "snapshot";
+    run.variant = path;
+    run.stats.prepare_seconds = (*index)->prepare_seconds();
+    run.total_seconds = run.stats.prepare_seconds + save_seconds;
+    run.wall_seconds = run.total_seconds;
+    run.has_snapshot = true;
+    run.snapshot_write_seconds = save_seconds;
+    run.snapshot_bytes = snapshot_bytes;
+    report.runs.push_back(run);
+    if (!WriteCliReport(report, stats_out)) return 1;
+  }
+  return 0;
+}
+
 int RunStats(const Flags& flags) {
   DatasetSpec spec;
   if (!SpecFromFlags(flags, &spec)) return 1;
@@ -272,6 +369,21 @@ int RunJoin(const Flags& flags) {
   options.theta = flags.GetDouble("theta", 0.8);
   int tau = static_cast<int>(flags.GetInt("tau", 2));
   options.tau = tau > 0 ? tau : 1;
+
+  if (!flags.GetString("snapshot", "").empty()) {
+    // Only the monolithic unified join rides the shared PreparedIndex
+    // the snapshot restores; the partitioned pipeline and the baseline
+    // algorithms prepare their own state and would silently ignore it.
+    if (algorithm != "unified" || flags.GetInt("partition", 0) != 0 ||
+        !dataset->records2.empty()) {
+      std::fprintf(stderr,
+                   "error: --snapshot requires --algorithm=unified, no "
+                   "--partition and no --input2 (the snapshot restores the "
+                   "shared monolithic self-join index)\n");
+      return 1;
+    }
+    if (!MaybeLoadSnapshot(flags, &engine)) return 1;
+  }
 
   // Output plumbing: streamed through a CallbackSink as verification
   // batches complete.
@@ -347,6 +459,8 @@ int RunJoin(const Flags& flags) {
     run.max_partition_records =
         static_cast<size_t>(flags.GetInt("partition", 0));
     run.stats = stats;
+    run.index_source = engine.index_source();
+    run.snapshot_load_ms = engine.snapshot_load_seconds() * 1000.0;
     run.total_seconds = stats.TotalSeconds(/*include_prepare=*/true);
     run.wall_seconds = wall_seconds;
     report.runs.push_back(run);
@@ -412,6 +526,7 @@ int RunQuery(const Flags& flags) {
 
   Engine engine = EngineFromFlags(flags, *dataset);
   engine.SetRecords(dataset->records);
+  if (!MaybeLoadSnapshot(flags, &engine)) return 1;
 
   EngineSearchOptions options;
   options.theta = flags.GetDouble("theta", 0.8);
@@ -472,6 +587,10 @@ int RunQuery(const Flags& flags) {
     run.stats.queries = stats.queries;
     run.stats.query_candidates = stats.query_candidates;
     run.stats.results = stats.results;
+    // Cold-start provenance: lets bench scripts tell a snapshot-served
+    // run from a rebuilt one without parsing stderr.
+    run.index_source = engine.index_source();
+    run.snapshot_load_ms = engine.snapshot_load_seconds() * 1000.0;
     // search_seconds already covers any serving-index build it forced.
     run.total_seconds = run.stats.prepare_seconds + stats.search_seconds;
     run.wall_seconds = wall_seconds;
@@ -565,6 +684,7 @@ int Run(int argc, char** argv) {
   const std::string& command = flags.positional()[0];
   if (command == "join") return RunJoin(flags);
   if (command == "query") return RunQuery(flags);
+  if (command == "snapshot") return RunSnapshot(flags);
   if (command == "tune") return RunTune(flags);
   if (command == "stats") return RunStats(flags);
   std::fprintf(stderr, "error: unknown command '%s'\n\n%s", command.c_str(),

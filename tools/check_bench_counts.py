@@ -21,10 +21,17 @@ slice-local global orders, so partitioned candidate counts
 legitimately differ from monolithic ones (results may not). Across
 thread counts, candidates must agree exactly.
 
-Expectations file schema:
+Index provenance (`index_source`) is guarded the same way when the
+expectations file carries an "index_source" section: a run expected to
+serve from a mounted snapshot ("snapshot") must not silently fall back
+to rebuilding ("rebuilt") — the smoke job uses this to pin the CLI's
+--snapshot path actually serving from the .aujsnap file.
+
+Expectations file schema (sections optional):
 
   {"results": {"<alg> theta=<t> tau=<u>": N, ...},
-   "candidates": {"<alg> theta=<t> tau=<u> partition=<p>": N, ...}}
+   "candidates": {"<alg> theta=<t> tau=<u> partition=<p>": N, ...},
+   "index_source": {"<alg> theta=<t> tau=<u>": "snapshot"|"rebuilt", ...}}
 
 Usage:
   python3 tools/check_bench_counts.py BENCH_smoke.json \
@@ -49,10 +56,11 @@ def candidate_key(run):
 
 
 def collect_counts(report):
-    """(results, candidates) cell maps; fails on failed or inconsistent
-    runs."""
+    """(results, candidates, index_sources) cell maps; fails on failed
+    or inconsistent runs."""
     results = {}
     candidates = {}
+    sources = {}
     errors = []
     for run in report.get("runs", []):
         key = result_key(run)
@@ -72,7 +80,14 @@ def collect_counts(report):
                 f"INCONSISTENT candidates {ckey}: {candidates[ckey]} vs "
                 f"{ccount} across threads (parity violation)")
         candidates[ckey] = ccount
-    return results, candidates, errors
+        source = run.get("index_source", "")
+        if source:
+            if key in sources and sources[key] != source:
+                errors.append(
+                    f"INCONSISTENT index_source {key}: {sources[key]} vs "
+                    f"{source}")
+            sources[key] = source
+    return results, candidates, sources, errors
 
 
 def compare(section, counts, expected, report_path, expected_path, errors):
@@ -101,17 +116,20 @@ def main():
     with open(report_path, encoding="utf-8") as handle:
         report = json.load(handle)
 
-    results, candidates, errors = collect_counts(report)
+    results, candidates, sources, errors = collect_counts(report)
     for message in errors:
         print(message)
 
     if update:
+        expected = {"results": results, "candidates": candidates}
+        if sources:
+            expected["index_source"] = sources
         with open(expected_path, "w", encoding="utf-8") as handle:
-            json.dump({"results": results, "candidates": candidates},
-                      handle, indent=2, sort_keys=True)
+            json.dump(expected, handle, indent=2, sort_keys=True)
             handle.write("\n")
         print(f"wrote {expected_path} ({len(results)} result cells, "
-              f"{len(candidates)} candidate cells)")
+              f"{len(candidates)} candidate cells, "
+              f"{len(sources)} index-source cells)")
         return 1 if errors else 0
 
     with open(expected_path, encoding="utf-8") as handle:
@@ -121,11 +139,20 @@ def main():
             expected_path, errors)
     compare("candidates", candidates, expected.get("candidates", {}),
             report_path, expected_path, errors)
+    # index_source cells are opt-in: only guard keys the expectations
+    # name (a rebuilt-serving report legitimately has none).
+    for key, want in sorted(expected.get("index_source", {}).items()):
+        got = sources.get(key, "")
+        if got != want:
+            print(f"DRIFT index_source {key}: expected {want!r}, got "
+                  f"{got!r} (snapshot serving silently fell back?)")
+            errors.append(key)
 
     print(f"checked {len(expected.get('results', {}))} result + "
-          f"{len(expected.get('candidates', {}))} candidate cells against "
-          f"{len(results)} + {len(candidates)} report cells: "
-          f"{len(errors)} problem(s)")
+          f"{len(expected.get('candidates', {}))} candidate + "
+          f"{len(expected.get('index_source', {}))} index-source cells "
+          f"against {len(results)} + {len(candidates)} + {len(sources)} "
+          f"report cells: {len(errors)} problem(s)")
     return 1 if errors else 0
 
 

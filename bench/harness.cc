@@ -117,6 +117,14 @@ std::string BenchReport::ToJson() const {
       AppendJsonDouble(run.probe_records_per_sec, &out);
       out += ", \"probe_postings_per_sec\": ";
       AppendJsonDouble(run.probe_postings_per_sec, &out);
+      if (!run.kernel.empty()) {
+        out += ", \"kernel\": ";
+        AppendJsonString(run.kernel, &out);
+      }
+      if (run.probe_speedup > 0.0) {
+        out += ", \"probe_speedup\": ";
+        AppendJsonDouble(run.probe_speedup, &out);
+      }
     }
     if (!run.index_source.empty()) {
       out += ",\n     \"index_source\": ";

@@ -8,7 +8,10 @@
 /// single hash step followed by a sequential scan of a contiguous
 /// posting run. CandidateAccumulator is the matching count-based merge
 /// scratch: probes accumulate per-record occurrence counts into a
-/// reusable epoch-stamped array instead of deduping through a hash set.
+/// reusable epoch-stamped array instead of deduping through a hash set,
+/// and its batch operations run on the dispatched kernels of
+/// src/kernels/ (scalar fallback, AVX2/NEON where the host supports
+/// them).
 ///
 /// Storage model: the index reads through raw-pointer views that
 /// either point at its own vectors (Freeze) or at externally owned
@@ -26,6 +29,8 @@
 #include <vector>
 
 #include "index/inverted_index.h"
+#include "kernels/kernels.h"
+#include "util/aligned_buffer.h"
 #include "util/status.h"
 
 namespace aujoin {
@@ -157,51 +162,119 @@ class CsrIndex {
   size_t record_universe_ = 0;
 };
 
-/// Reusable count-merge scratch for one probing thread. Counts live in
-/// flat arrays indexed by record id; an epoch stamp per entry makes
-/// starting a new probe O(1) — stale counts from earlier probes are
-/// ignored rather than cleared. Not thread-safe: use one accumulator
-/// per worker (or thread_local) and never share concurrently.
+/// Reusable count-merge scratch for one probing thread. Each record id
+/// owns one packed 64-bit stamp — probe epoch in the high half, count
+/// in the low half — in a 64-byte-aligned flat array, so starting a
+/// new probe is O(1) (stale stamps are ignored, never cleared) and one
+/// load/store pair covers what used to be separate epoch and count
+/// arrays. The batch operations (BumpRun and the selects) execute on
+/// the process's dispatched kernel (kernels/kernels.h): scalar
+/// fallback always, AVX2/NEON when the host supports them, with the
+/// AUJOIN_FORCE_SCALAR override for testing. Not thread-safe: use one
+/// accumulator per worker (or thread_local) and never share
+/// concurrently.
 class CandidateAccumulator {
  public:
+  /// A borrowed window into the accumulator's internal buffers —
+  /// valid until the next Begin/SelectGE/SelectMergedGE call.
+  struct IdSpan {
+    const uint32_t* ids = nullptr;
+    size_t count = 0;
+
+    const uint32_t* begin() const { return ids; }
+    const uint32_t* end() const { return ids + count; }
+    size_t size() const { return count; }
+    bool empty() const { return count == 0; }
+  };
+
   /// Starts a new probe over record ids in [0, universe): grows the
   /// arrays if needed and invalidates every previous count in O(1).
   void Begin(size_t universe) {
-    if (counts_.size() < universe) {
-      counts_.resize(universe, 0);
-      epochs_.resize(universe, 0);
+    if (stamps_.size() < universe) {
+      stamps_.Resize(universe);
+      // Output buffers carry kKernelLaneSlack headroom: the vector
+      // kernels append compacted blocks with full-width stores.
+      touched_.Resize(universe + kKernelLaneSlack);
+      selected_.Resize(universe + kKernelLaneSlack);
     }
     if (epoch_ == 0xFFFFFFFFu) {  // epoch wrap: one real clear per 2^32
-      std::fill(epochs_.begin(), epochs_.end(), 0u);
+      stamps_.ZeroFill();
       epoch_ = 0;
     }
     ++epoch_;
-    touched_.clear();
+    touched_tail_ = touched_.data();
+  }
+
+  /// Counts a whole posting run through the dispatched kernel. The
+  /// run's ids must be < the Begin universe (CSR runs also arrive
+  /// sorted and distinct, though the kernels require neither).
+  void BumpRun(const uint32_t* ids, size_t n) {
+    touched_tail_ =
+        ActiveKernel().count_merge_run(stamps_.data(), epoch_, ids, n,
+                                       touched_tail_);
   }
 
   /// Counts one posting occurrence; returns the id's updated count.
+  /// The single-id path for callers with per-id control flow (the
+  /// subset-sampling probe); batch callers use BumpRun.
   uint32_t Bump(uint32_t id) {
-    if (epochs_[id] != epoch_) {
-      epochs_[id] = epoch_;
-      counts_[id] = 1;
-      touched_.push_back(id);
+    const uint64_t st = stamps_[id];
+    if (static_cast<uint32_t>(st >> 32) != epoch_) {
+      stamps_[id] = (static_cast<uint64_t>(epoch_) << 32) | 1u;
+      *touched_tail_++ = id;
       return 1;
     }
-    return ++counts_[id];
+    stamps_[id] = st + 1;
+    return static_cast<uint32_t>(st) + 1;
   }
 
   /// The id's count in the current probe (0 if never bumped).
   uint32_t count(uint32_t id) const {
-    return epochs_[id] == epoch_ ? counts_[id] : 0;
+    const uint64_t st = stamps_[id];
+    return static_cast<uint32_t>(st >> 32) == epoch_
+               ? static_cast<uint32_t>(st)
+               : 0;
   }
 
   /// Ids bumped since Begin, in first-touch order.
-  const std::vector<uint32_t>& touched() const { return touched_; }
+  IdSpan touched() const {
+    return IdSpan{touched_.data(),
+                  static_cast<size_t>(touched_tail_ - touched_.data())};
+  }
+
+  /// Touched ids whose count reached `threshold` (first-touch order) —
+  /// the serving path's uniform required overlap, via the dispatched
+  /// kernel.
+  IdSpan SelectGE(uint32_t threshold) {
+    const IdSpan bumped = touched();
+    uint32_t* end = ActiveKernel().select_ge(stamps_.data(), threshold,
+                                             bumped.ids, bumped.count,
+                                             selected_.data());
+    return IdSpan{selected_.data(),
+                  static_cast<size_t>(end - selected_.data())};
+  }
+
+  /// Touched ids whose count reached min(probe_tau, taus[id]) — the
+  /// join path's MergeRequiredOverlap rule with the indexed side's
+  /// effective taus in a flat array, via the dispatched kernel.
+  IdSpan SelectMergedGE(const uint32_t* taus, uint32_t probe_tau) {
+    const IdSpan bumped = touched();
+    uint32_t* end = ActiveKernel().select_ge_merged(
+        stamps_.data(), taus, probe_tau, bumped.ids, bumped.count,
+        selected_.data());
+    return IdSpan{selected_.data(),
+                  static_cast<size_t>(end - selected_.data())};
+  }
+
+  /// Jumps the probe epoch (wrap stress tests only): the next Begin
+  /// increments — or, from 0xFFFFFFFF, clears and restarts — from here.
+  void SetEpochForTesting(uint32_t epoch) { epoch_ = epoch; }
 
  private:
-  std::vector<uint32_t> counts_;
-  std::vector<uint32_t> epochs_;
-  std::vector<uint32_t> touched_;
+  AlignedBuffer<uint64_t> stamps_;    // id -> (epoch << 32) | count
+  AlignedBuffer<uint32_t> touched_;   // first-touch ids + lane slack
+  AlignedBuffer<uint32_t> selected_;  // select output + lane slack
+  uint32_t* touched_tail_ = nullptr;
   uint32_t epoch_ = 0;
 };
 

@@ -85,16 +85,28 @@ JoinContext::FilterOutput JoinContext::RunFilter(
   // Candidate generation: index T's signatures by *position* in t_ids
   // (dense 0..|T|-1, so counts live in flat arrays and the position
   // doubles as the handle to the indexed signature's effective tau),
-  // freeze the staging map into CSR form, probe S. Each probe
-  // accumulates per-position occurrence counts into a reusable
-  // epoch-stamped scratch array — a sequential scan of contiguous
-  // posting runs instead of per-key hash lookups and hash-map dedup.
+  // freeze the staging map into CSR form, probe S. Each probe merges
+  // whole posting runs into a reusable epoch-stamped scratch and
+  // selects survivors by required overlap, both through the
+  // runtime-dispatched batch kernels (src/kernels/) — sequential
+  // vectorized scans of contiguous runs instead of per-key hash
+  // lookups and hash-map dedup.
   timer.Restart();
   InvertedIndex staging;
   for (size_t j = 0; j < t_ids.size(); ++j) {
     staging.Add(static_cast<uint32_t>(j), t_side[j].keys);
   }
   const CsrIndex index = CsrIndex::Freeze(staging);
+  // The indexed side's effective taus by position, for the kernel's
+  // min(probe, indexed) required-overlap select.
+  std::vector<uint32_t> t_eff(t_ids.size());
+  for (size_t j = 0; j < t_ids.size(); ++j) {
+    t_eff[j] = static_cast<uint32_t>(t_side[j].effective_tau);
+  }
+  // When T is the whole collection in id order, position j IS record
+  // id j, and posting runs are ascending — a self-join's "skip pairs
+  // with t <= s" becomes a prefix cut instead of a per-posting branch.
+  const bool t_dense = t_subset == nullptr && !(self && s_subset != nullptr);
   // Probe phase: chunks of S records, per-worker outputs merged after.
   const int probe_workers = ResolveThreads(num_threads);
   std::vector<std::vector<std::pair<uint32_t, uint32_t>>> worker_candidates(
@@ -110,17 +122,33 @@ JoinContext::FilterOutput JoinContext::RunFilter(
           overlap.Begin(t_ids.size());
           uint32_t s_id = s_ids[i];
           for (uint64_t key : s_sigs[i].keys) {
-            for (uint32_t j : index.Find(key)) {
-              if (self && t_map[j] <= s_id) continue;  // dedupe self pairs
-              ++worker_processed[worker];
-              overlap.Bump(j);
+            CsrIndex::Postings run = index.Find(key);
+            if (run.empty()) continue;
+            if (!self) {
+              worker_processed[worker] += run.size;
+              overlap.BumpRun(run.data, run.size);
+            } else if (t_dense) {
+              // Dedupe self pairs: drop the ascending run's prefix of
+              // positions (== record ids) <= s_id in one cut.
+              const uint32_t* cut =
+                  std::upper_bound(run.begin(), run.end(), s_id);
+              const size_t kept = static_cast<size_t>(run.end() - cut);
+              worker_processed[worker] += kept;
+              overlap.BumpRun(cut, kept);
+            } else {
+              // Subset self-join: positions map through t_map, so the
+              // pair dedup stays a per-posting predicate.
+              for (uint32_t j : run) {
+                if (t_map[j] <= s_id) continue;
+                ++worker_processed[worker];
+                overlap.Bump(j);
+              }
             }
           }
-          for (uint32_t j : overlap.touched()) {
-            int required = MergeRequiredOverlap(s_sigs[i], t_side[j]);
-            if (overlap.count(j) >= static_cast<uint32_t>(required)) {
-              worker_candidates[worker].emplace_back(s_id, t_map[j]);
-            }
+          const uint32_t probe_tau =
+              static_cast<uint32_t>(s_sigs[i].effective_tau);
+          for (uint32_t j : overlap.SelectMergedGE(t_eff.data(), probe_tau)) {
+            worker_candidates[worker].emplace_back(s_id, t_map[j]);
           }
         }
       });

@@ -44,15 +44,14 @@ std::vector<uint32_t> UnifiedSearcher::Candidates(
   thread_local CandidateAccumulator overlap;
   overlap.Begin(index_->t_prepared().size());
   for (uint64_t key : sig.keys) {
-    for (uint32_t id : serving.Find(key)) overlap.Bump(id);
+    CsrIndex::Postings run = serving.Find(key);
+    overlap.BumpRun(run.data, run.size);
   }
-  std::vector<uint32_t> out;
-  out.reserve(overlap.touched().size());
-  for (uint32_t id : overlap.touched()) {
-    if (overlap.count(id) >= static_cast<uint32_t>(sig.effective_tau)) {
-      out.push_back(id);
-    }
-  }
+  // Query signatures carry one uniform effective tau, so the survivor
+  // scan is the kernel's flat count >= threshold select.
+  CandidateAccumulator::IdSpan kept =
+      overlap.SelectGE(static_cast<uint32_t>(sig.effective_tau));
+  std::vector<uint32_t> out(kept.begin(), kept.end());
   std::sort(out.begin(), out.end());
   return out;
 }

@@ -1,0 +1,110 @@
+#include "kernels/kernels.h"
+
+#include <atomic>
+#include <cstdlib>
+#include <cstring>
+
+#include "kernels/kernels_internal.h"
+
+namespace aujoin {
+namespace {
+
+// ------------------------------------------------------------- scalar
+// The semantics-defining implementations: every vector variant must
+// produce byte-identical outputs (ids, order, counts) to these.
+
+uint32_t* ScalarCountMergeRun(uint64_t* stamps, uint32_t epoch,
+                              const uint32_t* ids, size_t n,
+                              uint32_t* touched_tail) {
+  const uint64_t fresh = (static_cast<uint64_t>(epoch) << 32) | 1u;
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t id = ids[i];
+    const uint64_t st = stamps[id];
+    if (static_cast<uint32_t>(st >> 32) != epoch) {
+      stamps[id] = fresh;
+      *touched_tail++ = id;
+    } else {
+      stamps[id] = st + 1;
+    }
+  }
+  return touched_tail;
+}
+
+uint32_t* ScalarSelectGe(const uint64_t* stamps, uint32_t threshold,
+                         const uint32_t* touched, size_t n, uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t id = touched[i];
+    if (static_cast<uint32_t>(stamps[id]) >= threshold) *out++ = id;
+  }
+  return out;
+}
+
+uint32_t* ScalarSelectGeMerged(const uint64_t* stamps, const uint32_t* taus,
+                               uint32_t probe_tau, const uint32_t* touched,
+                               size_t n, uint32_t* out) {
+  for (size_t i = 0; i < n; ++i) {
+    const uint32_t id = touched[i];
+    const uint32_t required = taus[id] < probe_tau ? taus[id] : probe_tau;
+    if (static_cast<uint32_t>(stamps[id]) >= required) *out++ = id;
+  }
+  return out;
+}
+
+// ----------------------------------------------------------- dispatch
+
+std::atomic<const KernelOps*> g_forced_kernel{nullptr};
+
+const KernelOps* BestSupportedKernel() {
+  // Later entries in AvailableKernels() are wider ISAs; prefer them.
+  const KernelOps* best = &ScalarKernel();
+  if (const KernelOps* neon = internal::NeonKernelOrNull()) best = neon;
+  if (const KernelOps* avx2 = internal::Avx2KernelOrNull()) best = avx2;
+  return best;
+}
+
+}  // namespace
+
+const KernelOps& ScalarKernel() {
+  static constexpr KernelOps kScalarOps = {
+      "scalar", KernelKind::kScalar, &ScalarCountMergeRun, &ScalarSelectGe,
+      &ScalarSelectGeMerged};
+  return kScalarOps;
+}
+
+bool ForceScalarEnvRequested() {
+  const char* env = std::getenv("AUJOIN_FORCE_SCALAR");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+const KernelOps& ActiveKernel() {
+  const KernelOps* forced = g_forced_kernel.load(std::memory_order_acquire);
+  if (forced != nullptr) return *forced;
+  // Environment and CPUID cannot change mid-process; resolve once.
+  static const KernelOps* const selected =
+      ForceScalarEnvRequested() ? &ScalarKernel() : BestSupportedKernel();
+  return *selected;
+}
+
+std::vector<const KernelOps*> AvailableKernels() {
+  std::vector<const KernelOps*> kernels = {&ScalarKernel()};
+  if (const KernelOps* neon = internal::NeonKernelOrNull()) {
+    kernels.push_back(neon);
+  }
+  if (const KernelOps* avx2 = internal::Avx2KernelOrNull()) {
+    kernels.push_back(avx2);
+  }
+  return kernels;
+}
+
+const KernelOps* FindKernelByName(const char* name) {
+  for (const KernelOps* kernel : AvailableKernels()) {
+    if (std::strcmp(kernel->name, name) == 0) return kernel;
+  }
+  return nullptr;
+}
+
+void ForceKernelForTesting(const KernelOps* kernel) {
+  g_forced_kernel.store(kernel, std::memory_order_release);
+}
+
+}  // namespace aujoin

@@ -1,0 +1,198 @@
+/// \file
+/// AVX2 variants of the count-merge probe kernels. Design notes:
+///
+/// - The stamp array is touched at random record ids, so the update
+///   itself cannot use contiguous vector stores; what vectorizes is
+///   everything around it — the contiguous posting-run loads, the
+///   compaction of surviving ids (one permutevar8x32 shuffle + one
+///   store per 8 lanes instead of a data-dependent branch per id),
+///   and cache-line prefetch one block ahead of the stamp updates.
+///   The per-lane stamp read-modify-write compiles to branchless
+///   conditional moves: no gather/scatter instructions, which are
+///   microcoded and slower than scalar loads on the cores CI runs on
+///   (the "gather-free" half of the design).
+/// - Lanes are processed in ascending order inside a block, so a run
+///   that repeats an id (the scalar contract allows it) still counts
+///   correctly — there is no lane-conflict hazard to handle.
+/// - Tails shorter than a block fall back to the scalar loop; vector
+///   loads never read past the caller's arrays (posting runs may end
+///   at an mmap boundary). Only the *output* buffers need headroom
+///   (kKernelLaneSlack) because compaction stores a full 8-lane block
+///   at the tail and advances by popcount.
+///
+/// Everything here is compiled only on x86 and guarded twice: the
+/// target attribute gates the instruction selection per function, and
+/// Avx2KernelOrNull() checks CPUID before handing the kernel out.
+
+#include "kernels/kernels_internal.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+#include <array>
+
+namespace aujoin {
+namespace {
+
+/// perm[m] compacts the set bits of mask m to the front lanes of a
+/// 256-bit vector of 8 x u32 via _mm256_permutevar8x32_epi32.
+struct CompressLut {
+  alignas(64) uint32_t perm[256][8];
+};
+
+constexpr CompressLut MakeCompressLut() {
+  CompressLut lut{};
+  for (int mask = 0; mask < 256; ++mask) {
+    int kept = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      if ((mask >> lane) & 1) lut.perm[mask][kept++] = lane;
+    }
+    for (; kept < 8; ++kept) lut.perm[mask][kept] = 0;
+  }
+  return lut;
+}
+
+constexpr CompressLut kCompress = MakeCompressLut();
+
+/// Compacts the masked lanes of `ids` to the front and stores the
+/// block at `tail` (full-width store; callers guarantee headroom).
+__attribute__((target("avx2,popcnt"))) inline uint32_t* CompressAppend(
+    __m256i ids, unsigned mask, uint32_t* tail) {
+  const __m256i perm = _mm256_load_si256(
+      reinterpret_cast<const __m256i*>(kCompress.perm[mask]));
+  _mm256_storeu_si256(reinterpret_cast<__m256i*>(tail),
+                      _mm256_permutevar8x32_epi32(ids, perm));
+  return tail + __builtin_popcount(mask);
+}
+
+__attribute__((target("avx2,popcnt"))) uint32_t* Avx2CountMergeRun(
+    uint64_t* stamps, uint32_t epoch, const uint32_t* ids, size_t n,
+    uint32_t* touched_tail) {
+  const uint64_t fresh = (static_cast<uint64_t>(epoch) << 32) | 1u;
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    if (i + 16 <= n) {
+      // Pull the next block's stamp lines while this block's updates
+      // retire — the random-id loads are the loop's latency.
+      for (int lane = 0; lane < 8; ++lane) {
+        _mm_prefetch(reinterpret_cast<const char*>(&stamps[ids[i + 8 + lane]]),
+                     _MM_HINT_T0);
+      }
+    }
+    unsigned mask = 0;
+    for (int lane = 0; lane < 8; ++lane) {
+      const uint32_t id = ids[i + lane];
+      const uint64_t st = stamps[id];
+      const unsigned is_new = static_cast<uint32_t>(st >> 32) != epoch;
+      stamps[id] = is_new ? fresh : st + 1;  // cmov, no branch
+      mask |= is_new << lane;
+    }
+    const __m256i idv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(ids + i));
+    touched_tail = CompressAppend(idv, mask, touched_tail);
+  }
+  for (; i < n; ++i) {
+    const uint32_t id = ids[i];
+    const uint64_t st = stamps[id];
+    if (static_cast<uint32_t>(st >> 32) != epoch) {
+      stamps[id] = fresh;
+      *touched_tail++ = id;
+    } else {
+      stamps[id] = st + 1;
+    }
+  }
+  return touched_tail;
+}
+
+__attribute__((target("avx2,popcnt"))) uint32_t* Avx2SelectGe(
+    const uint64_t* stamps, uint32_t threshold, const uint32_t* touched,
+    size_t n, uint32_t* out) {
+  // count >= threshold  <=>  count > threshold - 1; counts are far
+  // below 2^31 (bounded by a signature's key count), so the signed
+  // compare is exact.
+  const __m256i limit =
+      _mm256_set1_epi32(static_cast<int32_t>(threshold) - 1);
+  size_t i = 0;
+  alignas(32) uint32_t counts[8];
+  for (; i + 8 <= n; i += 8) {
+    for (int lane = 0; lane < 8; ++lane) {
+      counts[lane] = static_cast<uint32_t>(stamps[touched[i + lane]]);
+    }
+    const __m256i cv =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(counts));
+    const unsigned mask = static_cast<unsigned>(_mm256_movemask_ps(
+        _mm256_castsi256_ps(_mm256_cmpgt_epi32(cv, limit))));
+    const __m256i idv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(touched + i));
+    out = CompressAppend(idv, mask, out);
+  }
+  for (; i < n; ++i) {
+    const uint32_t id = touched[i];
+    if (static_cast<uint32_t>(stamps[id]) >= threshold) *out++ = id;
+  }
+  return out;
+}
+
+__attribute__((target("avx2,popcnt"))) uint32_t* Avx2SelectGeMerged(
+    const uint64_t* stamps, const uint32_t* taus, uint32_t probe_tau,
+    const uint32_t* touched, size_t n, uint32_t* out) {
+  const __m256i probe = _mm256_set1_epi32(static_cast<int32_t>(probe_tau));
+  const __m256i ones = _mm256_set1_epi32(1);
+  size_t i = 0;
+  alignas(32) uint32_t counts[8];
+  alignas(32) uint32_t indexed_taus[8];
+  for (; i + 8 <= n; i += 8) {
+    for (int lane = 0; lane < 8; ++lane) {
+      const uint32_t id = touched[i + lane];
+      counts[lane] = static_cast<uint32_t>(stamps[id]);
+      indexed_taus[lane] = taus[id];
+    }
+    const __m256i cv =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(counts));
+    const __m256i tv =
+        _mm256_load_si256(reinterpret_cast<const __m256i*>(indexed_taus));
+    // required = min(probe_tau, taus[id]); keep when count > required-1.
+    const __m256i required = _mm256_min_epi32(probe, tv);
+    const unsigned mask = static_cast<unsigned>(
+        _mm256_movemask_ps(_mm256_castsi256_ps(
+            _mm256_cmpgt_epi32(cv, _mm256_sub_epi32(required, ones)))));
+    const __m256i idv =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(touched + i));
+    out = CompressAppend(idv, mask, out);
+  }
+  for (; i < n; ++i) {
+    const uint32_t id = touched[i];
+    const uint32_t required = taus[id] < probe_tau ? taus[id] : probe_tau;
+    if (static_cast<uint32_t>(stamps[id]) >= required) *out++ = id;
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelOps* Avx2KernelOrNull() {
+  static const KernelOps kAvx2Ops = {"avx2", KernelKind::kAvx2,
+                                     &Avx2CountMergeRun, &Avx2SelectGe,
+                                     &Avx2SelectGeMerged};
+  static const bool supported = __builtin_cpu_supports("avx2") != 0 &&
+                                __builtin_cpu_supports("popcnt") != 0;
+  return supported ? &kAvx2Ops : nullptr;
+}
+
+}  // namespace internal
+}  // namespace aujoin
+
+#else  // !x86
+
+namespace aujoin {
+namespace internal {
+
+const KernelOps* Avx2KernelOrNull() { return nullptr; }
+
+}  // namespace internal
+}  // namespace aujoin
+
+#endif

@@ -1,0 +1,26 @@
+/// \file
+/// Cross-translation-unit seams of the kernel layer: each ISA variant
+/// lives in its own .cc (so vector code stays behind its compile-time
+/// guard) and exposes exactly one probe — "your kernel, or nullptr" —
+/// that the dispatcher in kernels.cc interrogates. Nothing outside
+/// src/kernels/ includes this header.
+
+#ifndef AUJOIN_KERNELS_KERNELS_INTERNAL_H_
+#define AUJOIN_KERNELS_KERNELS_INTERNAL_H_
+
+#include "kernels/kernels.h"
+
+namespace aujoin {
+namespace internal {
+
+/// The AVX2 kernel when this build targets x86 and the CPU reports
+/// AVX2 support at runtime; nullptr otherwise.
+const KernelOps* Avx2KernelOrNull();
+
+/// The NEON kernel when this build targets AArch64; nullptr otherwise.
+const KernelOps* NeonKernelOrNull();
+
+}  // namespace internal
+}  // namespace aujoin
+
+#endif  // AUJOIN_KERNELS_KERNELS_INTERNAL_H_

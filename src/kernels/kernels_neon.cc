@@ -1,0 +1,161 @@
+/// \file
+/// NEON (AArch64) variants of the count-merge probe kernels. Same
+/// shape as the AVX2 file at half the width: contiguous 4-lane id
+/// loads, branchless per-lane stamp updates (the random-id accesses
+/// stay scalar — AArch64 has no usable gather either), and
+/// table-lookup compaction of surviving ids, with scalar tails so
+/// vector loads never read past the caller's arrays. NEON is baseline
+/// on AArch64, so there is no runtime feature probe — the compile-time
+/// guard is the whole gate.
+
+#include "kernels/kernels_internal.h"
+
+#if defined(__aarch64__)
+
+#include <arm_neon.h>
+
+namespace aujoin {
+namespace {
+
+/// Byte-shuffle table: entry m rearranges a 4 x u32 vector so the
+/// lanes whose bit is set in m land at the front (vqtbl1q_u8 indexes).
+struct NeonCompressLut {
+  alignas(64) uint8_t perm[16][16];
+};
+
+constexpr NeonCompressLut MakeNeonCompressLut() {
+  NeonCompressLut lut{};
+  for (int mask = 0; mask < 16; ++mask) {
+    int out_byte = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      if (((mask >> lane) & 1) == 0) continue;
+      for (int b = 0; b < 4; ++b) {
+        lut.perm[mask][out_byte++] = static_cast<uint8_t>(4 * lane + b);
+      }
+    }
+    for (; out_byte < 16; ++out_byte) lut.perm[mask][out_byte] = 0;
+  }
+  return lut;
+}
+
+constexpr NeonCompressLut kNeonCompress = MakeNeonCompressLut();
+
+/// Lane predicate vector (0 / 0xFFFFFFFF) -> 4-bit mask.
+inline unsigned MaskOf(uint32x4_t pred) {
+  const uint32x4_t bits = {1u, 2u, 4u, 8u};
+  return vaddvq_u32(vandq_u32(pred, bits));
+}
+
+/// Compacts the masked lanes of `ids` to the front and stores the
+/// block at `tail` (full-width store; callers guarantee headroom).
+inline uint32_t* CompressAppend(uint32x4_t ids, unsigned mask,
+                                uint32_t* tail) {
+  const uint8x16_t perm = vld1q_u8(kNeonCompress.perm[mask]);
+  const uint8x16_t packed = vqtbl1q_u8(vreinterpretq_u8_u32(ids), perm);
+  vst1q_u32(tail, vreinterpretq_u32_u8(packed));
+  return tail + __builtin_popcount(mask);
+}
+
+uint32_t* NeonCountMergeRun(uint64_t* stamps, uint32_t epoch,
+                            const uint32_t* ids, size_t n,
+                            uint32_t* touched_tail) {
+  const uint64_t fresh = (static_cast<uint64_t>(epoch) << 32) | 1u;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    if (i + 8 <= n) {
+      for (int lane = 0; lane < 4; ++lane) {
+        __builtin_prefetch(&stamps[ids[i + 4 + lane]], 1, 3);
+      }
+    }
+    unsigned mask = 0;
+    for (int lane = 0; lane < 4; ++lane) {
+      const uint32_t id = ids[i + lane];
+      const uint64_t st = stamps[id];
+      const unsigned is_new = static_cast<uint32_t>(st >> 32) != epoch;
+      stamps[id] = is_new ? fresh : st + 1;  // csel, no branch
+      mask |= is_new << lane;
+    }
+    touched_tail = CompressAppend(vld1q_u32(ids + i), mask, touched_tail);
+  }
+  for (; i < n; ++i) {
+    const uint32_t id = ids[i];
+    const uint64_t st = stamps[id];
+    if (static_cast<uint32_t>(st >> 32) != epoch) {
+      stamps[id] = fresh;
+      *touched_tail++ = id;
+    } else {
+      stamps[id] = st + 1;
+    }
+  }
+  return touched_tail;
+}
+
+uint32_t* NeonSelectGe(const uint64_t* stamps, uint32_t threshold,
+                       const uint32_t* touched, size_t n, uint32_t* out) {
+  const uint32x4_t limit = vdupq_n_u32(threshold);
+  size_t i = 0;
+  alignas(16) uint32_t counts[4];
+  for (; i + 4 <= n; i += 4) {
+    for (int lane = 0; lane < 4; ++lane) {
+      counts[lane] = static_cast<uint32_t>(stamps[touched[i + lane]]);
+    }
+    const unsigned mask = MaskOf(vcgeq_u32(vld1q_u32(counts), limit));
+    out = CompressAppend(vld1q_u32(touched + i), mask, out);
+  }
+  for (; i < n; ++i) {
+    const uint32_t id = touched[i];
+    if (static_cast<uint32_t>(stamps[id]) >= threshold) *out++ = id;
+  }
+  return out;
+}
+
+uint32_t* NeonSelectGeMerged(const uint64_t* stamps, const uint32_t* taus,
+                             uint32_t probe_tau, const uint32_t* touched,
+                             size_t n, uint32_t* out) {
+  const uint32x4_t probe = vdupq_n_u32(probe_tau);
+  size_t i = 0;
+  alignas(16) uint32_t counts[4];
+  alignas(16) uint32_t indexed_taus[4];
+  for (; i + 4 <= n; i += 4) {
+    for (int lane = 0; lane < 4; ++lane) {
+      const uint32_t id = touched[i + lane];
+      counts[lane] = static_cast<uint32_t>(stamps[id]);
+      indexed_taus[lane] = taus[id];
+    }
+    const uint32x4_t required = vminq_u32(probe, vld1q_u32(indexed_taus));
+    const unsigned mask = MaskOf(vcgeq_u32(vld1q_u32(counts), required));
+    out = CompressAppend(vld1q_u32(touched + i), mask, out);
+  }
+  for (; i < n; ++i) {
+    const uint32_t id = touched[i];
+    const uint32_t required = taus[id] < probe_tau ? taus[id] : probe_tau;
+    if (static_cast<uint32_t>(stamps[id]) >= required) *out++ = id;
+  }
+  return out;
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelOps* NeonKernelOrNull() {
+  static const KernelOps kNeonOps = {"neon", KernelKind::kNeon,
+                                     &NeonCountMergeRun, &NeonSelectGe,
+                                     &NeonSelectGeMerged};
+  return &kNeonOps;
+}
+
+}  // namespace internal
+}  // namespace aujoin
+
+#else  // !AArch64
+
+namespace aujoin {
+namespace internal {
+
+const KernelOps* NeonKernelOrNull() { return nullptr; }
+
+}  // namespace internal
+}  // namespace aujoin
+
+#endif

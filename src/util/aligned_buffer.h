@@ -1,0 +1,100 @@
+/// \file
+/// A 64-byte-aligned flat buffer for hot-path scratch arrays. The
+/// vectorized kernels (src/kernels/) read and write these arrays with
+/// full-width SIMD loads and stores; cache-line alignment keeps a
+/// 64-byte vector access inside one line and lets the compiler emit
+/// aligned instructions where it can prove the base pointer. This is
+/// deliberately not a std::vector replacement: elements must be
+/// trivial, growth zero-fills, and there is no per-element
+/// construction — exactly the contract of a count/stamp scratch array.
+
+#ifndef AUJOIN_UTIL_ALIGNED_BUFFER_H_
+#define AUJOIN_UTIL_ALIGNED_BUFFER_H_
+
+#include <cstddef>
+#include <cstdlib>
+#include <cstring>
+#include <type_traits>
+#include <utility>
+
+namespace aujoin {
+
+/// Cache-line alignment of every AlignedBuffer allocation, matching
+/// the widest vector width the kernel layer dispatches to (AVX-512)
+/// and the x86/ARM cache-line size.
+inline constexpr size_t kCacheLineBytes = 64;
+
+/// Fixed-alignment buffer of trivially copyable elements. Resize
+/// preserves existing contents and zero-fills the newly exposed tail;
+/// shrinking only trims the visible size (capacity never decreases,
+/// the reuse pattern of per-thread probe scratch).
+template <typename T>
+class AlignedBuffer {
+  static_assert(std::is_trivially_copyable_v<T>,
+                "AlignedBuffer elements are moved with memcpy");
+  static_assert(kCacheLineBytes % alignof(T) == 0,
+                "element alignment must divide the cache line");
+
+ public:
+  AlignedBuffer() = default;
+  explicit AlignedBuffer(size_t n) { Resize(n); }
+  ~AlignedBuffer() { std::free(data_); }
+
+  AlignedBuffer(const AlignedBuffer&) = delete;
+  AlignedBuffer& operator=(const AlignedBuffer&) = delete;
+  AlignedBuffer(AlignedBuffer&& other) noexcept
+      : data_(std::exchange(other.data_, nullptr)),
+        size_(std::exchange(other.size_, 0)),
+        capacity_(std::exchange(other.capacity_, 0)) {}
+  AlignedBuffer& operator=(AlignedBuffer&& other) noexcept {
+    if (this != &other) {
+      std::free(data_);
+      data_ = std::exchange(other.data_, nullptr);
+      size_ = std::exchange(other.size_, 0);
+      capacity_ = std::exchange(other.capacity_, 0);
+    }
+    return *this;
+  }
+
+  /// Grows (zero-filling the new tail) or trims the visible size.
+  /// Growth allocates geometrically so amortised Resize is O(1).
+  void Resize(size_t n) {
+    if (n > capacity_) {
+      size_t new_capacity = capacity_ == 0 ? 64 : capacity_;
+      while (new_capacity < n) new_capacity *= 2;
+      // aligned_alloc requires the byte size to be a multiple of the
+      // alignment; the capacity round-up below guarantees it.
+      size_t bytes =
+          ((new_capacity * sizeof(T) + kCacheLineBytes - 1) / kCacheLineBytes) *
+          kCacheLineBytes;
+      T* grown = static_cast<T*>(std::aligned_alloc(kCacheLineBytes, bytes));
+      if (size_ > 0) std::memcpy(grown, data_, size_ * sizeof(T));
+      std::free(data_);
+      data_ = grown;
+      capacity_ = bytes / sizeof(T);
+    }
+    if (n > size_) std::memset(data_ + size_, 0, (n - size_) * sizeof(T));
+    size_ = n;
+  }
+
+  /// Zeroes the visible range (capacity keeps whatever bytes it had).
+  void ZeroFill() {
+    if (size_ > 0) std::memset(data_, 0, size_ * sizeof(T));
+  }
+
+  T* data() { return data_; }
+  const T* data() const { return data_; }
+  size_t size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+  T& operator[](size_t i) { return data_[i]; }
+  const T& operator[](size_t i) const { return data_[i]; }
+
+ private:
+  T* data_ = nullptr;
+  size_t size_ = 0;
+  size_t capacity_ = 0;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_UTIL_ALIGNED_BUFFER_H_

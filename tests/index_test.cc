@@ -80,7 +80,8 @@ TEST(CandidateAccumulatorTest, EpochStampingIsolatesProbes) {
   EXPECT_EQ(acc.Bump(0), 1u);
   EXPECT_EQ(acc.count(2), 2u);
   EXPECT_EQ(acc.count(1), 0u);
-  EXPECT_EQ(acc.touched(), (std::vector<uint32_t>{2, 0}));
+  EXPECT_EQ(std::vector<uint32_t>(acc.touched().begin(), acc.touched().end()),
+            (std::vector<uint32_t>{2, 0}));
   // A new probe invalidates every previous count without clearing.
   acc.Begin(4);
   EXPECT_EQ(acc.count(2), 0u);

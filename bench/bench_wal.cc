@@ -1,0 +1,221 @@
+// Write-ahead-log bench: durable-append throughput and crash-recovery
+// replay cost for the staged-append path (storage/wal_*.h). Two phases:
+//
+//   append    — GenerationalIndex over the corpus minus a --append_pct
+//               tail, with a WAL attached: every AppendDurable logs one
+//               checksummed record and fsyncs before acknowledging
+//               (records/sec is the price of the durability contract)
+//   recover   — replay the log --repeat times: read + checksum-verify
+//               every record, re-tokenise its text, and stage it on a
+//               fresh index over the base (the cold-start after a crash)
+//
+// The recovered index must answer a full query sweep identically to a
+// from-scratch build over the union corpus, and replay must recover
+// EXACTLY the appended records — the bench exits non-zero otherwise,
+// so it doubles as an end-to-end recovery parity check. The report
+// lands in BENCH_<name>.json with the wal_* fields documented in
+// docs/bench-schema.md.
+//
+// Typical invocation:
+//   bench_wal --name=wal --profile=med --strings=300 --theta=0.7 \
+//     --append_pct=20 --repeat=5
+
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness.h"
+#include "index/prepared_index.h"
+#include "join/search.h"
+#include "storage/env.h"
+#include "storage/generational_index.h"
+#include "storage/wal_format.h"
+#include "storage/wal_reader.h"
+#include "storage/wal_writer.h"
+#include "util/timer.h"
+
+namespace aujoin {
+namespace {
+
+std::vector<std::vector<GenerationalIndex::Match>> Sweep(
+    const GenerationalIndex& index, const std::vector<Record>& queries,
+    double theta, int tau) {
+  GenerationalIndex::SearchOptions options;
+  options.theta = theta;
+  options.tau = tau;
+  std::vector<std::vector<GenerationalIndex::Match>> out;
+  out.reserve(queries.size());
+  for (const Record& q : queries) out.push_back(index.Search(q, options));
+  return out;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::string name = flags.GetString("name", "wal");
+  std::string profile = flags.GetString("profile", "med");
+  size_t strings = static_cast<size_t>(flags.GetInt("strings", 300));
+  double theta = flags.GetDouble("theta", 0.7);
+  int tau = static_cast<int>(flags.GetInt("tau", 1));
+  int repeat = static_cast<int>(flags.GetInt("repeat", 5));
+  int append_pct = static_cast<int>(flags.GetInt("append_pct", 20));
+  double min_append_rps = flags.GetDouble("min_append_rps", 0.0);
+  std::string wal_path = flags.GetString("wal_path", "bench_wal.wal");
+  std::string out_path = flags.GetString("out", "BENCH_" + name + ".json");
+
+  PrintBanner("write-ahead-log bench", "staged-append durability",
+              "fsync-per-append throughput and crash-recovery replay");
+  std::printf("corpus: profile=%s strings=%zu theta=%.2f tau=%d "
+              "append_pct=%d repeat=%d\n",
+              profile.c_str(), strings, theta, tau, append_pct, repeat);
+
+  auto world = BuildWorld(profile, strings, /*num_truth_pairs=*/0);
+  const std::vector<Record>& records = world->corpus.records;
+  const Knowledge knowledge = world->knowledge();
+  const MsimOptions msim{.q = 3};
+  Env* env = Env::Default();
+
+  size_t tail = records.size() * static_cast<size_t>(append_pct) / 100;
+  if (tail == 0) tail = 1;
+  size_t base_count = records.size() - tail;
+  std::vector<Record> base(records.begin(), records.begin() + base_count);
+
+  // --- phase 1: durable appends (one fsynced WAL record each) ----------
+  GenerationalIndex live(knowledge, msim, base);
+  Result<std::unique_ptr<WalWriter>> wal =
+      WalWriter::Open(env, wal_path, /*truncate=*/true);
+  if (!wal.ok()) {
+    std::fprintf(stderr, "FAILED to open %s: %s\n", wal_path.c_str(),
+                 wal.status().ToString().c_str());
+    return 2;
+  }
+  live.AttachWal(wal->get());
+  WallTimer timer;
+  for (size_t i = base_count; i < records.size(); ++i) {
+    Result<uint32_t> id = live.AppendDurable(records[i]);
+    if (!id.ok() || *id != i) {
+      std::fprintf(stderr, "FAILED durable append %zu: %s\n", i,
+                   id.ok() ? "wrong id" : id.status().ToString().c_str());
+      return 2;
+    }
+  }
+  double append_seconds = timer.Seconds();
+  uint64_t wal_bytes = (*wal)->size();
+
+  // --- phase 2: crash-recovery replay ----------------------------------
+  // A recovering process reads the log, re-tokenises every payload and
+  // stages it over the base — measured from a fresh index each round so
+  // the cost includes the staging side, not just the file scan.
+  double recovery_seconds = 0.0;
+  uint64_t recovered = 0;
+  std::unique_ptr<GenerationalIndex> cold;
+  for (int r = 0; r < repeat; ++r) {
+    timer.Restart();
+    cold = std::make_unique<GenerationalIndex>(
+        knowledge, msim, std::vector<Record>(base));
+    Result<WalReplay> replay = WalReader::ReadAll(env, wal_path);
+    if (!replay.ok()) {
+      std::fprintf(stderr, "FAILED to replay %s: %s\n", wal_path.c_str(),
+                   replay.status().ToString().c_str());
+      return 2;
+    }
+    recovered = 0;
+    for (const std::string& payload : replay->records) {
+      uint32_t id = 0;
+      std::string_view text;
+      if (!DecodeWalAppend(payload, &id, &text)) {
+        std::fprintf(stderr, "FAILED: malformed WAL append payload\n");
+        return 2;
+      }
+      cold->Append(MakeRecord(id, std::string(text), &world->vocab));
+      ++recovered;
+    }
+    // The first query pays the staging mini-index build; recovery isn't
+    // over until the index can serve.
+    GenerationalIndex::SearchOptions options;
+    options.theta = theta;
+    options.tau = tau;
+    cold->Search(records[0], options);
+    recovery_seconds += timer.Seconds();
+  }
+  recovery_seconds /= repeat;
+  std::remove(wal_path.c_str());
+
+  if (recovered != tail) {
+    std::fprintf(stderr,
+                 "RECOVERY FAILURE: %llu records replayed, %zu were "
+                 "acknowledged durable\n",
+                 static_cast<unsigned long long>(recovered), tail);
+    return 2;
+  }
+  // Parity: the recovered index serves exactly like the index that
+  // never crashed (and both like a scratch build over the union).
+  GenerationalIndex scratch(knowledge, msim, records);
+  if (Sweep(*cold, records, theta, tau) !=
+          Sweep(scratch, records, theta, tau) ||
+      Sweep(live, records, theta, tau) !=
+          Sweep(scratch, records, theta, tau)) {
+    std::fprintf(stderr,
+                 "PARITY FAILURE: recovered serving differs from the "
+                 "never-crashed index\n");
+    return 2;
+  }
+
+  // --- report -----------------------------------------------------------
+  double append_rps =
+      append_seconds > 0.0 ? static_cast<double>(tail) / append_seconds : 0.0;
+  BenchRun run;
+  run.algorithm = "wal";
+  run.variant = "durable-append";
+  run.measures = "TJS";
+  run.theta = theta;
+  run.tau = tau;
+  run.threads = 1;
+  run.num_records = records.size();
+  run.ok = true;
+  run.total_seconds = append_seconds + recovery_seconds;
+  run.wall_seconds = run.total_seconds;
+  run.has_wal = true;
+  run.wal_append_records_per_sec = append_rps;
+  run.wal_recovery_seconds = recovery_seconds;
+  run.wal_recovered_records = recovered;
+  run.wal_bytes = wal_bytes;
+  run.peak_rss_bytes = CurrentPeakRssBytes();
+
+  BenchReport report;
+  report.name = name;
+  report.profile = profile;
+  report.num_records = records.size();
+  report.runs.push_back(run);
+
+  std::printf("durable appends: %zu in %.4fs (%.0f rec/s, one fsync "
+              "each; log %llu bytes)\n",
+              tail, append_seconds, append_rps,
+              static_cast<unsigned long long>(wal_bytes));
+  std::printf("recovery (%d reps): replay + re-tokenise + stage %llu "
+              "records in %.4fs\n",
+              repeat, static_cast<unsigned long long>(recovered),
+              recovery_seconds);
+
+  if (!report.WriteJsonFile(out_path)) {
+    std::fprintf(stderr, "FAILED to write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s (%zu runs)\n", out_path.c_str(), report.runs.size());
+
+  if (min_append_rps > 0.0 && append_rps < min_append_rps) {
+    std::fprintf(stderr,
+                 "SMOKE FAILURE: %.0f durable appends/sec below the "
+                 "--min_append_rps=%.0f gate\n",
+                 append_rps, min_append_rps);
+    return 1;
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aujoin
+
+int main(int argc, char** argv) { return aujoin::Run(argc, argv); }

@@ -148,6 +148,16 @@ std::string BenchReport::ToJson() const {
       out += ", \"refreeze_seconds\": ";
       AppendJsonDouble(run.refreeze_seconds, &out);
     }
+    if (run.has_wal) {
+      out += ",\n     \"wal_append_records_per_sec\": ";
+      AppendJsonDouble(run.wal_append_records_per_sec, &out);
+      out += ", \"wal_recovery_seconds\": ";
+      AppendJsonDouble(run.wal_recovery_seconds, &out);
+      out += ", \"wal_recovered_records\": ";
+      AppendJsonUint(run.wal_recovered_records, &out);
+      out += ", \"wal_bytes\": ";
+      AppendJsonUint(run.wal_bytes, &out);
+    }
     if (run.has_prf) {
       out += ",\n     \"precision\": ";
       AppendJsonDouble(run.prf.precision, &out);

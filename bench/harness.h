@@ -105,6 +105,16 @@ struct BenchRun {
   uint64_t snapshot_bytes = 0;
   double append_records_per_sec = 0.0;
   double refreeze_seconds = 0.0;
+
+  /// Write-ahead-log extras (bench_wal, aujoin append/query --wal):
+  /// durable-append throughput (one fsynced WAL record per append),
+  /// crash-recovery replay cost and the records/bytes it recovered.
+  /// Emitted to JSON only when has_wal.
+  bool has_wal = false;
+  double wal_append_records_per_sec = 0.0;
+  double wal_recovery_seconds = 0.0;
+  uint64_t wal_recovered_records = 0;
+  uint64_t wal_bytes = 0;
 };
 
 /// Per-query latency percentiles in milliseconds. Takes the latencies

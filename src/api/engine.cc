@@ -2,13 +2,32 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <string_view>
 #include <utility>
 
 #include "join/pipeline.h"
+#include "storage/env.h"
+#include "storage/generational_index.h"
+#include "storage/index_checkpoint.h"
+#include "storage/wal_format.h"
+#include "storage/wal_reader.h"
+#include "storage/wal_writer.h"
 #include "util/parallel.h"
 #include "util/timer.h"
 
 namespace aujoin {
+namespace {
+
+Env* ResolveEnv(const EngineOptions& options) {
+  return options.env != nullptr ? options.env : Env::Default();
+}
+
+}  // namespace
+
+Engine::Engine(EngineOptions options) : options_(std::move(options)) {}
+Engine::Engine(Engine&&) noexcept = default;
+Engine& Engine::operator=(Engine&&) noexcept = default;
+Engine::~Engine() = default;
 
 void Engine::SetRecords(const std::vector<Record>& s,
                         const std::vector<Record>* t) {
@@ -17,6 +36,13 @@ void Engine::SetRecords(const std::vector<Record>& s,
   context_.reset();
   from_snapshot_ = false;
   snapshot_load_seconds_ = 0.0;
+  // Append mode is bound to the old records; tear it down. Destruction
+  // order: the generational index borrows the WAL writer.
+  generational_.reset();
+  wal_.reset();
+  make_record_ = nullptr;
+  base_count_ = 0;
+  wal_recovered_ = 0;
   std::lock_guard<std::mutex> lock(index_state_->mutex);
   index_state_->ready.store(false, std::memory_order_relaxed);
   index_.reset();
@@ -25,7 +51,7 @@ void Engine::SetRecords(const std::vector<Record>& s,
 Status Engine::SaveIndex(const std::string& path) const {
   Result<std::shared_ptr<const PreparedIndex>> index = ServingIndex();
   if (!index.ok()) return index.status();
-  return (*index)->Save(path);
+  return (*index)->Save(path, ResolveEnv(options_));
 }
 
 Status Engine::LoadIndex(const std::string& path) {
@@ -33,9 +59,15 @@ Status Engine::LoadIndex(const std::string& path) {
     return Status::FailedPrecondition(
         "Engine::LoadIndex called before SetRecords()");
   }
+  if (generational_ != nullptr) {
+    return Status::FailedPrecondition(
+        "Engine::LoadIndex is unavailable in append mode (EnableAppend "
+        "mounts checkpoints itself)");
+  }
   WallTimer timer;
   Result<std::shared_ptr<const PreparedIndex>> loaded = PreparedIndex::Load(
-      options_.knowledge, options_.msim, *s_records_, t_records_, path);
+      options_.knowledge, options_.msim, *s_records_, t_records_, path,
+      ResolveEnv(options_));
   if (!loaded.ok()) return loaded.status();
   context_.reset();  // a prepared join context would borrow the old index
   from_snapshot_ = true;
@@ -44,6 +76,149 @@ Status Engine::LoadIndex(const std::string& path) {
   index_ = *loaded;
   index_state_->ready.store(true, std::memory_order_release);
   return Status::OK();
+}
+
+Status Engine::EnableAppend(const std::string& wal_path,
+                            RecordFactory make_record,
+                            const std::string& checkpoint_path) {
+  if (s_records_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Engine::EnableAppend called before SetRecords()");
+  }
+  if (t_records_ != nullptr) {
+    return Status::InvalidArgument(
+        "append mode serves a single growing collection (self-join only)");
+  }
+  if (make_record == nullptr) {
+    return Status::InvalidArgument(
+        "EnableAppend requires a record factory to tokenise appends");
+  }
+  if (generational_ != nullptr) {
+    return Status::FailedPrecondition(
+        "append mode is already enabled (SetRecords resets it)");
+  }
+  Env* env = ResolveEnv(options_);
+
+  // 1. The frozen base: a checkpoint when one exists, else the engine's
+  // own lazy serving index over the bound records.
+  std::shared_ptr<const std::vector<Record>> base_records;
+  std::shared_ptr<const PreparedIndex> base_index;
+  if (!checkpoint_path.empty() && env->FileExists(checkpoint_path)) {
+    Result<CheckpointTexts> texts = ReadCheckpointTexts(checkpoint_path, env);
+    if (!texts.ok()) return texts.status();
+    if (texts->base_count != s_records_->size()) {
+      return Status::FailedPrecondition(
+          checkpoint_path + ": checkpoint base is " +
+          std::to_string(texts->base_count) + " records, " +
+          std::to_string(s_records_->size()) + " are bound");
+    }
+    // Rebuild the full record vector the checkpoint indexed: the bound
+    // base plus its appended texts, re-tokenised in id order (which
+    // reproduces the original interning, and thus the fingerprints).
+    auto full = std::make_shared<std::vector<Record>>(*s_records_);
+    full->reserve(full->size() + texts->texts.size());
+    for (const std::string& text : texts->texts) {
+      Record record = make_record(text);
+      record.id = static_cast<uint32_t>(full->size());
+      full->push_back(std::move(record));
+    }
+    Result<std::shared_ptr<const PreparedIndex>> loaded =
+        PreparedIndex::Load(options_.knowledge, options_.msim, *full, nullptr,
+                            checkpoint_path, env);
+    if (!loaded.ok()) return loaded.status();
+    base_records = std::move(full);
+    base_index = std::move(*loaded);
+  } else {
+    Result<std::shared_ptr<const PreparedIndex>> index = ServingIndex();
+    if (!index.ok()) return index.status();
+    base_index = *index;
+    // Aliased: the engine's contract already keeps the bound records
+    // alive, the shared_ptr just ties them to the index for the ride.
+    base_records = std::shared_ptr<const std::vector<Record>>(base_index,
+                                                              s_records_);
+  }
+
+  auto generational = std::make_unique<GenerationalIndex>(
+      options_.knowledge, options_.msim, std::move(base_records),
+      std::move(base_index));
+
+  // 2. Replay the WAL on top of the base. Ids below the current size
+  // are already covered (by the checkpoint — the log survives a crash
+  // between checkpoint and log reset); a gap means mid-log loss.
+  uint64_t recovered = 0;
+  if (env->FileExists(wal_path)) {
+    Result<WalReplay> replay = WalReader::ReadAll(env, wal_path);
+    if (!replay.ok()) return replay.status();
+    for (const std::string& payload : replay->records) {
+      uint32_t id = 0;
+      std::string_view text;
+      if (!DecodeWalAppend(payload, &id, &text)) {
+        return Status::Corruption(wal_path +
+                                  ": WAL record too short for an append");
+      }
+      uint64_t size = generational->size();
+      if (id < size) continue;
+      if (id > size) {
+        return Status::Corruption(
+            wal_path + ": WAL append id " + std::to_string(id) +
+            " skips past the " + std::to_string(size) +
+            " records recovered so far (lost log records)");
+      }
+      generational->Append(make_record(std::string(text)));
+      ++recovered;
+    }
+    // Trim a torn tail (and any zero-padding past the last complete
+    // record) so the reopened writer resumes on a clean boundary.
+    Result<uint64_t> size = env->GetFileSize(wal_path);
+    if (!size.ok()) return size.status();
+    if (*size != replay->valid_bytes) {
+      AUJOIN_RETURN_NOT_OK(env->TruncateFile(wal_path, replay->valid_bytes));
+    }
+  }
+
+  // 3. Reopen for appending and go live.
+  Result<std::unique_ptr<WalWriter>> wal =
+      WalWriter::Open(env, wal_path, /*truncate=*/false);
+  if (!wal.ok()) return wal.status();
+  wal_ = std::move(*wal);
+  generational_ = std::move(generational);
+  generational_->AttachWal(wal_.get());
+  make_record_ = std::move(make_record);
+  base_count_ = s_records_->size();
+  wal_recovered_ = recovered;
+  return Status::OK();
+}
+
+Result<uint32_t> Engine::Append(const std::string& text) {
+  if (generational_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Engine::Append requires append mode (EnableAppend first)");
+  }
+  return generational_->AppendDurable(make_record_(text));
+}
+
+Status Engine::Refreeze() {
+  if (generational_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Engine::Refreeze requires append mode (EnableAppend first)");
+  }
+  generational_->Refreeze();
+  return Status::OK();
+}
+
+Status Engine::Checkpoint(const std::string& path) {
+  if (generational_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Engine::Checkpoint requires append mode (EnableAppend first)");
+  }
+  generational_->Refreeze();
+  std::shared_ptr<const PreparedIndex> frozen = generational_->frozen_index();
+  AUJOIN_RETURN_NOT_OK(
+      SaveIndexCheckpoint(*frozen, base_count_, path, ResolveEnv(options_)));
+  // The durably renamed checkpoint covers every logged record, so the
+  // log restarts empty. A crash before this reset is fine (replay skips
+  // covered ids); an append racing it is not — see the header contract.
+  return wal_->Reset();
 }
 
 Result<std::shared_ptr<const PreparedIndex>> Engine::ServingIndex() const {
@@ -103,6 +278,11 @@ Result<JoinStats> Engine::Join(const std::string& algorithm,
   if (s_records_ == nullptr) {
     return Status::FailedPrecondition(
         "Engine::Join called before SetRecords()");
+  }
+  if (generational_ != nullptr) {
+    return Status::FailedPrecondition(
+        "Engine::Join is unavailable in append mode: joins run over the "
+        "bound collections and would miss appended records");
   }
   if (sink == nullptr) {
     return Status::InvalidArgument("Engine::Join requires a sink");
@@ -166,6 +346,26 @@ UnifiedSearcher::SearchOptions ToSearcherOptions(
 Result<std::vector<UnifiedSearcher::Match>> Engine::Search(
     const Record& query, const EngineSearchOptions& options,
     SearchStats* stats) const {
+  if (generational_ != nullptr) {
+    // Append mode: the generational index probes frozen + staging and
+    // merges under the serving order; its Search is const-thread-safe.
+    WallTimer wall;
+    UnifiedSearcher::QueryStats query_stats;
+    std::vector<UnifiedSearcher::Match> matches =
+        options.k > 0 ? generational_->TopK(query, options.k, options.theta,
+                                            ToSearcherOptions(options),
+                                            &query_stats)
+                      : generational_->Search(query,
+                                              ToSearcherOptions(options),
+                                              &query_stats);
+    if (stats != nullptr) {
+      stats->queries += query_stats.queries;
+      stats->query_candidates += query_stats.candidates;
+      stats->results += matches.size();
+      stats->search_seconds += wall.Seconds();
+    }
+    return matches;
+  }
   Result<std::shared_ptr<const PreparedIndex>> index = ServingIndex();
   if (!index.ok()) return index.status();
   WallTimer wall;
@@ -247,36 +447,56 @@ Status Engine::BatchSearch(
   if (on_match == nullptr) {
     return Status::InvalidArgument("BatchSearch requires a callback");
   }
-  Result<std::shared_ptr<const PreparedIndex>> index = ServingIndex();
-  if (!index.ok()) return index.status();
   WallTimer wall;
-  // Force the frozen CSR serving index once up front so the parallel
-  // workers only read it (they would build it safely anyway, but
-  // serially); the build cost is charged to this call only if it
-  // performed the build. Each worker then reuses one thread_local
-  // count-merge accumulator across its whole query slice.
   double index_built_seconds = 0.0;
-  (*index)->ServingIndex(&index_built_seconds);
-
-  UnifiedSearcher searcher(*index);
   const UnifiedSearcher::SearchOptions searcher_options =
       ToSearcherOptions(options);
   const int workers = ResolveThreads(options_.num_threads);
   std::vector<std::vector<UnifiedSearcher::Match>> results(queries.size());
   std::vector<UnifiedSearcher::QueryStats> worker_stats(workers);
-  ParallelFor(queries.size(), options_.num_threads,
-              [&](size_t begin, size_t end, int worker) {
-                for (size_t q = begin; q < end; ++q) {
-                  results[q] = options.k > 0
-                                   ? searcher.TopK(queries[q], options.k,
-                                                   options.theta,
+  if (generational_ != nullptr) {
+    // Append mode: each worker probes the generational index directly
+    // (const and thread-safe; every query pins its own generations).
+    const GenerationalIndex* generational = generational_.get();
+    ParallelFor(queries.size(), options_.num_threads,
+                [&](size_t begin, size_t end, int worker) {
+                  for (size_t q = begin; q < end; ++q) {
+                    results[q] =
+                        options.k > 0
+                            ? generational->TopK(queries[q], options.k,
+                                                 options.theta,
+                                                 searcher_options,
+                                                 &worker_stats[worker])
+                            : generational->Search(queries[q],
                                                    searcher_options,
-                                                   &worker_stats[worker])
-                                   : searcher.Search(queries[q],
+                                                   &worker_stats[worker]);
+                  }
+                });
+  } else {
+    Result<std::shared_ptr<const PreparedIndex>> index = ServingIndex();
+    if (!index.ok()) return index.status();
+    // Force the frozen CSR serving index once up front so the parallel
+    // workers only read it (they would build it safely anyway, but
+    // serially); the build cost is charged to this call only if it
+    // performed the build. Each worker then reuses one thread_local
+    // count-merge accumulator across its whole query slice.
+    (*index)->ServingIndex(&index_built_seconds);
+
+    UnifiedSearcher searcher(*index);
+    ParallelFor(queries.size(), options_.num_threads,
+                [&](size_t begin, size_t end, int worker) {
+                  for (size_t q = begin; q < end; ++q) {
+                    results[q] = options.k > 0
+                                     ? searcher.TopK(queries[q], options.k,
+                                                     options.theta,
                                                      searcher_options,
-                                                     &worker_stats[worker]);
-                }
-              });
+                                                     &worker_stats[worker])
+                                     : searcher.Search(queries[q],
+                                                       searcher_options,
+                                                       &worker_stats[worker]);
+                  }
+                });
+  }
 
   uint64_t emitted = 0;
   bool stopped = false;
@@ -321,6 +541,10 @@ Result<JoinResult> Engine::JoinWithSuggestedTau(
   if (s_records_ == nullptr) {
     return Status::FailedPrecondition(
         "Engine::JoinWithSuggestedTau called before SetRecords()");
+  }
+  if (generational_ != nullptr) {
+    return Status::FailedPrecondition(
+        "Engine::JoinWithSuggestedTau is unavailable in append mode");
   }
   JoinOptions join_options;
   join_options.theta = options.theta;

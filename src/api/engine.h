@@ -29,6 +29,9 @@
 
 namespace aujoin {
 
+class GenerationalIndex;
+class WalWriter;
+
 /// Engine-level configuration assembled by EngineBuilder: the knowledge
 /// sources and measure selection shared by every join the engine runs,
 /// plus threading and memory policy.
@@ -51,7 +54,19 @@ struct EngineOptions {
   /// the monolithic path. Either way the match set and its emission order
   /// are identical.
   size_t max_partition_records = 0;
+  /// Storage environment for every file the engine touches (snapshots,
+  /// checkpoints, the write-ahead log). nullptr = Env::Default(), the
+  /// real POSIX filesystem; tests inject a FaultInjectionEnv here.
+  Env* env = nullptr;
 };
+
+/// Builds a Record from raw text — how append mode tokenises incoming
+/// appends and how recovery re-tokenises replayed WAL / checkpoint
+/// texts. Must be deterministic and must intern into the SAME
+/// vocabulary the bound records use, in call order: recovery depends on
+/// replaying the factory over the same texts reproducing the exact
+/// token ids (and thus the snapshot fingerprints) of the first run.
+using RecordFactory = std::function<Record(const std::string&)>;
 
 /// Per-query serving knobs of Engine::Search / TopK / BatchSearch.
 struct EngineSearchOptions {
@@ -100,10 +115,18 @@ struct SearchStats {
 /// borrowed, not copied; they must outlive the engine's use of them.
 class Engine {
  public:
-  explicit Engine(EngineOptions options) : options_(std::move(options)) {}
+  explicit Engine(EngineOptions options);
+
+  // Out of line: unique_ptr members of forward-declared types
+  // (GenerationalIndex, WalWriter) need complete types to destroy.
+  Engine(Engine&&) noexcept;
+  Engine& operator=(Engine&&) noexcept;
+  ~Engine();
 
   /// Binds the collection(s) to join. Pass `t == nullptr` for a
-  /// self-join. Invalidates any prepared context.
+  /// self-join. Invalidates any prepared context, including append
+  /// mode — the WAL writer is released (not truncated) and appended
+  /// records are dropped from serving.
   void SetRecords(const std::vector<Record>& s,
                   const std::vector<Record>* t = nullptr);
 
@@ -164,6 +187,57 @@ class Engine {
   /// Wall seconds the last successful LoadIndex spent (0 when the
   /// index was rebuilt in-process).
   double snapshot_load_seconds() const { return snapshot_load_seconds_; }
+
+  /// Switches the engine into append-serving mode (self-join only): a
+  /// GenerationalIndex over the bound records becomes the serving
+  /// structure, and every Append is made durable through a WAL at
+  /// `wal_path` before it is acknowledged.
+  ///
+  /// Cold start, in order: (1) when `checkpoint_path` names an existing
+  /// checkpoint, its embedded appended texts are re-tokenised through
+  /// `make_record` on top of the bound records and the frozen index is
+  /// mounted from the snapshot (the bound records must be the
+  /// checkpoint's base); otherwise the engine's lazy serving index is
+  /// the base. (2) The WAL at `wal_path` is replayed — records the base
+  /// already covers are skipped by id, the rest re-staged in order. A
+  /// torn tail (crash mid-write) is trimmed; damage before intact
+  /// records is kCorruption. (3) The WAL reopens for appending.
+  ///
+  /// Mutation: never call concurrently with serving.
+  Status EnableAppend(const std::string& wal_path, RecordFactory make_record,
+                      const std::string& checkpoint_path = "");
+
+  /// Durable append of one raw text: tokenised via the RecordFactory,
+  /// WAL-logged + fsynced, then staged for serving. Returns the new
+  /// record's global id. The acknowledged-durable contract and the
+  /// sticky-failure rule are GenerationalIndex::AppendDurable's.
+  Result<uint32_t> Append(const std::string& text);
+
+  /// Compacts staged appends into the frozen generation (see
+  /// GenerationalIndex::Refreeze); serving continues throughout.
+  Status Refreeze();
+
+  /// Refreezes, saves the frozen generation as a checkpoint snapshot at
+  /// `path` (embedding appended texts — see storage/index_checkpoint.h)
+  /// and resets the WAL to empty: the checkpoint now owns every logged
+  /// record. Must not run concurrently with Append — an append landing
+  /// between the refreeze and the log reset would lose its log entry.
+  /// If the process dies between the checkpoint rename and the log
+  /// reset, replay is still exact: every log record's id is below the
+  /// checkpoint's record count, so recovery skips them all.
+  Status Checkpoint(const std::string& path);
+
+  /// True after a successful EnableAppend (until SetRecords).
+  bool append_mode() const { return generational_ != nullptr; }
+
+  /// Records recovered from the WAL by the last EnableAppend.
+  uint64_t wal_recovered_records() const { return wal_recovered_; }
+
+  /// The append-mode serving structure (counts, generation number);
+  /// nullptr outside append mode.
+  const GenerationalIndex* generational_index() const {
+    return generational_.get();
+  }
 
   /// Online search over the bound T side (== S for a self-join): every
   /// record with Approx USIM >= theta, ordered by similarity desc then
@@ -231,6 +305,17 @@ class Engine {
   /// LoadIndex) and read by stats reporting.
   bool from_snapshot_ = false;
   double snapshot_load_seconds_ = 0.0;
+
+  /// Append mode (all written only by mutations — EnableAppend /
+  /// SetRecords — and read by serving): the generational serving
+  /// structure, the WAL it logs through (the index borrows the writer,
+  /// so the writer must be destroyed after it), the tokenising factory
+  /// and the dataset-base record count checkpoints are taken against.
+  std::unique_ptr<WalWriter> wal_;
+  std::unique_ptr<GenerationalIndex> generational_;
+  RecordFactory make_record_;
+  size_t base_count_ = 0;
+  uint64_t wal_recovered_ = 0;
 };
 
 /// Fluent construction of an Engine; every setter has a sensible default
@@ -270,6 +355,12 @@ class EngineBuilder {
   /// 0 = monolithic; > 0 = partitioned pipeline with this record bound.
   EngineBuilder& SetMaxPartitionRecords(size_t records) {
     options_.max_partition_records = records;
+    return *this;
+  }
+  /// Storage environment (nullptr = the real filesystem); see
+  /// EngineOptions::env.
+  EngineBuilder& SetEnv(Env* env) {
+    options_.env = env;
     return *this;
   }
 

@@ -29,6 +29,8 @@
 
 namespace aujoin {
 
+class Env;
+
 /// A record with its pebbles sorted by the global order, ready for
 /// signature selection.
 struct PreparedRecord {
@@ -103,9 +105,10 @@ class PreparedIndex {
   /// dictionary, the global order and the frozen serving CSR) into the
   /// versioned snapshot format at `path`, forcing the serving index to
   /// exist first. The written file embeds fingerprints of the borrowed
-  /// records and knowledge so Load can refuse a mismatched world.
+  /// records and knowledge so Load can refuse a mismatched world. All
+  /// I/O goes through `env` (nullptr = Env::Default()).
   /// Implemented in storage/index_snapshot.cc.
-  Status Save(const std::string& path) const;
+  Status Save(const std::string& path, Env* env = nullptr) const;
 
   /// Rebuilds a prepared index from a snapshot instead of re-running
   /// pebble generation. The caller supplies the same knowledge, options
@@ -118,7 +121,7 @@ class PreparedIndex {
   static Result<std::shared_ptr<const PreparedIndex>> Load(
       const Knowledge& knowledge, const MsimOptions& msim,
       const std::vector<Record>& s, const std::vector<Record>* t,
-      const std::string& path);
+      const std::string& path, Env* env = nullptr);
 
  private:
   PreparedIndex() = default;

@@ -1,0 +1,103 @@
+/// \file
+/// Env — the storage environment every byte of src/storage/ I/O goes
+/// through. The abstraction exists for exactly one reason: durability
+/// claims are only as good as their tests, and testing crash recovery
+/// requires controlling the filesystem. Production code runs on
+/// Env::Default() (plain POSIX); tests wrap it in a FaultInjectionEnv
+/// (storage/fault_injection_env.h) that can drop unsynced writes, fail
+/// the Nth operation, or roll back un-fsynced directory entries — the
+/// RocksDB Env / FaultInjectionTestEnv pattern.
+///
+/// The durability contract the interface encodes:
+///   - WritableFile::Append buffers; nothing is durable until Sync
+///     returns OK (Sync implies a flush + fsync).
+///   - RenameFile atomically replaces the target, but the *directory
+///     entry* is only durable after SyncDir on the parent directory —
+///     the classic create-tmp / fsync / rename / fsync-dir sequence.
+///   - TruncateFile discards a file suffix (used to trim a torn WAL
+///     tail before resuming appends).
+
+#ifndef AUJOIN_STORAGE_ENV_H_
+#define AUJOIN_STORAGE_ENV_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "util/status.h"
+
+namespace aujoin {
+
+/// An open file being written sequentially. Not thread-safe; callers
+/// serialise access (the WAL writer holds its own mutex above this).
+class WritableFile {
+ public:
+  virtual ~WritableFile() = default;
+
+  /// Appends `size` bytes at the end of the file. Buffered: the data is
+  /// not durable (and after a crash may not even be visible) until the
+  /// next successful Sync.
+  virtual Status Append(const void* data, size_t size) = 0;
+
+  /// Flushes buffered writes and fsyncs. After OK, every byte appended
+  /// so far survives a crash.
+  virtual Status Sync() = 0;
+
+  /// Flushes and closes. The destructor closes too (best effort), but
+  /// only Close reports errors.
+  virtual Status Close() = 0;
+};
+
+/// A read-only view of one whole file, either mmap'd or heap-backed;
+/// the bytes stay valid while the mapping object is alive.
+class FileMapping {
+ public:
+  virtual ~FileMapping() = default;
+  virtual const uint8_t* data() const = 0;
+  virtual uint64_t size() const = 0;
+};
+
+/// The injectable storage environment. All methods are thread-safe.
+/// Implementations own no global state beyond the filesystem itself,
+/// so one Env can back any number of writers and readers.
+class Env {
+ public:
+  virtual ~Env() = default;
+
+  /// The process-wide POSIX environment (never null, never destroyed).
+  static Env* Default();
+
+  /// Opens `path` for sequential writing, creating it if absent. With
+  /// `truncate` the file is emptied; otherwise writes continue at the
+  /// current end of file.
+  virtual Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) = 0;
+
+  /// Maps the whole file read-only (heap-copy fallback where mmap is
+  /// unavailable). An empty file yields a mapping with size() == 0.
+  virtual Result<std::shared_ptr<const FileMapping>> MapFile(
+      const std::string& path) = 0;
+
+  virtual Result<uint64_t> GetFileSize(const std::string& path) = 0;
+  virtual bool FileExists(const std::string& path) = 0;
+
+  /// Atomically replaces `to` with `from`. Durable only after SyncDir
+  /// on the parent directory.
+  virtual Status RenameFile(const std::string& from, const std::string& to) = 0;
+  virtual Status RemoveFile(const std::string& path) = 0;
+
+  /// Shrinks (or zero-extends) `path` to exactly `size` bytes.
+  virtual Status TruncateFile(const std::string& path, uint64_t size) = 0;
+
+  /// Fsyncs the directory itself, making renames/creations/removals of
+  /// entries inside it durable.
+  virtual Status SyncDir(const std::string& dir) = 0;
+};
+
+/// The directory component of `path` ("." when it has none) — what
+/// SyncDir needs after renaming a file into place.
+std::string ParentDirectory(const std::string& path);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_STORAGE_ENV_H_

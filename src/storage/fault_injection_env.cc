@@ -1,0 +1,282 @@
+#include "storage/fault_injection_env.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace aujoin {
+
+/// Wraps one base WritableFile, routing every mutation through the
+/// env's fault/tracking hooks.
+class FaultInjectionWritableFile : public WritableFile {
+ public:
+  FaultInjectionWritableFile(FaultInjectionEnv* env, std::string path,
+                             std::unique_ptr<WritableFile> base)
+      : env_(env), path_(std::move(path)), base_(std::move(base)) {}
+
+  Status Append(const void* data, size_t size) override {
+    return env_->FileAppend(path_, base_.get(), data, size);
+  }
+  Status Sync() override { return env_->FileSync(path_, base_.get()); }
+  Status Close() override { return env_->FileClose(path_, base_.get()); }
+
+ private:
+  FaultInjectionEnv* env_;
+  std::string path_;
+  std::unique_ptr<WritableFile> base_;
+};
+
+void FaultInjectionEnv::FailAfterOps(int n) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_armed_ = true;
+  fault_fired_ = false;
+  ops_until_fault_ = n;
+}
+
+void FaultInjectionEnv::ClearFault() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  fault_armed_ = false;
+  fault_fired_ = false;
+}
+
+bool FaultInjectionEnv::fault_fired() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return fault_fired_;
+}
+
+int FaultInjectionEnv::mutating_ops() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return total_ops_;
+}
+
+std::vector<std::string> FaultInjectionEnv::TakeOpLog() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::string> out;
+  out.swap(op_log_);
+  return out;
+}
+
+Status FaultInjectionEnv::CountOpLocked(const std::string& what) {
+  ++total_ops_;
+  if (fault_armed_) {
+    if (ops_until_fault_ == 0) {
+      // Sticky: once the "process" has died at an operation, every
+      // later one fails too, until the test clears or crashes the env.
+      fault_fired_ = true;
+      return Status::IoError("injected fault at " + what);
+    }
+    --ops_until_fault_;
+  }
+  op_log_.push_back(what);
+  return Status::OK();
+}
+
+bool FaultInjectionEnv::SnapshotFile(const std::string& path,
+                                     std::string* out) {
+  if (!base_->FileExists(path)) return false;
+  Result<std::shared_ptr<const FileMapping>> mapping = base_->MapFile(path);
+  if (!mapping.ok()) return false;
+  out->assign(reinterpret_cast<const char*>((*mapping)->data()),
+              (*mapping)->size());
+  return true;
+}
+
+Status FaultInjectionEnv::WriteWholeFile(const std::string& path,
+                                         const std::string& bytes) {
+  Result<std::unique_ptr<WritableFile>> file =
+      base_->NewWritableFile(path, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  Status status = (*file)->Append(bytes.data(), bytes.size());
+  Status close_status = (*file)->Close();
+  return status.ok() ? close_status : status;
+}
+
+Result<std::unique_ptr<WritableFile>> FaultInjectionEnv::NewWritableFile(
+    const std::string& path, bool truncate) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AUJOIN_RETURN_NOT_OK(CountOpLocked("create " + path));
+  bool existed = base_->FileExists(path);
+  // Truncation destroys durable content — snapshot it BEFORE the open
+  // empties the file, so a crash can restore the old bytes.
+  DirOp truncate_op{DirOp::kTruncate, path, "", false, ""};
+  if (existed && truncate) {
+    truncate_op.had_old = SnapshotFile(path, &truncate_op.old_bytes);
+  }
+  Result<std::unique_ptr<WritableFile>> base_file =
+      base_->NewWritableFile(path, truncate);
+  if (!base_file.ok()) return base_file.status();
+  if (!existed) {
+    journal_.push_back(DirOp{DirOp::kCreate, path, "", false, ""});
+    files_[path] = FileState{};
+  } else if (truncate) {
+    journal_.push_back(std::move(truncate_op));
+    files_[path] = FileState{};
+  } else if (files_.find(path) == files_.end()) {
+    // Appending to a pre-existing, never-tracked file: its current
+    // bytes are the durable baseline.
+    Result<uint64_t> size = base_->GetFileSize(path);
+    FileState state;
+    state.size = size.ok() ? *size : 0;
+    state.synced_size = state.size;
+    files_[path] = state;
+  }
+  return std::unique_ptr<WritableFile>(new FaultInjectionWritableFile(
+      this, path, std::move(*base_file)));
+}
+
+Result<std::shared_ptr<const FileMapping>> FaultInjectionEnv::MapFile(
+    const std::string& path) {
+  return base_->MapFile(path);
+}
+
+Result<uint64_t> FaultInjectionEnv::GetFileSize(const std::string& path) {
+  return base_->GetFileSize(path);
+}
+
+bool FaultInjectionEnv::FileExists(const std::string& path) {
+  return base_->FileExists(path);
+}
+
+Status FaultInjectionEnv::RenameFile(const std::string& from,
+                                     const std::string& to) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AUJOIN_RETURN_NOT_OK(CountOpLocked("rename " + from + " -> " + to));
+  DirOp op{DirOp::kRename, to, from, false, ""};
+  op.had_old = SnapshotFile(to, &op.old_bytes);
+  AUJOIN_RETURN_NOT_OK(base_->RenameFile(from, to));
+  journal_.push_back(std::move(op));
+  // Sync tracking follows the new name.
+  auto it = files_.find(from);
+  if (it != files_.end()) {
+    files_[to] = it->second;
+    files_.erase(it);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::RemoveFile(const std::string& path) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AUJOIN_RETURN_NOT_OK(CountOpLocked("remove " + path));
+  DirOp op{DirOp::kRemove, path, "", false, ""};
+  op.had_old = SnapshotFile(path, &op.old_bytes);
+  AUJOIN_RETURN_NOT_OK(base_->RemoveFile(path));
+  journal_.push_back(std::move(op));
+  files_.erase(path);
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::TruncateFile(const std::string& path,
+                                       uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AUJOIN_RETURN_NOT_OK(
+      CountOpLocked("truncate " + path + " " + std::to_string(size)));
+  DirOp op{DirOp::kTruncate, path, "", false, ""};
+  op.had_old = SnapshotFile(path, &op.old_bytes);
+  AUJOIN_RETURN_NOT_OK(base_->TruncateFile(path, size));
+  journal_.push_back(std::move(op));
+  auto it = files_.find(path);
+  if (it != files_.end()) {
+    it->second.size = std::min(it->second.size, size);
+    it->second.synced_size = std::min(it->second.synced_size, size);
+  }
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::SyncDir(const std::string& dir) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AUJOIN_RETURN_NOT_OK(CountOpLocked("syncdir " + dir));
+  AUJOIN_RETURN_NOT_OK(base_->SyncDir(dir));
+  // Directory-entry mutations inside `dir` are now durable.
+  journal_.erase(
+      std::remove_if(journal_.begin(), journal_.end(),
+                     [&dir](const DirOp& op) {
+                       return ParentDirectory(op.path) == dir;
+                     }),
+      journal_.end());
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::FileAppend(const std::string& path,
+                                     WritableFile* base_file,
+                                     const void* data, size_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AUJOIN_RETURN_NOT_OK(
+      CountOpLocked("append " + path + " " + std::to_string(size)));
+  AUJOIN_RETURN_NOT_OK(base_file->Append(data, size));
+  files_[path].size += size;
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::FileSync(const std::string& path,
+                                   WritableFile* base_file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AUJOIN_RETURN_NOT_OK(CountOpLocked("sync " + path));
+  AUJOIN_RETURN_NOT_OK(base_file->Sync());
+  FileState& state = files_[path];
+  state.synced_size = state.size;
+  // fsync persists the file's inode, so a truncation that preceded it
+  // can no longer be rolled back by a crash. Only the NAME (creation /
+  // rename) still waits on its parent-directory sync.
+  journal_.erase(std::remove_if(journal_.begin(), journal_.end(),
+                                [&path](const DirOp& op) {
+                                  return op.kind == DirOp::kTruncate &&
+                                         op.path == path;
+                                }),
+                 journal_.end());
+  return Status::OK();
+}
+
+Status FaultInjectionEnv::FileClose(const std::string& path,
+                                    WritableFile* base_file) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  AUJOIN_RETURN_NOT_OK(CountOpLocked("close " + path));
+  return base_file->Close();
+}
+
+Status FaultInjectionEnv::SimulateCrash() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // 1. Unsynced appended bytes vanish: truncate every tracked file
+  //    back to its synced prefix (at whatever name it now has).
+  for (const auto& entry : files_) {
+    const std::string& path = entry.first;
+    const FileState& state = entry.second;
+    if (!base_->FileExists(path)) continue;
+    Result<uint64_t> real = base_->GetFileSize(path);
+    if (real.ok() && *real > state.synced_size) {
+      AUJOIN_RETURN_NOT_OK(base_->TruncateFile(path, state.synced_size));
+    }
+  }
+  // 2. Unsynced directory-entry mutations roll back, newest first.
+  for (auto it = journal_.rbegin(); it != journal_.rend(); ++it) {
+    const DirOp& op = *it;
+    switch (op.kind) {
+      case DirOp::kCreate:
+        if (base_->FileExists(op.path)) {
+          AUJOIN_RETURN_NOT_OK(base_->RemoveFile(op.path));
+        }
+        break;
+      case DirOp::kRename:
+        if (base_->FileExists(op.path)) {
+          AUJOIN_RETURN_NOT_OK(base_->RenameFile(op.path, op.from));
+        }
+        if (op.had_old) {
+          AUJOIN_RETURN_NOT_OK(WriteWholeFile(op.path, op.old_bytes));
+        }
+        break;
+      case DirOp::kRemove:
+      case DirOp::kTruncate:
+        if (op.had_old) {
+          AUJOIN_RETURN_NOT_OK(WriteWholeFile(op.path, op.old_bytes));
+        }
+        break;
+    }
+  }
+  // The surviving filesystem state is the new durable baseline.
+  files_.clear();
+  journal_.clear();
+  op_log_.clear();
+  fault_armed_ = false;
+  fault_fired_ = false;
+  return Status::OK();
+}
+
+}  // namespace aujoin

@@ -1,0 +1,131 @@
+/// \file
+/// FaultInjectionEnv — a deterministic crash machine wrapped around a
+/// real Env (the RocksDB FaultInjectionTestEnv pattern). It tracks, for
+/// every file written through it, how many bytes have actually been
+/// fsynced, and journals every directory-entry mutation (create /
+/// rename / remove / truncate) that has not yet been made durable by a
+/// SyncDir on its parent. Tests then drive two controls:
+///
+///   - FailAfterOps(n): the first n mutating operations succeed, the
+///     (n+1)-th and every later one fail with kIoError — a process
+///     dying at an arbitrary syscall. Sweeping n over a workload visits
+///     every kill point it contains.
+///   - SimulateCrash(): models the machine dying — every file is
+///     truncated back to its synced size (unsynced appends vanish) and
+///     every un-SyncDir'd directory mutation is rolled back (an
+///     unpublished rename loses the new name, an unsynced creation
+///     disappears). What remains is exactly what POSIX guarantees
+///     survives, and recovery code must cope with it.
+///
+/// Read operations (MapFile / GetFileSize / FileExists) pass through
+/// untouched: a live process always sees its own writes; only the
+/// crash boundary loses them.
+
+#ifndef AUJOIN_STORAGE_FAULT_INJECTION_ENV_H_
+#define AUJOIN_STORAGE_FAULT_INJECTION_ENV_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+
+namespace aujoin {
+
+class FaultInjectionEnv : public Env {
+ public:
+  /// `base` (usually Env::Default()) must outlive this env.
+  explicit FaultInjectionEnv(Env* base) : base_(base) {}
+
+  // --- test controls --------------------------------------------------
+
+  /// Lets the next `n` mutating operations succeed; the one after that
+  /// and every later one fail with kIoError until ClearFault. Counted
+  /// operations: NewWritableFile, Append, Sync, Close, RenameFile,
+  /// RemoveFile, TruncateFile, SyncDir.
+  void FailAfterOps(int n);
+  void ClearFault();
+  /// True once an injected fault has fired.
+  bool fault_fired() const;
+
+  /// Total mutating operations attempted so far — the sweep bound for
+  /// a FailAfterOps kill-point matrix.
+  int mutating_ops() const;
+
+  /// Drops everything a real crash would drop: truncates every tracked
+  /// file to its synced size and rolls back unsynced directory-entry
+  /// mutations in reverse order. Clears all tracking and any armed
+  /// fault, so the same env then observes the recovered world.
+  Status SimulateCrash();
+
+  /// Human-readable log of successful mutating operations since the
+  /// last call ("rename a -> b", "syncdir d", ...) — for asserting
+  /// durability ordering (e.g. SyncDir follows the snapshot rename).
+  std::vector<std::string> TakeOpLog();
+
+  // --- Env ------------------------------------------------------------
+
+  Result<std::unique_ptr<WritableFile>> NewWritableFile(
+      const std::string& path, bool truncate) override;
+  Result<std::shared_ptr<const FileMapping>> MapFile(
+      const std::string& path) override;
+  Result<uint64_t> GetFileSize(const std::string& path) override;
+  bool FileExists(const std::string& path) override;
+  Status RenameFile(const std::string& from, const std::string& to) override;
+  Status RemoveFile(const std::string& path) override;
+  Status TruncateFile(const std::string& path, uint64_t size) override;
+  Status SyncDir(const std::string& dir) override;
+
+ private:
+  friend class FaultInjectionWritableFile;
+
+  /// Bytes appended / bytes synced for one file written through this
+  /// env. Tracking survives renames (the state follows the new name).
+  struct FileState {
+    uint64_t size = 0;
+    uint64_t synced_size = 0;
+  };
+
+  /// One directory-entry mutation not yet made durable by SyncDir on
+  /// its parent; `old_bytes` holds whatever content the operation
+  /// destroyed, so SimulateCrash can restore it.
+  struct DirOp {
+    enum Kind { kCreate, kRename, kRemove, kTruncate };
+    Kind kind = kCreate;
+    std::string path;  // created / rename target / removed / truncated
+    std::string from;  // rename source
+    bool had_old = false;
+    std::string old_bytes;
+  };
+
+  /// Counts the op, applies an armed fault, and appends to the op log
+  /// on success. Callers hold `mutex_`.
+  Status CountOpLocked(const std::string& what);
+  /// Reads a whole file into `out` through the base env (for undo
+  /// journaling); missing file yields had_old = false.
+  bool SnapshotFile(const std::string& path, std::string* out);
+  Status WriteWholeFile(const std::string& path, const std::string& bytes);
+
+  // Hooks for the wrapped WritableFile.
+  Status FileAppend(const std::string& path, WritableFile* base_file,
+                    const void* data, size_t size);
+  Status FileSync(const std::string& path, WritableFile* base_file);
+  Status FileClose(const std::string& path, WritableFile* base_file);
+
+  Env* base_;
+  mutable std::mutex mutex_;
+  std::map<std::string, FileState> files_;
+  std::vector<DirOp> journal_;
+  std::vector<std::string> op_log_;
+  bool fault_armed_ = false;
+  bool fault_fired_ = false;
+  int ops_until_fault_ = 0;
+  int total_ops_ = 0;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_STORAGE_FAULT_INJECTION_ENV_H_

@@ -1,7 +1,11 @@
 #include "storage/generational_index.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
+
+#include "storage/wal_format.h"
+#include "storage/wal_writer.h"
 
 namespace aujoin {
 namespace {
@@ -24,6 +28,51 @@ GenerationalIndex::GenerationalIndex(const Knowledge& knowledge,
     initial[i].id = static_cast<uint32_t>(i);
   }
   frozen_ = BuildGeneration(knowledge_, msim_, std::move(initial));
+}
+
+GenerationalIndex::GenerationalIndex(
+    const Knowledge& knowledge, const MsimOptions& msim,
+    std::shared_ptr<const std::vector<Record>> records,
+    std::shared_ptr<const PreparedIndex> index)
+    : knowledge_(knowledge), msim_(msim) {
+  auto gen = std::make_shared<Generation>();
+  gen->records = std::move(records);
+  gen->index = std::move(index);
+  frozen_ = std::move(gen);
+}
+
+void GenerationalIndex::AttachWal(WalWriter* wal) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  wal_ = wal;
+  wal_status_ = Status::OK();
+}
+
+Result<uint32_t> GenerationalIndex::AppendDurable(Record record) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (wal_ == nullptr) {
+    return Status::FailedPrecondition(
+        "no WAL attached (AttachWal first, or use the volatile Append)");
+  }
+  if (!wal_status_.ok()) {
+    return Status::FailedPrecondition(
+        "appends disabled after a WAL failure (" + wal_status_.message() +
+        "): reusing the failed append's id would resurrect the wrong " +
+        "record at replay");
+  }
+  uint32_t id = static_cast<uint32_t>(frozen_->records->size() +
+                                      staging_records_.size());
+  std::string payload;
+  EncodeWalAppend(id, record.text, &payload);
+  Status logged = wal_->AddRecord(payload.data(), payload.size());
+  if (logged.ok()) logged = wal_->Sync();
+  if (!logged.ok()) {
+    wal_status_ = logged;
+    return logged;
+  }
+  record.id = id;
+  staging_records_.push_back(std::move(record));
+  staging_gen_.reset();  // the next query re-prepares the staging side
+  return id;
 }
 
 std::shared_ptr<const GenerationalIndex::Generation>
@@ -157,6 +206,15 @@ void GenerationalIndex::Refreeze() {
     staging_gen_.reset();
     ++generation_;
   }
+}
+
+std::string GenerationalIndex::TextOf(uint32_t id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t frozen = frozen_->records->size();
+  if (id < frozen) return (*frozen_->records)[id].text;
+  size_t staged = id - frozen;
+  if (staged < staging_records_.size()) return staging_records_[staged].text;
+  return std::string();
 }
 
 size_t GenerationalIndex::num_frozen() const {

@@ -33,8 +33,11 @@
 #include "core/record.h"
 #include "index/prepared_index.h"
 #include "join/search.h"
+#include "util/status.h"
 
 namespace aujoin {
+
+class WalWriter;
 
 class GenerationalIndex {
  public:
@@ -50,6 +53,29 @@ class GenerationalIndex {
   /// the index.
   GenerationalIndex(const Knowledge& knowledge, const MsimOptions& msim,
                     std::vector<Record> initial);
+
+  /// Adopts an already-built frozen generation instead of rebuilding it
+  /// — the cold-start path for mounting a checkpoint snapshot. `index`
+  /// must have been built (or loaded) over exactly `records`, whose
+  /// `id` fields must equal their positions.
+  GenerationalIndex(const Knowledge& knowledge, const MsimOptions& msim,
+                    std::shared_ptr<const std::vector<Record>> records,
+                    std::shared_ptr<const PreparedIndex> index);
+
+  /// Attaches a write-ahead log: every later AppendDurable logs and
+  /// fsyncs through `wal` (borrowed; must outlive the index) before
+  /// staging. Call during setup — attaching is not synchronised with
+  /// in-flight appends.
+  void AttachWal(WalWriter* wal);
+
+  /// Durable append: encodes (global id, raw text) as one WAL record,
+  /// appends + syncs it, and only then stages the record. An append
+  /// acknowledged here survives a crash; one that failed (or was never
+  /// acknowledged) never resurrects at replay. After any WAL error the
+  /// index refuses further durable appends (sticky status): letting a
+  /// failed append's id be reused by a later success would make replay
+  /// resurrect whichever of the two happened to reach the disk.
+  Result<uint32_t> AppendDurable(Record record);
 
   /// Appends one record to the staging buffer and returns its global
   /// id (frozen + staging position — stable across refreezes). The
@@ -82,6 +108,11 @@ class GenerationalIndex {
   /// the rebuild stay in staging with their ids intact. No-op when
   /// staging is empty.
   void Refreeze();
+
+  /// The raw text of record `id`, wherever it lives (frozen or staged);
+  /// empty for an out-of-range id. Returns a copy — the record itself
+  /// may move from staging to frozen at any time.
+  std::string TextOf(uint32_t id) const;
 
   /// Records in the frozen generation / the staging buffer / total.
   size_t num_frozen() const;
@@ -133,6 +164,13 @@ class GenerationalIndex {
   /// and Refreeze. Mutable: queries build it on demand.
   mutable std::shared_ptr<const Generation> staging_gen_;
   uint64_t generation_ = 0;
+
+  /// Both guarded by mutex_ (the WAL writer itself is not thread-safe;
+  /// serialising appends under the serving mutex also keeps the log
+  /// order equal to the id order). wal_status_ is the sticky
+  /// first-failure status of AppendDurable.
+  WalWriter* wal_ = nullptr;
+  Status wal_status_ = Status::OK();
 
   /// Serialises refreezes without blocking serving.
   std::mutex refreeze_mutex_;

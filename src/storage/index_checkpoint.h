@@ -1,0 +1,53 @@
+/// \file
+/// Generational checkpoints — snapshotting an index whose records grew
+/// beyond the ingested dataset. A plain snapshot (PreparedIndex::Save)
+/// assumes the loader can re-derive the exact record vector from its
+/// own inputs; once WAL-appended records have been compacted into the
+/// frozen generation that stops being true — their contents exist
+/// nowhere else after Checkpoint truncates the log. A checkpoint is
+/// therefore a normal snapshot plus one extra section
+/// (kSectionAppendedTexts) carrying the raw texts of every record past
+/// `base_count`, in id order. Recovery re-reads those texts, runs them
+/// through the caller's record factory (re-tokenising against the same
+/// vocabulary in the same order, which reproduces the original token
+/// ids), and mounts the snapshot against dataset-base + rebuilt
+/// appends — fingerprints and all.
+
+#ifndef AUJOIN_STORAGE_INDEX_CHECKPOINT_H_
+#define AUJOIN_STORAGE_INDEX_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "index/prepared_index.h"
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace aujoin {
+
+/// Saves `index` (a frozen generation; must be a self-join index) as a
+/// snapshot that additionally embeds the raw texts of records with id
+/// >= base_count. With base_count == the record count this is exactly
+/// PreparedIndex::Save.
+Status SaveIndexCheckpoint(const PreparedIndex& index, uint64_t base_count,
+                           const std::string& path, Env* env = nullptr);
+
+/// The embedded appended-texts of a checkpoint at `path`.
+struct CheckpointTexts {
+  /// Records below this id come from the loader's own dataset.
+  uint64_t base_count = 0;
+  /// Raw texts of records base_count, base_count + 1, ... in order.
+  std::vector<std::string> texts;
+};
+
+/// Reads the appended-texts section (validating the whole snapshot on
+/// the way). A plain snapshot without the section yields base_count =
+/// its full record count and no texts, so callers can mount either
+/// kind uniformly.
+Result<CheckpointTexts> ReadCheckpointTexts(const std::string& path,
+                                            Env* env = nullptr);
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_STORAGE_INDEX_CHECKPOINT_H_

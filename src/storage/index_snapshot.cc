@@ -21,6 +21,8 @@
 #include <vector>
 
 #include "index/prepared_index.h"
+#include "storage/env.h"
+#include "storage/index_checkpoint.h"
 #include "storage/snapshot_format.h"
 #include "storage/snapshot_reader.h"
 #include "storage/snapshot_writer.h"
@@ -417,44 +419,69 @@ Status DecodePebbleTable(const SnapshotReader& reader, uint32_t section_id,
   return Status::OK();
 }
 
-}  // namespace
+// --- appended-record texts (generational checkpoints) -----------------
 
-// --- PreparedIndex::Save ----------------------------------------------
+/// kSectionAppendedTexts payload: u64 base_count, u64 count, u64
+/// byte_offsets[count + 1], then the concatenated raw texts of records
+/// base_count .. base_count + count - 1 in id order.
+std::vector<uint8_t> EncodeAppendedTexts(const std::vector<Record>& records,
+                                         uint64_t base_count) {
+  ByteWriter out;
+  uint64_t count = records.size() - base_count;
+  out.AppendValue(base_count);
+  out.AppendValue(count);
+  std::vector<uint64_t> offsets(count + 1, 0);
+  for (uint64_t i = 0; i < count; ++i) {
+    offsets[i + 1] = offsets[i] + records[base_count + i].text.size();
+  }
+  out.Append(offsets.data(), offsets.size());
+  // One contiguous blob (same reasoning as the gram dictionary: per-text
+  // Append calls would inject alignment padding between texts).
+  std::string blob;
+  blob.reserve(offsets[count]);
+  for (uint64_t i = 0; i < count; ++i) blob += records[base_count + i].text;
+  out.Append(blob.data(), blob.size());
+  return out.Take();
+}
 
-Status PreparedIndex::Save(const std::string& path) const {
+/// Shared body of PreparedIndex::Save and SaveIndexCheckpoint; when
+/// `appended_texts` is non-null it is written as kSectionAppendedTexts.
+Status SaveSnapshotImpl(const PreparedIndex& index, const std::string& path,
+                        Env* env, const std::vector<uint8_t>* appended_texts) {
   // The snapshot's whole point is skipping the two expensive phases
   // (pebble generation and the CSR freeze), so the CSR must exist
   // before serialisation; ServingIndex() builds it on first use.
-  const CsrIndex& csr = ServingIndex();
+  const CsrIndex& csr = index.ServingIndex();
 
   SnapshotMeta meta;
-  meta.msim_q = static_cast<uint32_t>(msim_.q);
-  meta.gram_measure = static_cast<uint32_t>(msim_.gram_measure);
-  meta.measures = msim_.measures;
-  meta.exact_match = msim_.exact_match ? 1 : 0;
-  meta.s_count = s_records_->size();
-  meta.t_count = t_records_->size();
-  meta.self_join = self_join() ? 1 : 0;
-  meta.s_records_hash = HashRecords(*s_records_);
-  meta.t_records_hash =
-      self_join() ? meta.s_records_hash : HashRecords(*t_records_);
-  meta.knowledge_hash = HashKnowledge(knowledge_);
-  meta.gram_dict_size = gram_dict_.size();
+  const MsimOptions& msim = index.msim_options();
+  meta.msim_q = static_cast<uint32_t>(msim.q);
+  meta.gram_measure = static_cast<uint32_t>(msim.gram_measure);
+  meta.measures = msim.measures;
+  meta.exact_match = msim.exact_match ? 1 : 0;
+  meta.s_count = index.s_records().size();
+  meta.t_count = index.t_records().size();
+  meta.self_join = index.self_join() ? 1 : 0;
+  meta.s_records_hash = HashRecords(index.s_records());
+  meta.t_records_hash = index.self_join() ? meta.s_records_hash
+                                          : HashRecords(index.t_records());
+  meta.knowledge_hash = HashKnowledge(index.knowledge());
+  meta.gram_dict_size = index.gram_dict().size();
   meta.csr_record_universe = csr.record_universe();
-  meta.prepare_seconds = prepare_seconds_;
+  meta.prepare_seconds = index.prepare_seconds();
 
-  std::vector<uint8_t> gram_dict = EncodeGramDict(gram_dict_);
-  std::vector<uint8_t> order = EncodeGlobalOrder(order_);
-  std::vector<uint8_t> s_table = EncodePebbleTable(s_prepared_);
+  std::vector<uint8_t> gram_dict = EncodeGramDict(index.gram_dict());
+  std::vector<uint8_t> order = EncodeGlobalOrder(index.global_order());
+  std::vector<uint8_t> s_table = EncodePebbleTable(index.s_prepared());
   std::vector<uint8_t> t_table;
-  if (!self_join()) t_table = EncodePebbleTable(t_prepared_);
+  if (!index.self_join()) t_table = EncodePebbleTable(index.t_prepared());
 
-  SnapshotWriter writer(path);
+  SnapshotWriter writer(path, env);
   writer.AddSection(kSectionMeta, &meta, sizeof(meta));
   writer.AddSection(kSectionGramDict, gram_dict.data(), gram_dict.size());
   writer.AddSection(kSectionGlobalOrder, order.data(), order.size());
   writer.AddSection(kSectionSPrepared, s_table.data(), s_table.size());
-  if (!self_join()) {
+  if (!index.self_join()) {
     writer.AddSection(kSectionTPrepared, t_table.data(), t_table.size());
   }
   writer.AddSection(kSectionCsrKeys, csr.keys_data(),
@@ -465,7 +492,100 @@ Status PreparedIndex::Save(const std::string& path) const {
                     csr.total_postings() * sizeof(uint32_t));
   writer.AddSection(kSectionCsrSlots, csr.slots_data(),
                     csr.num_slots() * sizeof(uint32_t));
+  if (appended_texts != nullptr) {
+    writer.AddSection(kSectionAppendedTexts, appended_texts->data(),
+                      appended_texts->size());
+  }
   return writer.Finish();
+}
+
+}  // namespace
+
+// --- PreparedIndex::Save ----------------------------------------------
+
+Status PreparedIndex::Save(const std::string& path, Env* env) const {
+  return SaveSnapshotImpl(*this, path, env, nullptr);
+}
+
+// --- generational checkpoints -----------------------------------------
+
+Status SaveIndexCheckpoint(const PreparedIndex& index, uint64_t base_count,
+                           const std::string& path, Env* env) {
+  if (!index.self_join()) {
+    return Status::InvalidArgument(
+        "checkpoints only apply to self-join (serving) indexes");
+  }
+  if (base_count > index.s_records().size()) {
+    return Status::InvalidArgument(
+        "checkpoint base_count " + std::to_string(base_count) +
+        " exceeds the record count " +
+        std::to_string(index.s_records().size()));
+  }
+  std::vector<uint8_t> texts =
+      EncodeAppendedTexts(index.s_records(), base_count);
+  return SaveSnapshotImpl(index, path, env, &texts);
+}
+
+Result<CheckpointTexts> ReadCheckpointTexts(const std::string& path,
+                                            Env* env) {
+  Result<std::shared_ptr<const SnapshotReader>> reader_r =
+      SnapshotReader::Open(path, env);
+  if (!reader_r.ok()) return reader_r.status();
+  const SnapshotReader& reader = **reader_r;
+
+  Result<const SnapshotMeta*> meta_r =
+      reader.Array<SnapshotMeta>(kSectionMeta, 1);
+  if (!meta_r.ok()) return meta_r.status();
+  const SnapshotMeta& meta = **meta_r;
+
+  CheckpointTexts out;
+  if (!reader.Has(kSectionAppendedTexts)) {
+    // A plain snapshot: everything is base, nothing was appended.
+    out.base_count = meta.t_count;
+    return out;
+  }
+
+  Result<SnapshotReader::Section> section =
+      reader.Find(kSectionAppendedTexts);
+  if (!section.ok()) return section.status();
+  ByteReader in(section->data, section->size, "appended texts");
+  Result<const uint64_t*> base_r = in.Take<uint64_t>(1);
+  if (!base_r.ok()) return base_r.status();
+  Result<const uint64_t*> count_r = in.Take<uint64_t>(1);
+  if (!count_r.ok()) return count_r.status();
+  uint64_t base_count = **base_r;
+  uint64_t count = **count_r;
+  if (count >= section->size) {  // also blocks count + 1 wrapping to 0
+    return Status::Corruption(path +
+                              ": appended-texts count exceeds the section");
+  }
+  if (base_count + count != meta.t_count) {
+    return Status::Corruption(
+        path + ": appended-texts base " + std::to_string(base_count) + " + " +
+        std::to_string(count) + " disagrees with the snapshot record count " +
+        std::to_string(meta.t_count));
+  }
+  Result<const uint64_t*> offsets_r = in.Take<uint64_t>(count + 1);
+  if (!offsets_r.ok()) return offsets_r.status();
+  const uint64_t* offsets = *offsets_r;
+  if (offsets[0] != 0) {
+    return Status::Corruption(path + ": appended-texts offsets must start " +
+                              "at 0");
+  }
+  for (uint64_t i = 0; i < count; ++i) {
+    if (offsets[i] > offsets[i + 1]) {
+      return Status::Corruption(path +
+                                ": appended-texts offsets not monotone");
+    }
+  }
+  Result<const char*> blob_r = in.Take<char>(count == 0 ? 0 : offsets[count]);
+  if (!blob_r.ok()) return blob_r.status();
+  out.base_count = base_count;
+  out.texts.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    out.texts.emplace_back(*blob_r + offsets[i], offsets[i + 1] - offsets[i]);
+  }
+  return out;
 }
 
 // --- PreparedIndex::Load ----------------------------------------------
@@ -473,9 +593,9 @@ Status PreparedIndex::Save(const std::string& path) const {
 Result<std::shared_ptr<const PreparedIndex>> PreparedIndex::Load(
     const Knowledge& knowledge, const MsimOptions& msim,
     const std::vector<Record>& s, const std::vector<Record>* t,
-    const std::string& path) {
+    const std::string& path, Env* env) {
   Result<std::shared_ptr<const SnapshotReader>> reader_r =
-      SnapshotReader::Open(path);
+      SnapshotReader::Open(path, env);
   if (!reader_r.ok()) return reader_r.status();
   std::shared_ptr<const SnapshotReader> reader = *reader_r;
 

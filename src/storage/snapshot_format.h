@@ -67,6 +67,15 @@ enum SnapshotSectionId : uint32_t {
   kSectionCsrOffsets = 7,   // u32[num_keys + 1], monotone
   kSectionCsrPostings = 8,  // u32[total_postings], sorted+distinct per run
   kSectionCsrSlots = 9,     // u32[slot table], power-of-two sized
+  /// Appended-record texts of a generational checkpoint (absent from
+  /// plain snapshots): u64 base_count, u64 count, u64
+  /// byte_offsets[count + 1], then the concatenated raw texts of
+  /// records with id >= base_count. Lets a restarting process rebuild
+  /// the full record vector (dataset base + re-tokenised appends)
+  /// before mounting the snapshot, since record contents beyond the
+  /// dataset exist nowhere else once the WAL is truncated. Readers
+  /// that don't know the id ignore it, so plain Load still works.
+  kSectionAppendedTexts = 10,
 };
 
 /// Fixed 64-byte file header. `header_checksum` is XXH64 over the

@@ -1,17 +1,8 @@
 #include "storage/snapshot_reader.h"
 
-#include <cstdio>
 #include <cstring>
 
 #include "storage/checksum.h"
-
-#if defined(__unix__) || defined(__APPLE__)
-#define AUJOIN_SNAPSHOT_MMAP 1
-#include <fcntl.h>
-#include <sys/mman.h>
-#include <sys/stat.h>
-#include <unistd.h>
-#endif
 
 namespace aujoin {
 namespace {
@@ -22,64 +13,18 @@ Status CorruptionAt(const std::string& path, const std::string& what) {
 
 }  // namespace
 
-SnapshotReader::~SnapshotReader() {
-  if (data_ == nullptr) return;
-#if AUJOIN_SNAPSHOT_MMAP
-  if (mapped_) {
-    munmap(const_cast<uint8_t*>(data_), size_);
-    return;
-  }
-#endif
-  delete[] data_;
-}
-
 Result<std::shared_ptr<const SnapshotReader>> SnapshotReader::Open(
-    const std::string& path) {
+    const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
   // Private constructor: build through a raw new, publish as const.
   std::shared_ptr<SnapshotReader> reader(new SnapshotReader());
   reader->path_ = path;
 
-#if AUJOIN_SNAPSHOT_MMAP
-  int fd = open(path.c_str(), O_RDONLY);
-  if (fd < 0) {
-    return Status::IoError("cannot open " + path);
-  }
-  struct stat st;
-  if (fstat(fd, &st) != 0) {
-    close(fd);
-    return Status::IoError("cannot stat " + path);
-  }
-  reader->size_ = static_cast<uint64_t>(st.st_size);
-  if (reader->size_ > 0) {
-    void* map = mmap(nullptr, reader->size_, PROT_READ, MAP_PRIVATE, fd, 0);
-    if (map == MAP_FAILED) {
-      close(fd);
-      return Status::IoError("cannot mmap " + path);
-    }
-    reader->data_ = static_cast<const uint8_t*>(map);
-    reader->mapped_ = true;
-  }
-  close(fd);
-#else
-  std::FILE* file = std::fopen(path.c_str(), "rb");
-  if (file == nullptr) {
-    return Status::IoError("cannot open " + path);
-  }
-  std::fseek(file, 0, SEEK_END);
-  long size = std::ftell(file);
-  std::fseek(file, 0, SEEK_SET);
-  reader->size_ = size < 0 ? 0 : static_cast<uint64_t>(size);
-  if (reader->size_ > 0) {
-    auto* buffer = new uint8_t[reader->size_];
-    if (std::fread(buffer, 1, reader->size_, file) != reader->size_) {
-      delete[] buffer;
-      std::fclose(file);
-      return Status::IoError("short read from " + path);
-    }
-    reader->data_ = buffer;
-  }
-  std::fclose(file);
-#endif
+  Result<std::shared_ptr<const FileMapping>> mapping = env->MapFile(path);
+  if (!mapping.ok()) return mapping.status();
+  reader->mapping_ = *mapping;
+  reader->data_ = reader->mapping_->data();
+  reader->size_ = reader->mapping_->size();
 
   // Header: size, magic, checksum, then version (a corrupted file must
   // not pass as "wrong version", so the checksum gates the skew check).

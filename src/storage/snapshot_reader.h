@@ -25,6 +25,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/env.h"
 #include "storage/snapshot_format.h"
 #include "util/status.h"
 
@@ -39,12 +40,12 @@ class SnapshotReader {
     uint64_t size = 0;
   };
 
-  /// Maps and fully validates `path`. The returned reader is immutable
-  /// and safe to share across threads.
+  /// Maps and fully validates `path` through `env` (nullptr =
+  /// Env::Default()). The returned reader is immutable and safe to
+  /// share across threads.
   static Result<std::shared_ptr<const SnapshotReader>> Open(
-      const std::string& path);
+      const std::string& path, Env* env = nullptr);
 
-  ~SnapshotReader();
   SnapshotReader(const SnapshotReader&) = delete;
   SnapshotReader& operator=(const SnapshotReader&) = delete;
 
@@ -76,11 +77,10 @@ class SnapshotReader {
   SnapshotReader() = default;
 
   std::string path_;
+  /// Keeps the file bytes alive (mmap or heap, per the Env).
+  std::shared_ptr<const FileMapping> mapping_;
   const uint8_t* data_ = nullptr;
   uint64_t size_ = 0;
-  /// True when `data_` is an mmap to munmap; false for the heap
-  /// fallback (non-POSIX builds), freed with delete[].
-  bool mapped_ = false;
   std::vector<SnapshotSectionEntry> table_;
 };
 

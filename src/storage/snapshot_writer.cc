@@ -1,29 +1,15 @@
 #include "storage/snapshot_writer.h"
 
-#include <cstdio>
 #include <cstring>
 #include <set>
 
 #include "storage/checksum.h"
-
-#if defined(__unix__) || defined(__APPLE__)
-#include <unistd.h>
-#endif
 
 namespace aujoin {
 namespace {
 
 /// Zero padding written between aligned regions.
 const char kZeros[kSnapshotAlignment] = {};
-
-Status WriteAll(std::FILE* file, const void* data, size_t size,
-                const std::string& path) {
-  if (size == 0) return Status::OK();
-  if (std::fwrite(data, 1, size, file) != size) {
-    return Status::IoError("short write to " + path);
-  }
-  return Status::OK();
-}
 
 }  // namespace
 
@@ -63,51 +49,49 @@ Status SnapshotWriter::Finish() {
   header.header_checksum =
       Xxh64(&header, sizeof(header) - sizeof(header.header_checksum));
 
+  Env* env = env_ != nullptr ? env_ : Env::Default();
   const std::string tmp_path = path_ + ".tmp";
-  std::FILE* file = std::fopen(tmp_path.c_str(), "wb");
-  if (file == nullptr) {
-    return Status::IoError("cannot open " + tmp_path + " for writing");
-  }
-  Status status = WriteAll(file, &header, sizeof(header), tmp_path);
+  Result<std::unique_ptr<WritableFile>> file_r =
+      env->NewWritableFile(tmp_path, /*truncate=*/true);
+  if (!file_r.ok()) return file_r.status();
+  std::unique_ptr<WritableFile> file = std::move(*file_r);
+
+  Status status = file->Append(&header, sizeof(header));
   if (status.ok()) {
-    status = WriteAll(file, table.data(),
-                      table.size() * sizeof(SnapshotSectionEntry), tmp_path);
+    status = file->Append(table.data(),
+                          table.size() * sizeof(SnapshotSectionEntry));
   }
   uint64_t written =
       sizeof(header) + table.size() * sizeof(SnapshotSectionEntry);
   for (size_t i = 0; status.ok() && i < sections_.size(); ++i) {
-    uint64_t pad = table[i].offset - written;
-    status = WriteAll(file, kZeros, pad, tmp_path);
+    status = file->Append(kZeros, table[i].offset - written);
     if (!status.ok()) break;
-    status = WriteAll(file, sections_[i].data, sections_[i].size, tmp_path);
+    if (sections_[i].size > 0) {
+      status = file->Append(sections_[i].data, sections_[i].size);
+    }
     written = table[i].offset + table[i].size;
   }
   if (status.ok()) {
-    uint64_t pad = offset - written;
-    status = WriteAll(file, kZeros, pad, tmp_path);
+    status = file->Append(kZeros, offset - written);
   }
-  if (status.ok() && std::fflush(file) != 0) {
-    status = Status::IoError("flush failed for " + tmp_path);
-  }
-#if defined(__unix__) || defined(__APPLE__)
   // Durability before the rename publishes the file under its real
   // name; without it a crash can rename an unflushed (torn) snapshot.
-  if (status.ok() && fsync(fileno(file)) != 0) {
-    status = Status::IoError("fsync failed for " + tmp_path);
-  }
-#endif
-  if (std::fclose(file) != 0 && status.ok()) {
-    status = Status::IoError("close failed for " + tmp_path);
-  }
+  if (status.ok()) status = file->Sync();
+  Status close_status = file->Close();
+  if (status.ok()) status = close_status;
   if (!status.ok()) {
-    std::remove(tmp_path.c_str());
+    env->RemoveFile(tmp_path);
     return status;
   }
-  if (std::rename(tmp_path.c_str(), path_.c_str()) != 0) {
-    std::remove(tmp_path.c_str());
-    return Status::IoError("cannot rename " + tmp_path + " to " + path_);
+  status = env->RenameFile(tmp_path, path_);
+  if (!status.ok()) {
+    env->RemoveFile(tmp_path);
+    return status;
   }
-  return Status::OK();
+  // The rename itself is only durable once the parent directory's
+  // entry table is — without this a crash after "success" can roll the
+  // directory back and lose the published snapshot entirely.
+  return env->SyncDir(ParentDirectory(path_));
 }
 
 }  // namespace aujoin

@@ -4,9 +4,12 @@
 /// writer is deliberately dumb: callers declare sections as (id, ptr,
 /// size) and Finish lays them out aligned, checksummed and fronted by
 /// the header + section table. Writes go to `<path>.tmp` and are
-/// renamed into place on success, so a crashed or failed write never
-/// leaves a half-snapshot under the target name (the standard
-/// write-temp-then-rename durability idiom of LSM stores).
+/// renamed into place on success, then the parent directory is fsynced
+/// (storage/env.h SyncDir) — the full write-temp / fsync / rename /
+/// fsync-dir durability sequence of LSM stores, so a crash never
+/// leaves a half-snapshot under the target name and never loses a
+/// completed rename. All I/O goes through the storage Env, so fault
+/// injection covers every byte.
 
 #ifndef AUJOIN_STORAGE_SNAPSHOT_WRITER_H_
 #define AUJOIN_STORAGE_SNAPSHOT_WRITER_H_
@@ -15,6 +18,7 @@
 #include <string>
 #include <vector>
 
+#include "storage/env.h"
 #include "storage/snapshot_format.h"
 #include "util/status.h"
 
@@ -26,7 +30,9 @@ namespace aujoin {
 /// from the caller's arrays instead of doubling the index in RAM).
 class SnapshotWriter {
  public:
-  explicit SnapshotWriter(std::string path) : path_(std::move(path)) {}
+  /// `env` nullptr = Env::Default(); tests inject a FaultInjectionEnv.
+  explicit SnapshotWriter(std::string path, Env* env = nullptr)
+      : path_(std::move(path)), env_(env) {}
 
   /// Declares one section. Duplicate ids are rejected at Finish; a
   /// zero-size section is legal (empty collection side, empty CSR).
@@ -35,7 +41,8 @@ class SnapshotWriter {
   }
 
   /// Writes header + table + aligned payloads to `<path>.tmp`, fsyncs,
-  /// and renames over `path`. Returns the first I/O or layout error.
+  /// renames over `path`, and fsyncs the parent directory. Returns the
+  /// first I/O or layout error.
   Status Finish();
 
   /// Total bytes the snapshot will occupy (available before Finish).
@@ -49,6 +56,7 @@ class SnapshotWriter {
   };
 
   std::string path_;
+  Env* env_ = nullptr;
   std::vector<Pending> sections_;
 };
 

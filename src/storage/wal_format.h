@@ -1,0 +1,101 @@
+/// \file
+/// The write-ahead-log file format — RocksDB's log format, sized for
+/// aujoin. A log is a sequence of fixed 32 KiB blocks; a record is
+/// length-prefixed, XXH64-checksummed, and fragmented across blocks
+/// with FULL / FIRST / MIDDLE / LAST fragment types so the reader can
+/// resynchronise per block and a torn tail damages at most the records
+/// it physically covers. Full rules and recovery semantics:
+/// docs/wal-format.md.
+///
+/// Fragment layout (little-endian, 11-byte header + payload):
+///   u64 checksum   XXH64 over the payload bytes, seeded with the
+///                  fragment type — a payload sliding between types
+///                  (or a zeroed header) can never validate.
+///   u16 length     payload bytes; the fragment never crosses a block
+///                  boundary, so length <= block space remaining.
+///   u8  type       1 = FULL, 2 = FIRST, 3 = MIDDLE, 4 = LAST.
+///
+/// When fewer than 11 bytes remain in a block the writer zero-fills
+/// them (the trailer); a reader sees type 0 / length 0 / checksum 0
+/// and skips to the next block. Zero is deliberately not a valid
+/// fragment type: preallocated or padded regions read as padding, and
+/// any non-zero damage inside them is detectable.
+///
+/// The payload aujoin logs is one staged append:
+///   u32 id         the record's global id (frozen + staging position)
+///   bytes          the raw record text (re-tokenised on replay)
+/// The id makes replay idempotent across the checkpoint window: a
+/// record already compacted into a snapshot (id < current size) is
+/// skipped; the next expected id (== size) is appended; anything past
+/// that (a gap) is typed corruption.
+
+#ifndef AUJOIN_STORAGE_WAL_FORMAT_H_
+#define AUJOIN_STORAGE_WAL_FORMAT_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+
+#include "storage/checksum.h"
+
+namespace aujoin {
+
+/// Fixed block size; fragments never span a block boundary.
+constexpr size_t kWalBlockSize = 1u << 15;  // 32 KiB
+
+/// Fragment header bytes: u64 checksum + u16 length + u8 type.
+constexpr size_t kWalHeaderSize = 11;
+
+/// The largest payload one fragment can carry.
+constexpr size_t kWalMaxFragmentPayload = kWalBlockSize - kWalHeaderSize;
+
+enum WalFragmentType : uint8_t {
+  /// Never written as a fragment: zeroed trailers/preallocation only.
+  kWalZeroType = 0,
+  kWalFull = 1,
+  kWalFirst = 2,
+  kWalMiddle = 3,
+  kWalLast = 4,
+};
+constexpr uint8_t kWalMaxFragmentType = kWalLast;
+
+/// The checksum stored in a fragment header: XXH64 of the payload,
+/// seeded with the type so FIRST/MIDDLE/LAST fragments of identical
+/// bytes cannot be confused for one another.
+inline uint64_t WalFragmentChecksum(uint8_t type, const void* payload,
+                                    size_t length) {
+  return Xxh64(payload, length, /*seed=*/0x77616Cu ^ type);
+}
+
+/// Serialises one fragment header into `out[0..kWalHeaderSize)`.
+inline void EncodeWalFragmentHeader(uint8_t type, const void* payload,
+                                    uint16_t length, uint8_t* out) {
+  uint64_t checksum = WalFragmentChecksum(type, payload, length);
+  std::memcpy(out, &checksum, sizeof(checksum));
+  std::memcpy(out + 8, &length, sizeof(length));
+  out[10] = type;
+}
+
+/// One staged-append log entry: global record id + raw text.
+inline void EncodeWalAppend(uint32_t id, std::string_view text,
+                            std::string* out) {
+  out->clear();
+  out->reserve(sizeof(id) + text.size());
+  out->append(reinterpret_cast<const char*>(&id), sizeof(id));
+  out->append(text.data(), text.size());
+}
+
+/// False when the payload is too short to hold the id prefix.
+inline bool DecodeWalAppend(std::string_view payload, uint32_t* id,
+                            std::string_view* text) {
+  if (payload.size() < sizeof(*id)) return false;
+  std::memcpy(id, payload.data(), sizeof(*id));
+  *text = payload.substr(sizeof(*id));
+  return true;
+}
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_STORAGE_WAL_FORMAT_H_

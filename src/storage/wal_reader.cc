@@ -1,0 +1,156 @@
+#include "storage/wal_reader.h"
+
+#include <cstring>
+#include <utility>
+
+#include "storage/wal_format.h"
+
+namespace aujoin {
+namespace {
+
+struct FragmentHeader {
+  uint64_t checksum = 0;
+  uint16_t length = 0;
+  uint8_t type = 0;
+};
+
+FragmentHeader ReadHeader(const uint8_t* at) {
+  FragmentHeader h;
+  std::memcpy(&h.checksum, at, sizeof(h.checksum));
+  std::memcpy(&h.length, at + 8, sizeof(h.length));
+  h.type = at[10];
+  return h;
+}
+
+bool AllZero(const uint8_t* data, uint64_t size) {
+  for (uint64_t i = 0; i < size; ++i) {
+    if (data[i] != 0) return false;
+  }
+  return true;
+}
+
+/// A checksum-valid fragment parses at `pos` (respecting block
+/// geometry)? Used only after damage, to tell a torn tail (nothing
+/// valid follows) from mid-log corruption (something does).
+bool ValidFragmentAt(const uint8_t* data, uint64_t size, uint64_t pos) {
+  uint64_t block_left = kWalBlockSize - pos % kWalBlockSize;
+  if (block_left < kWalHeaderSize) return false;
+  if (pos + kWalHeaderSize > size) return false;
+  FragmentHeader h = ReadHeader(data + pos);
+  if (h.type == kWalZeroType || h.type > kWalMaxFragmentType) return false;
+  if (h.length > block_left - kWalHeaderSize) return false;
+  if (pos + kWalHeaderSize + h.length > size) return false;
+  return WalFragmentChecksum(h.type, data + pos + kWalHeaderSize, h.length) ==
+         h.checksum;
+}
+
+}  // namespace
+
+Result<WalReplay> WalReader::ReadAll(Env* env, const std::string& path) {
+  Result<std::shared_ptr<const FileMapping>> mapping_r = env->MapFile(path);
+  if (!mapping_r.ok()) return mapping_r.status();
+  std::shared_ptr<const FileMapping> mapping = *mapping_r;
+  const uint8_t* data = mapping->data();
+  const uint64_t size = mapping->size();
+
+  WalReplay out;
+  std::string pending;  // accumulates FIRST..MIDDLE..LAST fragments
+  bool in_record = false;
+  uint64_t pos = 0;
+  bool damaged = false;
+  uint64_t damage_at = 0;
+
+  while (pos < size) {
+    uint64_t block_left = kWalBlockSize - pos % kWalBlockSize;
+    uint64_t file_left = size - pos;
+    if (block_left < kWalHeaderSize || file_left < kWalHeaderSize) {
+      // Block trailer (or a cut inside one): legal only as zeros.
+      uint64_t span = block_left < file_left ? block_left : file_left;
+      if (!AllZero(data + pos, span)) {
+        damaged = true;
+        damage_at = pos;
+        break;
+      }
+      pos += span;
+      continue;
+    }
+    FragmentHeader h = ReadHeader(data + pos);
+    if (h.type == kWalZeroType) {
+      // Padding claim: the rest of this block (a writer never emits a
+      // zero-type fragment) — every byte of it must actually be zero,
+      // so flipped bits inside padding still read as damage.
+      uint64_t span = block_left < file_left ? block_left : file_left;
+      if (!AllZero(data + pos, span)) {
+        damaged = true;
+        damage_at = pos;
+        break;
+      }
+      pos += span;
+      continue;
+    }
+    if (h.type > kWalMaxFragmentType ||
+        h.length > block_left - kWalHeaderSize ||
+        kWalHeaderSize + h.length > file_left ||
+        WalFragmentChecksum(h.type, data + pos + kWalHeaderSize, h.length) !=
+            h.checksum) {
+      damaged = true;
+      damage_at = pos;
+      break;
+    }
+    // A valid fragment in an impossible position (FULL/FIRST inside a
+    // fragmented record, MIDDLE/LAST outside one) means fragments were
+    // lost: damage, not a parse quirk.
+    bool starts = (h.type == kWalFull || h.type == kWalFirst);
+    if (starts == in_record) {
+      damaged = true;
+      damage_at = pos;
+      break;
+    }
+    const char* payload = reinterpret_cast<const char*>(data) + pos +
+                          kWalHeaderSize;
+    pos += kWalHeaderSize + h.length;
+    switch (h.type) {
+      case kWalFull:
+        out.records.emplace_back(payload, h.length);
+        out.valid_bytes = pos;
+        break;
+      case kWalFirst:
+        pending.assign(payload, h.length);
+        in_record = true;
+        break;
+      case kWalMiddle:
+        pending.append(payload, h.length);
+        break;
+      case kWalLast:
+        pending.append(payload, h.length);
+        out.records.push_back(std::move(pending));
+        pending.clear();
+        in_record = false;
+        out.valid_bytes = pos;
+        break;
+    }
+  }
+
+  if (damaged) {
+    // Torn tail or mid-log damage? Scan every later position for a
+    // checksum-valid fragment: one hit means intact (acknowledged)
+    // records sit beyond the hole, and replay must not silently drop
+    // them. Runs only on damaged files, so clean recovery never pays
+    // for it.
+    for (uint64_t q = damage_at + 1; q + kWalHeaderSize <= size; ++q) {
+      if (ValidFragmentAt(data, size, q)) {
+        return Status::Corruption(
+            path + ": log damaged at offset " + std::to_string(damage_at) +
+            " with intact records after it (mid-log corruption)");
+      }
+    }
+    out.torn_tail = true;
+  } else if (in_record) {
+    // The file ends cleanly but mid-record: the unfinished chain was
+    // never acknowledged; drop it as a torn tail.
+    out.torn_tail = true;
+  }
+  return out;
+}
+
+}  // namespace aujoin

@@ -1,0 +1,51 @@
+/// \file
+/// WalReader — replays a write-ahead log written by WalWriter,
+/// tolerating exactly the damage a crash can cause and refusing
+/// everything else. The contract (docs/wal-format.md):
+///
+///   - A clean log yields every record, in append order.
+///   - A torn tail — truncation, a half-written fragment, or bit
+///     damage with nothing valid after it — stops the scan cleanly at
+///     the last intact record (`torn_tail` set, no error): those are
+///     the unacknowledged bytes a crash legitimately loses.
+///   - Damage with valid fragments after it is mid-log corruption:
+///     acknowledged records would silently vanish if replay "skipped"
+///     the hole, so it returns a typed kCorruption instead.
+///
+/// `valid_bytes` is the intact prefix; recovery truncates the file to
+/// it before reopening a WalWriter, so appends resume on sound bytes.
+
+#ifndef AUJOIN_STORAGE_WAL_READER_H_
+#define AUJOIN_STORAGE_WAL_READER_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace aujoin {
+
+/// The outcome of replaying one log file.
+struct WalReplay {
+  /// Every intact record's payload, in append order.
+  std::vector<std::string> records;
+  /// File-prefix bytes covered by those records (trailing padding and
+  /// any torn tail excluded) — the truncation point before resuming.
+  uint64_t valid_bytes = 0;
+  /// The scan stopped early at a damaged or incomplete tail.
+  bool torn_tail = false;
+};
+
+class WalReader {
+ public:
+  /// Reads the whole log at `path` through `env`. Missing file is an
+  /// I/O error (callers gate on Env::FileExists); mid-log damage is
+  /// kCorruption; a torn tail is success with `torn_tail` set.
+  static Result<WalReplay> ReadAll(Env* env, const std::string& path);
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_STORAGE_WAL_READER_H_

@@ -1,0 +1,108 @@
+#include "storage/wal_writer.h"
+
+#include <cstring>
+#include <vector>
+
+namespace aujoin {
+
+Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env,
+                                                   const std::string& path,
+                                                   bool truncate) {
+  bool existed = env->FileExists(path);
+  uint64_t size = 0;
+  if (!truncate && existed) {
+    Result<uint64_t> existing = env->GetFileSize(path);
+    if (!existing.ok()) return existing.status();
+    size = *existing;
+  }
+  Result<std::unique_ptr<WritableFile>> file =
+      env->NewWritableFile(path, truncate);
+  if (!file.ok()) return file.status();
+  if (!existed) {
+    // Publish the creation: without a parent-directory sync the new
+    // log's NAME is not durable, so a crash could drop the whole file —
+    // fsynced appends included. Same window SnapshotWriter closes
+    // after its rename.
+    AUJOIN_RETURN_NOT_OK(env->SyncDir(ParentDirectory(path)));
+  }
+  return std::unique_ptr<WalWriter>(
+      new WalWriter(env, path, std::move(*file), size));
+}
+
+Status WalWriter::EmitFragment(uint8_t type, const uint8_t* data,
+                               size_t length) {
+  std::vector<uint8_t> buffer(kWalHeaderSize + length);
+  EncodeWalFragmentHeader(type, data, static_cast<uint16_t>(length),
+                          buffer.data());
+  if (length > 0) std::memcpy(buffer.data() + kWalHeaderSize, data, length);
+  AUJOIN_RETURN_NOT_OK(file_->Append(buffer.data(), buffer.size()));
+  size_ += buffer.size();
+  block_offset_ += buffer.size();
+  if (block_offset_ == kWalBlockSize) block_offset_ = 0;
+  return Status::OK();
+}
+
+Status WalWriter::AddRecord(const void* data, size_t size) {
+  if (!broken_.ok()) return broken_;
+  const uint8_t* ptr = static_cast<const uint8_t*>(data);
+  size_t remaining = size;
+  bool first = true;
+  Status status = Status::OK();
+  do {
+    size_t block_left = kWalBlockSize - block_offset_;
+    if (block_left < kWalHeaderSize) {
+      // Zero-filled trailer: too small for a header, skip to the next
+      // block (readers recognise the zeros as padding).
+      static const uint8_t kZeros[kWalHeaderSize] = {};
+      status = file_->Append(kZeros, block_left);
+      if (!status.ok()) break;
+      size_ += block_left;
+      block_offset_ = 0;
+      block_left = kWalBlockSize;
+    }
+    size_t available = block_left - kWalHeaderSize;
+    size_t fragment = remaining < available ? remaining : available;
+    bool last = (fragment == remaining);
+    uint8_t type = first ? (last ? kWalFull : kWalFirst)
+                         : (last ? kWalLast : kWalMiddle);
+    status = EmitFragment(type, ptr, fragment);
+    if (!status.ok()) break;
+    ptr += fragment;
+    remaining -= fragment;
+    first = false;
+  } while (remaining > 0);
+  if (!status.ok()) {
+    // The physical tail is now unknown (a fragment may be half
+    // written); refuse further appends until the log is reset.
+    broken_ = status;
+  }
+  return status;
+}
+
+Status WalWriter::Sync() {
+  if (!broken_.ok()) return broken_;
+  Status status = file_->Sync();
+  if (!status.ok()) broken_ = status;
+  return status;
+}
+
+Status WalWriter::Reset() {
+  file_.reset();  // close (best effort) before reopening truncated
+  Result<std::unique_ptr<WritableFile>> file =
+      env_->NewWritableFile(path_, /*truncate=*/true);
+  if (!file.ok()) {
+    broken_ = file.status();
+    return broken_;
+  }
+  file_ = std::move(*file);
+  size_ = 0;
+  block_offset_ = 0;
+  broken_ = Status::OK();
+  // Make the truncation itself durable: a crash right after a
+  // checkpoint must not resurrect the sealed log's records (harmless —
+  // replay skips compacted ids — but the durable state should be what
+  // the caller was told).
+  return Sync();
+}
+
+}  // namespace aujoin

@@ -9,8 +9,10 @@
 //                --theta=0.7 --tau=2 [--algorithm=unified] [--out=-]
 //                [--stats_out=BENCH_cli.json] [--require_nonzero]
 //   aujoin query --input=... [--queries=FILE] [--topk=10] [--theta=0.7]
-//                [--threads=0] [--snapshot=FILE]
+//                [--threads=0] [--snapshot=FILE] [--wal=FILE]
 //                [--stats_out=BENCH_query.json]
+//   aujoin append --input=... --wal=append.wal [--records=FILE]
+//                [--snapshot=ckpt.aujsnap] [--checkpoint]
 //   aujoin snapshot --input=... --snapshot=index.aujsnap
 //   aujoin tune  --input=... [--theta=0.8] [--sample=0.05]
 //   aujoin stats --input=... [--rules=...] [--taxonomy=...]
@@ -21,13 +23,18 @@
 // docs/bench-schema.md). `query` serves online similarity search over
 // the ingested collection from a shared immutable PreparedIndex —
 // queries come from a file or stdin, one per line, fanned across the
-// engine's thread pool. `snapshot` persists the prepared index as a
+// engine's thread pool. `append` grows the ingested collection with
+// durable, WAL-logged appends (docs/wal-format.md); a later `query
+// --wal=FILE` (or another `append`) replays the log — and mounts the
+// checkpoint written by `append --checkpoint` — so acknowledged
+// appends survive crashes. `snapshot` persists the prepared index as a
 // versioned on-disk snapshot (docs/snapshot-format.md) that later
 // query/join invocations mount with --snapshot=FILE, skipping
 // preparation entirely. `tune` runs Algorithm 7 and reports the
 // suggested overlap constraint tau as JSON. `stats` ingests and prints
 // the dataset manifest. Full flag reference: docs/cli.md.
 
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -35,11 +42,13 @@
 #include <iostream>
 #include <ostream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "api/engine.h"
 #include "dataset/dataset.h"
 #include "harness.h"
+#include "storage/generational_index.h"
 #include "util/flags.h"
 #include "util/io.h"
 #include "util/json.h"
@@ -53,6 +62,7 @@ constexpr const char* kUsage = R"(usage: aujoin <command> [--flags]
 commands:
   join      ingest a dataset and run a similarity self- or R x S join
   query     ingest a dataset, index it once, answer similarity queries
+  append    grow the ingested collection with durable WAL-logged appends
   snapshot  ingest a dataset, prepare its index, persist it to disk
   tune      run Algorithm 7 to suggest the overlap constraint tau
   stats     ingest a dataset and print its manifest as JSON
@@ -95,6 +105,9 @@ query flags:
   --queries=FILE         query texts, one per line (- or omitted = stdin)
   --snapshot=FILE        serve from a persisted index snapshot instead of
                          rebuilding (hard error when it does not match)
+  --wal=FILE             replay (and keep serving) the append WAL: appended
+                         records survive crashes and answer queries; with
+                         --snapshot the snapshot is the append checkpoint
   --theta=0.8            similarity threshold
   --tau=1                overlap constraint on the query signature
   --topk=0               keep only the k best matches per query (0 = all)
@@ -104,6 +117,22 @@ query flags:
   --stats_out=FILE       write serving stats in the BENCH_<name>.json schema
   --name=query           report name for --stats_out
   --require_nonzero      exit 1 when no query finds any match
+
+append flags:
+  --wal=FILE             write-ahead log path (required); replayed first,
+                         then every append is logged + fsynced before it
+                         is acknowledged
+  --records=FILE         texts to append, one per line (- or omitted = stdin)
+  --snapshot=FILE        checkpoint path: mounted on start when it exists,
+                         written by --checkpoint
+  --checkpoint           after appending, refreeze + write the checkpoint
+                         and reset the WAL (requires --snapshot=FILE)
+  --ready_file=FILE      after the batch is durable, write the appended
+                         count here (crash-injection harnesses wait for it)
+  --linger_seconds=0     sleep this long before exiting (gives kill -9
+                         harnesses a stable window)
+  --stats_out=FILE       write append/recovery stats in the BENCH schema
+  --name=append          report name for --stats_out
 
 snapshot flags:
   --snapshot=FILE        output snapshot path (required)
@@ -492,6 +521,40 @@ int RunQuery(const Flags& flags) {
   }
   std::fprintf(stderr, "ingested: %s\n", dataset->manifest.ToJson().c_str());
 
+  Engine engine = EngineFromFlags(flags, *dataset);
+  engine.SetRecords(dataset->records);
+
+  const std::string wal_path = flags.GetString("wal", "");
+  double wal_recovery_seconds = 0.0;
+  if (!wal_path.empty()) {
+    // Append-serving recovery. This must happen BEFORE query
+    // tokenisation: recovery re-interns the appended texts in their
+    // original order, and query tokens interned ahead of them would
+    // shift the ids and break the checkpoint fingerprints.
+    WallTimer recovery_timer;
+    Status status = engine.EnableAppend(
+        wal_path,
+        [&](const std::string& text) {
+          return MakeRecord(0, text, &dataset->vocab, spec.tokenizer);
+        },
+        flags.GetString("snapshot", ""));
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: cannot recover WAL %s: %s\n",
+                   wal_path.c_str(), status.ToString().c_str());
+      return 1;
+    }
+    wal_recovery_seconds = recovery_timer.Seconds();
+    std::fprintf(stderr,
+                 "wal: recovered %llu appended records from %s in %.3fs "
+                 "(serving %zu records)\n",
+                 static_cast<unsigned long long>(
+                     engine.wal_recovered_records()),
+                 wal_path.c_str(), wal_recovery_seconds,
+                 engine.generational_index()->size());
+  } else if (!MaybeLoadSnapshot(flags, &engine)) {
+    return 1;
+  }
+
   // Query texts: one per line from --queries (or stdin), tokenised into
   // the dataset's vocabulary with the same normalisation — interning
   // happens here, before the immutable index is built.
@@ -524,10 +587,6 @@ int RunQuery(const Flags& flags) {
     return 1;
   }
 
-  Engine engine = EngineFromFlags(flags, *dataset);
-  engine.SetRecords(dataset->records);
-  if (!MaybeLoadSnapshot(flags, &engine)) return 1;
-
   EngineSearchOptions options;
   options.theta = flags.GetDouble("theta", 0.8);
   options.tau = static_cast<int>(flags.GetInt("tau", 1));
@@ -546,8 +605,13 @@ int RunQuery(const Flags& flags) {
         out << query_index << target.sep << m.id << target.sep
             << m.similarity;
         if (!target.ids_only) {
+          // In append mode the matched id can point past the ingested
+          // dataset (a recovered or staged append).
           out << target.sep << target.Text(queries[query_index].text)
-              << target.sep << target.Text(dataset->records[m.id].text);
+              << target.sep
+              << target.Text(engine.append_mode()
+                                 ? engine.generational_index()->TextOf(m.id)
+                                 : dataset->records[m.id].text);
         }
         out << '\n';
         ++written;
@@ -571,8 +635,6 @@ int RunQuery(const Flags& flags) {
 
   std::string stats_out = flags.GetString("stats_out", "");
   if (!stats_out.empty()) {
-    Result<std::shared_ptr<const PreparedIndex>> index =
-        engine.ServingIndex();
     BenchRun run;
     BenchReport report = MakeCliReport(flags, *dataset, "query", &run);
     run.algorithm = "search";
@@ -581,8 +643,23 @@ int RunQuery(const Flags& flags) {
     run.variant = variant;
     run.theta = options.theta;
     run.tau = options.tau;
-    run.stats.prepare_seconds =
-        index.ok() ? (*index)->prepare_seconds() : 0.0;
+    if (engine.append_mode()) {
+      // The generational frozen index is the serving base; asking
+      // ServingIndex() here would force a redundant rebuild.
+      run.stats.prepare_seconds =
+          engine.generational_index()->frozen_index()->prepare_seconds();
+      run.num_records = engine.generational_index()->size();
+      run.has_wal = true;
+      run.wal_recovery_seconds = wal_recovery_seconds;
+      run.wal_recovered_records = engine.wal_recovered_records();
+      std::ifstream probe(wal_path, std::ios::binary | std::ios::ate);
+      if (probe) run.wal_bytes = static_cast<uint64_t>(probe.tellg());
+    } else {
+      Result<std::shared_ptr<const PreparedIndex>> index =
+          engine.ServingIndex();
+      run.stats.prepare_seconds =
+          index.ok() ? (*index)->prepare_seconds() : 0.0;
+    }
     run.stats.index_seconds = stats.index_seconds;
     run.stats.queries = stats.queries;
     run.stats.query_candidates = stats.query_candidates;
@@ -601,6 +678,149 @@ int RunQuery(const Flags& flags) {
   if (flags.GetBool("require_nonzero", false) && written == 0) {
     std::fprintf(stderr, "error: search found zero matches\n");
     return 1;
+  }
+  return 0;
+}
+
+int RunAppend(const Flags& flags) {
+  DatasetSpec spec;
+  if (!SpecFromFlags(flags, &spec)) return 1;
+  if (!spec.records2_path.empty()) {
+    std::fprintf(stderr,
+                 "error: append grows a single collection; --input2 is a "
+                 "join-only flag\n");
+    return 1;
+  }
+  std::string wal_path = flags.GetString("wal", "");
+  if (wal_path.empty()) {
+    std::fprintf(stderr, "error: --wal=FILE is required\n");
+    return 1;
+  }
+  std::string checkpoint_path = flags.GetString("snapshot", "");
+  bool do_checkpoint = flags.GetBool("checkpoint", false);
+  if (do_checkpoint && checkpoint_path.empty()) {
+    std::fprintf(stderr, "error: --checkpoint requires --snapshot=FILE\n");
+    return 1;
+  }
+  Result<Dataset> dataset = LoadDataset(spec);
+  if (!dataset.ok()) {
+    std::fprintf(stderr, "error: %s\n", dataset.status().ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "ingested: %s\n", dataset->manifest.ToJson().c_str());
+
+  Engine engine = EngineFromFlags(flags, *dataset);
+  engine.SetRecords(dataset->records);
+
+  WallTimer recovery_timer;
+  Status status = engine.EnableAppend(
+      wal_path,
+      [&](const std::string& text) {
+        return MakeRecord(0, text, &dataset->vocab, spec.tokenizer);
+      },
+      checkpoint_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: cannot open WAL %s: %s\n", wal_path.c_str(),
+                 status.ToString().c_str());
+    return 1;
+  }
+  double recovery_seconds = recovery_timer.Seconds();
+  std::fprintf(stderr,
+               "wal: recovered %llu appended records in %.3fs; serving %zu "
+               "records\n",
+               static_cast<unsigned long long>(engine.wal_recovered_records()),
+               recovery_seconds, engine.generational_index()->size());
+
+  // Texts to append: one per non-blank line of --records (- = stdin).
+  std::string records_path = flags.GetString("records", "-");
+  std::ifstream records_file;
+  if (records_path != "-") {
+    records_file.open(records_path);
+    if (!records_file) {
+      std::fprintf(stderr, "error: cannot open %s\n", records_path.c_str());
+      return 1;
+    }
+  }
+  std::istream& records_in =
+      records_path == "-" ? std::cin : records_file;
+
+  uint64_t appended = 0;
+  std::string line;
+  WallTimer append_timer;
+  while (std::getline(records_in, line)) {
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.find_first_not_of(" \t\f\v\r") == std::string::npos) continue;
+    Result<uint32_t> id = engine.Append(line);
+    if (!id.ok()) {
+      std::fprintf(stderr, "error: append failed after %llu records: %s\n",
+                   static_cast<unsigned long long>(appended),
+                   id.status().ToString().c_str());
+      return 1;
+    }
+    ++appended;
+  }
+  double append_seconds = append_timer.Seconds();
+  std::fprintf(stderr,
+               "append: %llu records in %.3fs (%.0f records/s, one fsync "
+               "per append); serving %zu records\n",
+               static_cast<unsigned long long>(appended), append_seconds,
+               append_seconds > 0 ? appended / append_seconds : 0.0,
+               engine.generational_index()->size());
+
+  // Readiness AFTER the batch is durable: from the moment this file
+  // exists a kill -9 must lose nothing, which is exactly what the CI
+  // crash-recovery smoke asserts.
+  std::string ready_file = flags.GetString("ready_file", "");
+  if (!ready_file.empty()) {
+    std::ofstream ready(ready_file);
+    ready << appended << "\n";
+    ready.flush();
+    if (!ready) {
+      std::fprintf(stderr, "error: cannot write %s\n", ready_file.c_str());
+      return 1;
+    }
+  }
+
+  if (do_checkpoint) {
+    WallTimer checkpoint_timer;
+    status = engine.Checkpoint(checkpoint_path);
+    if (!status.ok()) {
+      std::fprintf(stderr, "error: checkpoint failed: %s\n",
+                   status.ToString().c_str());
+      return 1;
+    }
+    std::fprintf(stderr, "checkpoint: %s written in %.3fs, WAL reset\n",
+                 checkpoint_path.c_str(), checkpoint_timer.Seconds());
+  }
+
+  std::string stats_out = flags.GetString("stats_out", "");
+  if (!stats_out.empty()) {
+    BenchRun run;
+    BenchReport report = MakeCliReport(flags, *dataset, "append", &run);
+    run.algorithm = "append";
+    run.variant = do_checkpoint ? "checkpoint" : "wal";
+    run.num_records = engine.generational_index()->size();
+    run.stats.results = appended;
+    run.has_wal = true;
+    run.wal_append_records_per_sec =
+        append_seconds > 0 ? appended / append_seconds : 0.0;
+    run.wal_recovery_seconds = recovery_seconds;
+    run.wal_recovered_records = engine.wal_recovered_records();
+    {
+      std::ifstream probe(wal_path, std::ios::binary | std::ios::ate);
+      if (probe) run.wal_bytes = static_cast<uint64_t>(probe.tellg());
+    }
+    run.total_seconds = recovery_seconds + append_seconds;
+    run.wall_seconds = run.total_seconds;
+    report.runs.push_back(run);
+    if (!WriteCliReport(report, stats_out)) return 1;
+  }
+
+  int64_t linger = flags.GetInt("linger_seconds", 0);
+  if (linger > 0) {
+    std::fprintf(stderr, "lingering %llds (kill window)...\n",
+                 static_cast<long long>(linger));
+    std::this_thread::sleep_for(std::chrono::seconds(linger));
   }
   return 0;
 }
@@ -684,6 +904,7 @@ int Run(int argc, char** argv) {
   const std::string& command = flags.positional()[0];
   if (command == "join") return RunJoin(flags);
   if (command == "query") return RunQuery(flags);
+  if (command == "append") return RunAppend(flags);
   if (command == "snapshot") return RunSnapshot(flags);
   if (command == "tune") return RunTune(flags);
   if (command == "stats") return RunStats(flags);

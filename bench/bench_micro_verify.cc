@@ -1,0 +1,300 @@
+// Verify-stage micro-bench: the two kernels the verification hot path
+// dispatches through (src/kernels/) raced scalar vs the best vector
+// variant the host supports:
+//
+//   intersect  — sorted-uint32 set intersection over generated gram-id
+//                set pairs shaped like the verify stage's per-string
+//                q-gram sets (the Jaccard/Cosine/Dice overlap core and
+//                the AdaptJoin verify predicate)
+//   accumulate — gathered weight accumulation over PairGraph-style
+//                weight arrays (the SquareImp / claw-improvement sums)
+//
+// Every registered kernel must produce byte-identical intersection
+// output and bit-identical accumulation sums (the bench exits non-zero
+// otherwise — it doubles as a cross-kernel parity check), and the
+// report lands in BENCH_<name>.json with the intersect_elems_per_sec /
+// accumulate_elems_per_sec / kernel / verify_speedup fields documented
+// in docs/bench-schema.md.
+//
+// CI gate:
+//   --min_speedup=<x>  the best vector kernel's intersection sweep must
+//                      be at least x times the scalar throughput (fails
+//                      when no vector kernel is available, so CI also
+//                      asserts SIMD dispatch actually happened)
+//
+// Typical invocation:
+//   bench_micro_verify --name=micro_verify --pairs=2000 --repeat=20 \
+//     --min_speedup=1.2
+
+#include <algorithm>
+#include <cstdio>
+#include <cstring>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "bench_common.h"
+#include "harness.h"
+#include "kernels/kernels.h"
+#include "util/aligned_buffer.h"
+#include "util/timer.h"
+
+namespace aujoin {
+namespace {
+
+struct IdSetPair {
+  std::vector<uint32_t> a;
+  std::vector<uint32_t> b;
+};
+
+// Sorted distinct id sets with verify-like shapes: sizes spread across
+// [min_len, max_len], draws from a universe sized for a ~30-60% overlap
+// between the two sides of a pair.
+std::vector<IdSetPair> MakePairs(size_t pairs, size_t min_len, size_t max_len,
+                                 uint64_t seed) {
+  std::mt19937_64 rng(seed);
+  std::uniform_int_distribution<size_t> len_dist(min_len, max_len);
+  std::vector<IdSetPair> out(pairs);
+  for (IdSetPair& p : out) {
+    size_t na = len_dist(rng), nb = len_dist(rng);
+    uint32_t universe = static_cast<uint32_t>(2 * std::max(na, nb) + 1);
+    std::uniform_int_distribution<uint32_t> id_dist(0, universe);
+    auto make = [&](size_t n) {
+      std::vector<uint32_t> v(n);
+      for (uint32_t& x : v) x = id_dist(rng);
+      std::sort(v.begin(), v.end());
+      v.erase(std::unique(v.begin(), v.end()), v.end());
+      return v;
+    };
+    p.a = make(na);
+    p.b = make(nb);
+  }
+  return out;
+}
+
+struct SweepOutcome {
+  uint64_t checksum = 0;  // per sweep; parity across kernels
+  uint64_t elems = 0;     // elements touched per sweep
+  double seconds = 0.0;   // total over every repeat
+};
+
+SweepOutcome IntersectSweep(const std::vector<IdSetPair>& pairs,
+                            const KernelOps* kernel, int repeat) {
+  SweepOutcome out;
+  size_t max_len = 0;
+  for (const IdSetPair& p : pairs) max_len = std::max(max_len, p.a.size());
+  AlignedBuffer<uint32_t> scratch(max_len + kKernelLaneSlack);
+  WallTimer timer;
+  for (int r = 0; r < repeat; ++r) {
+    uint64_t checksum = 0, elems = 0;
+    for (const IdSetPair& p : pairs) {
+      uint32_t* end = kernel->intersect_sorted(p.a.data(), p.a.size(),
+                                               p.b.data(), p.b.size(),
+                                               scratch.data());
+      size_t matched = static_cast<size_t>(end - scratch.data());
+      // Checksum over values, not just counts: a kernel emitting the
+      // wrong elements with the right cardinality still trips parity.
+      for (size_t k = 0; k < matched; ++k) checksum += scratch.data()[k] + 1;
+      elems += p.a.size() + p.b.size();
+    }
+    out.checksum = checksum;
+    out.elems = elems;
+  }
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+SweepOutcome AccumulateSweep(const std::vector<double>& weights,
+                             const std::vector<std::vector<uint32_t>>& gathers,
+                             const KernelOps* kernel, int repeat) {
+  SweepOutcome out;
+  WallTimer timer;
+  for (int r = 0; r < repeat; ++r) {
+    double sum = 0.0;
+    uint64_t elems = 0;
+    for (const std::vector<uint32_t>& idx : gathers) {
+      sum += kernel->accumulate_weights(weights.data(), idx.data(),
+                                        idx.size());
+      elems += idx.size();
+    }
+    // The contract is bit-identical doubles, so the bit pattern IS the
+    // parity checksum.
+    uint64_t bits;
+    std::memcpy(&bits, &sum, sizeof(bits));
+    out.checksum = bits;
+    out.elems = elems;
+  }
+  out.seconds = timer.Seconds();
+  return out;
+}
+
+BenchRun MakeRun(const std::string& variant, const char* kernel,
+                 const SweepOutcome& intersect, const SweepOutcome& accumulate,
+                 int repeat) {
+  BenchRun run;
+  run.algorithm = "verify_kernels";
+  run.variant = variant;
+  run.measures = "TJS";
+  run.threads = 1;
+  run.ok = true;
+  run.total_seconds = intersect.seconds + accumulate.seconds;
+  run.wall_seconds = run.total_seconds;
+  run.has_verify_micro = true;
+  run.kernel = kernel;
+  double intersect_sweep = intersect.seconds / repeat;
+  if (intersect_sweep > 0.0) {
+    run.intersect_elems_per_sec =
+        static_cast<double>(intersect.elems) / intersect_sweep;
+  }
+  double accumulate_sweep = accumulate.seconds / repeat;
+  if (accumulate_sweep > 0.0) {
+    run.accumulate_elems_per_sec =
+        static_cast<double>(accumulate.elems) / accumulate_sweep;
+  }
+  run.peak_rss_bytes = CurrentPeakRssBytes();
+  return run;
+}
+
+int Run(int argc, char** argv) {
+  Flags flags(argc, argv);
+  std::string name = flags.GetString("name", "micro_verify");
+  size_t pairs = static_cast<size_t>(flags.GetInt("pairs", 2000));
+  size_t min_len = static_cast<size_t>(flags.GetInt("min_len", 64));
+  size_t max_len = static_cast<size_t>(flags.GetInt("max_len", 512));
+  int repeat = static_cast<int>(flags.GetInt("repeat", 20));
+  uint64_t seed = static_cast<uint64_t>(flags.GetInt("seed", 42));
+  double min_speedup = flags.GetDouble("min_speedup", 0.0);
+  std::string out_path = flags.GetString("out", "BENCH_" + name + ".json");
+
+  PrintBanner("verify-kernel micro-bench", "hot path of the verify stage",
+              "vectorized set intersection + weight accumulation");
+  std::printf("workload: pairs=%zu len=[%zu,%zu] seed=%llu repeat=%d\n",
+              pairs, min_len, max_len,
+              static_cast<unsigned long long>(seed), repeat);
+
+  std::vector<IdSetPair> id_pairs = MakePairs(pairs, min_len, max_len, seed);
+  // One PairGraph-sized weight array, gathered through index lists of
+  // claw-neighbourhood sizes (most are small; a few span the graph).
+  std::mt19937_64 rng(seed ^ 0x9e3779b97f4a7c15ull);
+  std::uniform_real_distribution<double> w_dist(0.0, 1.0);
+  std::vector<double> weights(4096);
+  for (double& w : weights) w = w_dist(rng);
+  std::uniform_int_distribution<uint32_t> v_dist(
+      0, static_cast<uint32_t>(weights.size() - 1));
+  std::vector<std::vector<uint32_t>> gathers(pairs);
+  for (size_t g = 0; g < gathers.size(); ++g) {
+    size_t n = (g % 16 == 0) ? 1024 : 2 + g % 30;
+    gathers[g].resize(n);
+    for (uint32_t& v : gathers[g]) v = v_dist(rng);
+  }
+
+  const KernelOps* scalar = &ScalarKernel();
+  const KernelOps* vector_kernel = nullptr;
+  for (const KernelOps* kernel : AvailableKernels()) {
+    if (kernel->kind != KernelKind::kScalar) vector_kernel = kernel;
+  }
+  if (ForceScalarEnvRequested()) {
+    std::printf("AUJOIN_FORCE_SCALAR set: racing only the scalar kernel\n");
+    vector_kernel = nullptr;
+  }
+
+  // Cross-kernel parity first (one sweep per registered kernel), then
+  // the timed race on scalar vs the widest variant.
+  SweepOutcome scalar_intersect = IntersectSweep(id_pairs, scalar, 1);
+  SweepOutcome scalar_accumulate = AccumulateSweep(weights, gathers, scalar, 1);
+  for (const KernelOps* kernel : AvailableKernels()) {
+    SweepOutcome i = IntersectSweep(id_pairs, kernel, 1);
+    SweepOutcome a = AccumulateSweep(weights, gathers, kernel, 1);
+    if (i.checksum != scalar_intersect.checksum ||
+        a.checksum != scalar_accumulate.checksum) {
+      std::fprintf(stderr,
+                   "PARITY FAILURE: kernel %s disagrees with scalar "
+                   "(intersect %llu vs %llu, accumulate bits %llx vs %llx)\n",
+                   kernel->name,
+                   static_cast<unsigned long long>(i.checksum),
+                   static_cast<unsigned long long>(scalar_intersect.checksum),
+                   static_cast<unsigned long long>(a.checksum),
+                   static_cast<unsigned long long>(scalar_accumulate.checksum));
+      return 2;
+    }
+  }
+
+  scalar_intersect = IntersectSweep(id_pairs, scalar, repeat);
+  scalar_accumulate = AccumulateSweep(weights, gathers, scalar, repeat);
+  SweepOutcome vector_intersect, vector_accumulate;
+  if (vector_kernel != nullptr) {
+    vector_intersect = IntersectSweep(id_pairs, vector_kernel, repeat);
+    vector_accumulate = AccumulateSweep(weights, gathers, vector_kernel,
+                                        repeat);
+  }
+
+  double intersect_speedup =
+      vector_kernel != nullptr && vector_intersect.seconds > 0.0
+          ? scalar_intersect.seconds / vector_intersect.seconds
+          : 0.0;
+
+  BenchReport report;
+  report.name = name;
+  report.runs.push_back(MakeRun("verify-scalar", scalar->name,
+                                scalar_intersect, scalar_accumulate, repeat));
+  if (vector_kernel != nullptr) {
+    BenchRun run = MakeRun(std::string("verify-") + vector_kernel->name,
+                           vector_kernel->name, vector_intersect,
+                           vector_accumulate, repeat);
+    run.verify_speedup = intersect_speedup;
+    report.runs.push_back(std::move(run));
+  }
+
+  std::printf("intersect (%d sweeps, %llu ids/sweep): scalar=%.4fs",
+              repeat, static_cast<unsigned long long>(scalar_intersect.elems),
+              scalar_intersect.seconds);
+  if (vector_kernel != nullptr) {
+    std::printf(" %s=%.4fs -> speedup %.2fx\n", vector_kernel->name,
+                vector_intersect.seconds, intersect_speedup);
+  } else {
+    std::printf(" (no vector kernel on this host)\n");
+  }
+  std::printf("accumulate (%d sweeps, %llu gathers/sweep): scalar=%.4fs",
+              repeat,
+              static_cast<unsigned long long>(scalar_accumulate.elems),
+              scalar_accumulate.seconds);
+  if (vector_kernel != nullptr) {
+    double accumulate_speedup =
+        vector_accumulate.seconds > 0.0
+            ? scalar_accumulate.seconds / vector_accumulate.seconds
+            : 0.0;
+    std::printf(" %s=%.4fs -> speedup %.2fx\n", vector_kernel->name,
+                vector_accumulate.seconds, accumulate_speedup);
+  } else {
+    std::printf("\n");
+  }
+
+  if (!report.WriteJsonFile(out_path)) {
+    std::fprintf(stderr, "FAILED to write %s\n", out_path.c_str());
+    return 2;
+  }
+  std::printf("wrote %s (%zu runs)\n", out_path.c_str(), report.runs.size());
+
+  if (min_speedup > 0.0) {
+    if (vector_kernel == nullptr) {
+      std::fprintf(stderr,
+                   "SMOKE FAILURE: --min_speedup=%.2f requires a vector "
+                   "kernel, but only scalar is available\n",
+                   min_speedup);
+      return 1;
+    }
+    if (intersect_speedup < min_speedup) {
+      std::fprintf(stderr,
+                   "SMOKE FAILURE: %s intersection speedup %.2fx over "
+                   "scalar below the --min_speedup=%.2f gate\n",
+                   vector_kernel->name, intersect_speedup, min_speedup);
+      return 1;
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace aujoin
+
+int main(int argc, char** argv) { return aujoin::Run(argc, argv); }

@@ -126,6 +126,20 @@ std::string BenchReport::ToJson() const {
         AppendJsonDouble(run.probe_speedup, &out);
       }
     }
+    if (run.has_verify_micro) {
+      out += ",\n     \"intersect_elems_per_sec\": ";
+      AppendJsonDouble(run.intersect_elems_per_sec, &out);
+      out += ", \"accumulate_elems_per_sec\": ";
+      AppendJsonDouble(run.accumulate_elems_per_sec, &out);
+      if (!run.kernel.empty() && !run.has_index_micro) {
+        out += ", \"kernel\": ";
+        AppendJsonString(run.kernel, &out);
+      }
+      if (run.verify_speedup > 0.0) {
+        out += ", \"verify_speedup\": ";
+        AppendJsonDouble(run.verify_speedup, &out);
+      }
+    }
     if (!run.index_source.empty()) {
       out += ",\n     \"index_source\": ";
       AppendJsonString(run.index_source, &out);
@@ -157,6 +171,14 @@ std::string BenchReport::ToJson() const {
       AppendJsonUint(run.wal_recovered_records, &out);
       out += ", \"wal_bytes\": ";
       AppendJsonUint(run.wal_bytes, &out);
+      if (run.wal_mt_threads != 0) {
+        out += ",\n     \"wal_mt_threads\": ";
+        AppendJsonUint(run.wal_mt_threads, &out);
+        out += ", \"wal_mt_append_records_per_sec\": ";
+        AppendJsonDouble(run.wal_mt_append_records_per_sec, &out);
+        out += ", \"wal_mt_syncs_per_append\": ";
+        AppendJsonDouble(run.wal_mt_syncs_per_append, &out);
+      }
     }
     if (run.has_prf) {
       out += ",\n     \"precision\": ";

@@ -87,6 +87,17 @@ struct BenchRun {
   std::string kernel;
   double probe_speedup = 0.0;
 
+  /// Micro-verify extras (bench_micro_verify): one kernel variant's
+  /// sorted-set-intersection and weight-accumulation throughput
+  /// (elements processed per second), plus — on the run racing the
+  /// best vector kernel against the scalar fallback — the measured
+  /// intersection speedup. Reuses `kernel` for the variant name.
+  /// Emitted to JSON only when has_verify_micro is set.
+  bool has_verify_micro = false;
+  double intersect_elems_per_sec = 0.0;
+  double accumulate_elems_per_sec = 0.0;
+  double verify_speedup = 0.0;
+
   /// Serving provenance (aujoin query --stats_out): whether the run's
   /// prepared index was "rebuilt" in-process or loaded from a
   /// "snapshot", and the load cost in the latter case. Emitted to JSON
@@ -115,6 +126,13 @@ struct BenchRun {
   double wal_recovery_seconds = 0.0;
   uint64_t wal_recovered_records = 0;
   uint64_t wal_bytes = 0;
+  /// Group-commit extras (bench_wal's multi-threaded append phase):
+  /// concurrent durable-append throughput and the fsyncs each append
+  /// actually paid (< 1 once leaders batch followers into one Sync).
+  /// Emitted only when wal_mt_threads is non-zero.
+  uint64_t wal_mt_threads = 0;
+  double wal_mt_append_records_per_sec = 0.0;
+  double wal_mt_syncs_per_append = 0.0;
 };
 
 /// Per-query latency percentiles in milliseconds. Takes the latencies

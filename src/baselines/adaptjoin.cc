@@ -6,7 +6,9 @@
 #include <unordered_map>
 
 #include "baselines/parallel_verify.h"
+#include "kernels/kernels.h"
 #include "text/qgram.h"
+#include "util/aligned_buffer.h"
 #include "util/timer.h"
 
 namespace aujoin {
@@ -14,7 +16,8 @@ namespace aujoin {
 namespace {
 
 struct GramRecord {
-  std::vector<uint32_t> grams;  // gram ids sorted by (freq asc, id asc)
+  std::vector<uint32_t> grams;   // gram ids sorted by (freq asc, id asc)
+  std::vector<uint32_t> sorted;  // the same ids ascending (verify order)
 };
 
 // Runs the l-prefix filter + Jaccard verification over `limit` records;
@@ -32,16 +35,24 @@ size_t PrefixLen(size_t set_size, double theta, int ell) {
   return std::min(p, set_size);
 }
 
-double JaccardIds(const std::vector<uint32_t>& a,
-                  const std::vector<uint32_t>& b) {
-  // Inputs share a global order; compute intersection via hashing since
-  // they are sorted by frequency, not id.
+double JaccardSortedIds(const std::vector<uint32_t>& a,
+                        const std::vector<uint32_t>& b) {
+  // Ascending distinct gram-id sets intersected through the dispatched
+  // kernel; the matched ids land in a thread_local aligned scratch
+  // reused across every pair a verify worker checks (no per-pair heap
+  // allocation — the hash-set intersection this replaced built one per
+  // call).
   if (a.empty() && b.empty()) return 1.0;
-  std::unordered_map<uint32_t, char> set_a;
-  set_a.reserve(a.size());
-  for (uint32_t g : a) set_a.emplace(g, 1);
-  size_t inter = 0;
-  for (uint32_t g : b) inter += set_a.count(g);
+  const std::vector<uint32_t>& probe = a.size() <= b.size() ? a : b;
+  const std::vector<uint32_t>& base = a.size() <= b.size() ? b : a;
+  thread_local AlignedBuffer<uint32_t> scratch;
+  if (scratch.size() < probe.size() + kKernelLaneSlack) {
+    scratch.Resize(probe.size() + kKernelLaneSlack);
+  }
+  uint32_t* end =
+      ActiveKernel().intersect_sorted(probe.data(), probe.size(), base.data(),
+                                      base.size(), scratch.data());
+  size_t inter = static_cast<size_t>(end - scratch.data());
   size_t uni = a.size() + b.size() - inter;
   return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
 }
@@ -66,6 +77,10 @@ BaselineResult AdaptJoin::SelfJoin(const std::vector<Record>& records) const {
     }
   }
   for (auto& pr : prepared) {
+    // Ascending copy for the kernel-backed verification intersect
+    // (QGrams dedupes, so these are distinct).
+    pr.sorted = pr.grams;
+    std::sort(pr.sorted.begin(), pr.sorted.end());
     std::sort(pr.grams.begin(), pr.grams.end(), [&](uint32_t a, uint32_t b) {
       if (gram_freq[a] != gram_freq[b]) return gram_freq[a] < gram_freq[b];
       return a < b;
@@ -135,10 +150,7 @@ BaselineResult AdaptJoin::SelfJoin(const std::vector<Record>& records) const {
   WallTimer verify_timer;
   result.pairs = ParallelVerifyPairs(
       candidates, options_.num_threads, [&](uint32_t a, uint32_t b) {
-        // Candidates are (indexed j, probing i); JaccardIds is asymmetric
-        // when grams repeat, so keep the probing record first as the
-        // fused filter+verify loop always did.
-        return JaccardIds(prepared[b].grams, prepared[a].grams) >=
+        return JaccardSortedIds(prepared[b].sorted, prepared[a].sorted) >=
                options_.theta;
       });
   result.verify_seconds = verify_timer.Seconds();

@@ -9,10 +9,8 @@ namespace aujoin {
 // minimisation on a square cost matrix; we feed it costs = -weights on the
 // zero-padded square and negate the result. Follows the e-maxx/JV
 // formulation with 1-based auxiliary arrays.
-double MaxWeightBipartiteMatching(const std::vector<std::vector<double>>& w,
+double MaxWeightBipartiteMatching(const double* w, size_t rows, size_t cols,
                                   std::vector<int>* assignment) {
-  const size_t rows = w.size();
-  const size_t cols = rows == 0 ? 0 : w[0].size();
   if (assignment != nullptr) assignment->assign(rows, -1);
   if (rows == 0 || cols == 0) return 0.0;
 
@@ -21,7 +19,7 @@ double MaxWeightBipartiteMatching(const std::vector<std::vector<double>>& w,
 
   // cost[i][j] = -w for real cells, 0 for padding.
   auto cost = [&](size_t i, size_t j) -> double {
-    if (i < rows && j < cols) return -w[i][j];
+    if (i < rows && j < cols) return -w[i * cols + j];
     return 0.0;
   };
 
@@ -70,14 +68,29 @@ double MaxWeightBipartiteMatching(const std::vector<std::vector<double>>& w,
   double total = 0.0;
   for (size_t j = 1; j <= n; ++j) {
     size_t i = p[j];
-    if (i >= 1 && i <= rows && j <= cols && w[i - 1][j - 1] > 0.0) {
-      total += w[i - 1][j - 1];
+    if (i >= 1 && i <= rows && j <= cols && w[(i - 1) * cols + (j - 1)] > 0.0) {
+      total += w[(i - 1) * cols + (j - 1)];
       if (assignment != nullptr) {
         (*assignment)[i - 1] = static_cast<int>(j - 1);
       }
     }
   }
   return total;
+}
+
+double MaxWeightBipartiteMatching(const std::vector<std::vector<double>>& w,
+                                  std::vector<int>* assignment) {
+  const size_t rows = w.size();
+  const size_t cols = rows == 0 ? 0 : w[0].size();
+  if (rows == 0 || cols == 0) {
+    if (assignment != nullptr) assignment->assign(rows, -1);
+    return 0.0;
+  }
+  std::vector<double> flat(rows * cols);
+  for (size_t i = 0; i < rows; ++i) {
+    std::copy(w[i].begin(), w[i].end(), flat.begin() + i * cols);
+  }
+  return MaxWeightBipartiteMatching(flat.data(), rows, cols, assignment);
 }
 
 }  // namespace aujoin

@@ -1,6 +1,7 @@
 #ifndef AUJOIN_CORE_HUNGARIAN_H_
 #define AUJOIN_CORE_HUNGARIAN_H_
 
+#include <cstddef>
 #include <vector>
 
 namespace aujoin {
@@ -17,6 +18,13 @@ namespace aujoin {
 /// If `assignment` is non-null it receives, per left row, the matched right
 /// column or -1 (only pairs with positive weight are reported as matched).
 double MaxWeightBipartiteMatching(const std::vector<std::vector<double>>& w,
+                                  std::vector<int>* assignment = nullptr);
+
+/// The same matching over a flat row-major matrix (`w[i * cols + j]`) —
+/// the allocation-free form the verify hot path feeds from a reused
+/// scratch buffer instead of a fresh vector-of-vectors per candidate
+/// pair. Identical results to the 2-D overload.
+double MaxWeightBipartiteMatching(const double* w, size_t rows, size_t cols,
                                   std::vector<int>* assignment = nullptr);
 
 }  // namespace aujoin

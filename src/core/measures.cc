@@ -2,10 +2,67 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cmath>
 
+#include "kernels/kernels.h"
 #include "text/qgram.h"
+#include "util/aligned_buffer.h"
 
 namespace aujoin {
+namespace {
+
+/// |a ∩ b| of two ascending distinct gram-id sets through the
+/// dispatched intersection kernel. The matched ids land in a
+/// thread_local aligned scratch reused across every candidate pair the
+/// thread verifies — the verify stage allocates nothing per pair.
+size_t SortedIdIntersectionSize(const std::vector<uint32_t>& a,
+                                const std::vector<uint32_t>& b) {
+  // The kernel emits (and bounds its output by) the first argument;
+  // probing with the smaller side lets it gallop over the larger one.
+  // Symmetric for distinct inputs, so the swap cannot change the count.
+  const std::vector<uint32_t>& probe = a.size() <= b.size() ? a : b;
+  const std::vector<uint32_t>& base = a.size() <= b.size() ? b : a;
+  thread_local AlignedBuffer<uint32_t> scratch;
+  if (scratch.size() < probe.size() + kKernelLaneSlack) {
+    scratch.Resize(probe.size() + kKernelLaneSlack);
+  }
+  uint32_t* end =
+      ActiveKernel().intersect_sorted(probe.data(), probe.size(), base.data(),
+                                      base.size(), scratch.data());
+  return static_cast<size_t>(end - scratch.data());
+}
+
+// The gram-measure formulas over id sets, with the same empty-input
+// conventions as their string-set counterparts in text/qgram.cc.
+
+double JaccardOfIdSets(const std::vector<uint32_t>& a,
+                       const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = SortedIdIntersectionSize(a, b);
+  size_t uni = a.size() + b.size() - inter;
+  return uni == 0 ? 1.0
+                  : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+double CosineOfIdSets(const std::vector<uint32_t>& a,
+                      const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  if (a.empty() || b.empty()) return 0.0;
+  size_t inter = SortedIdIntersectionSize(a, b);
+  return static_cast<double>(inter) /
+         std::sqrt(static_cast<double>(a.size()) *
+                   static_cast<double>(b.size()));
+}
+
+double DiceOfIdSets(const std::vector<uint32_t>& a,
+                    const std::vector<uint32_t>& b) {
+  if (a.empty() && b.empty()) return 1.0;
+  size_t inter = SortedIdIntersectionSize(a, b);
+  return 2.0 * static_cast<double>(inter) /
+         static_cast<double>(a.size() + b.size());
+}
+
+}  // namespace
 
 uint32_t ParseMeasures(const std::string& spec) {
   uint32_t mask = 0;
@@ -35,8 +92,8 @@ std::string MeasuresToString(uint32_t measures) {
   return out;
 }
 
-const std::vector<std::string>& MsimEvaluator::GramsFor(const Record& r,
-                                                        const Segment& seg) {
+const std::vector<uint32_t>& MsimEvaluator::GramIdsFor(const Record& r,
+                                                       const Segment& seg) {
   // Key on the record's address (stable for the duration of a join; ids
   // alone may collide across the two input collections).
   uint64_t key = static_cast<uint64_t>(reinterpret_cast<uintptr_t>(&r)) ^
@@ -45,23 +102,34 @@ const std::vector<std::string>& MsimEvaluator::GramsFor(const Record& r,
   auto it = gram_cache_.find(key);
   if (it != gram_cache_.end()) return it->second;
   std::string text = SegmentText(r, seg, *knowledge_.vocab);
-  auto [ins, _] = gram_cache_.emplace(key, QGrams(text, options_.q));
+  std::vector<std::string> grams = QGrams(text, options_.q);
+  std::vector<uint32_t> ids;
+  ids.reserve(grams.size());
+  for (std::string& gram : grams) {
+    auto [pos, inserted] = gram_dict_.try_emplace(
+        std::move(gram), static_cast<uint32_t>(gram_dict_.size()));
+    ids.push_back(pos->second);
+  }
+  // QGrams dedupes, so the ids are distinct; sorting makes the set a
+  // valid kernel input (ascending).
+  std::sort(ids.begin(), ids.end());
+  auto [ins, _] = gram_cache_.emplace(key, std::move(ids));
   return ins->second;
 }
 
 double MsimEvaluator::Jaccard(const Record& s, const Segment& ps,
                               const Record& t, const Segment& pt) {
-  const auto& a = GramsFor(s, ps);
-  const auto& b = GramsFor(t, pt);
+  const std::vector<uint32_t>& a = GramIdsFor(s, ps);
+  const std::vector<uint32_t>& b = GramIdsFor(t, pt);
   switch (options_.gram_measure) {
     case GramMeasure::kCosine:
-      return CosineOfSortedSets(a, b);
+      return CosineOfIdSets(a, b);
     case GramMeasure::kDice:
-      return DiceOfSortedSets(a, b);
+      return DiceOfIdSets(a, b);
     case GramMeasure::kJaccard:
       break;
   }
-  return JaccardOfSortedSets(a, b);
+  return JaccardOfIdSets(a, b);
 }
 
 double MsimEvaluator::Synonym(const WellDefinedSegment& ps,

@@ -60,8 +60,12 @@ struct MsimOptions {
 };
 
 /// Evaluates per-segment-pair similarities (the msim of Eq. 4 restricted to
-/// a segment pair). Caches q-gram sets of segment surface text so repeated
-/// pairs inside a join are cheap. Not thread-safe; create one per thread.
+/// a segment pair). Segment surface text is cut into q-grams once, the
+/// grams interned to dense uint32 ids through a per-evaluator dictionary,
+/// and the sorted id sets cached — so the hot O(|ps|·|pt|) overlap loop of
+/// a join runs the dispatched sorted-set-intersection kernel
+/// (kernels/kernels.h) over flat integer arrays instead of comparing
+/// strings. Not thread-safe; create one per thread.
 class MsimEvaluator {
  public:
   MsimEvaluator(const Knowledge& knowledge, const MsimOptions& options)
@@ -90,21 +94,30 @@ class MsimEvaluator {
   const MsimOptions& options() const { return options_; }
   const Knowledge& knowledge() const { return knowledge_; }
 
-  /// Clears the q-gram cache (call between unrelated record collections to
-  /// bound memory).
-  void ClearCache() { gram_cache_.clear(); }
+  /// Clears the q-gram cache and the gram-id dictionary together (call
+  /// between unrelated record collections to bound memory — cached id
+  /// sets are only meaningful against the dictionary they were interned
+  /// through).
+  void ClearCache() {
+    gram_cache_.clear();
+    gram_dict_.clear();
+  }
 
   /// Number of cached gram sets; joins evict when this grows too large.
   size_t CacheSize() const { return gram_cache_.size(); }
 
  private:
-  const std::vector<std::string>& GramsFor(const Record& r,
-                                           const Segment& seg);
+  const std::vector<uint32_t>& GramIdsFor(const Record& r, const Segment& seg);
 
   Knowledge knowledge_;
   MsimOptions options_;
-  // Keyed by (record id, begin, end) packed into 64 bits.
-  std::unordered_map<uint64_t, std::vector<std::string>> gram_cache_;
+  // Keyed by (record id, begin, end) packed into 64 bits; values are
+  // ascending distinct gram ids from gram_dict_.
+  std::unordered_map<uint64_t, std::vector<uint32_t>> gram_cache_;
+  // Interns gram surface strings to dense ids (first-seen order; the
+  // intersection only needs a consistent total order, which sorting
+  // the ids provides).
+  std::unordered_map<std::string, uint32_t> gram_dict_;
 };
 
 /// Whole-string similarity under a single measure, treating each full

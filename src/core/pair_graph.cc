@@ -44,6 +44,10 @@ PairGraph BuildPairGraph(const Record& s, const Record& t,
     g.vertices.resize(options.max_vertices);
   }
 
+  // Flat weight mirrors for the accumulate_weights kernel (after the
+  // cap, so they index the surviving vertices).
+  g.SyncWeightArrays();
+
   g.adj.resize(g.vertices.size());
   for (uint32_t a = 0; a < g.vertices.size(); ++a) {
     for (uint32_t b = a + 1; b < g.vertices.size(); ++b) {

@@ -29,11 +29,32 @@ struct PairGraph {
   std::vector<PairVertex> vertices;
   /// Adjacency lists over vertex indexes (conflict edges).
   std::vector<std::vector<uint32_t>> adj;
+  /// Flat mirrors of vertices[].weight and its square, indexed by
+  /// vertex — the arrays the accumulate_weights kernel gathers from in
+  /// the SquareImp / claw-improvement sums. BuildPairGraph fills them;
+  /// call SyncWeightArrays after mutating vertices by hand (consumers
+  /// fall back to vertices[].weight when the mirrors are out of date).
+  std::vector<double> weights;
+  std::vector<double> weights_sq;
   /// True when vertex enumeration hit the configured cap and some
   /// candidate pairs were dropped (similarity is then a lower bound).
   bool truncated = false;
 
   size_t num_vertices() const { return vertices.size(); }
+
+  void SyncWeightArrays() {
+    weights.resize(vertices.size());
+    weights_sq.resize(vertices.size());
+    for (size_t v = 0; v < vertices.size(); ++v) {
+      weights[v] = vertices[v].weight;
+      weights_sq[v] = weights[v] * weights[v];
+    }
+  }
+
+  bool WeightArraysSynced() const {
+    return weights.size() == vertices.size() &&
+           weights_sq.size() == vertices.size();
+  }
 
   bool Conflicts(uint32_t a, uint32_t b) const {
     const PairVertex& va = vertices[a];

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <numeric>
 
+#include "kernels/kernels.h"
+
 namespace aujoin {
 
 namespace {
@@ -12,15 +14,29 @@ struct LocalSearch {
   const PairGraph& g;
   const SquareImpOptions& opts;
   std::vector<char> in_set;
+  // Squared weights indexed by vertex, gathered through the dispatched
+  // accumulate_weights kernel. BuildPairGraph keeps the graph's own
+  // mirror in sync; hand-built graphs (tests) get a local copy.
+  std::vector<double> local_sq;
+  const double* wsq;
 
   explicit LocalSearch(const PairGraph& graph, const SquareImpOptions& o)
-      : g(graph), opts(o), in_set(graph.num_vertices(), 0) {}
+      : g(graph), opts(o), in_set(graph.num_vertices(), 0) {
+    if (g.WeightArraysSynced()) {
+      wsq = g.weights_sq.data();
+    } else {
+      local_sq.resize(g.num_vertices());
+      for (size_t v = 0; v < g.num_vertices(); ++v) {
+        local_sq[v] = g.vertices[v].weight * g.vertices[v].weight;
+      }
+      wsq = local_sq.data();
+    }
+  }
 
   // Sum of squared weights of set members adjacent to (or equal to) any
   // talon in `talons` — the N(T, A) of Berman's improvement condition.
   double SquaredWeightOfNeighbourhood(const std::vector<uint32_t>& talons,
                                       std::vector<uint32_t>* removed) const {
-    double sum = 0.0;
     removed->clear();
     auto consider = [&](uint32_t v) {
       if (!in_set[v]) return;
@@ -28,19 +44,17 @@ struct LocalSearch {
         return;
       }
       removed->push_back(v);
-      sum += g.vertices[v].weight * g.vertices[v].weight;
     };
     for (uint32_t u : talons) {
       consider(u);
       for (uint32_t v : g.adj[u]) consider(v);
     }
-    return sum;
+    return ActiveKernel().accumulate_weights(wsq, removed->data(),
+                                             removed->size());
   }
 
   double SquaredWeight(const std::vector<uint32_t>& vs) const {
-    double sum = 0.0;
-    for (uint32_t v : vs) sum += g.vertices[v].weight * g.vertices[v].weight;
-    return sum;
+    return ActiveKernel().accumulate_weights(wsq, vs.data(), vs.size());
   }
 
   // Applies T <- A ∪ talons \ N(talons, A).
@@ -151,6 +165,10 @@ std::vector<uint32_t> SquareImp(const PairGraph& g,
 
 double IndependentSetWeight(const PairGraph& g,
                             const std::vector<uint32_t>& set) {
+  if (g.WeightArraysSynced()) {
+    return ActiveKernel().accumulate_weights(g.weights.data(), set.data(),
+                                             set.size());
+  }
   double sum = 0.0;
   for (uint32_t v : set) sum += g.vertices[v].weight;
   return sum;

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "core/hungarian.h"
+#include "kernels/kernels.h"
 
 namespace aujoin {
 
@@ -45,15 +46,20 @@ double UsimComputer::SimOfPartitions(
     const std::vector<WellDefinedSegment>& t_segments,
     const std::vector<uint32_t>& ps, const std::vector<uint32_t>& pt) {
   if (ps.empty() || pt.empty()) return 0.0;
-  std::vector<std::vector<double>> w(ps.size(),
-                                     std::vector<double>(pt.size(), 0.0));
+  // The O(|ps|·|pt|) msim matrix lands in the computer's reused flat
+  // scratch (row-major) and feeds the flat Hungarian overload — no
+  // per-pair matrix allocation on the verify hot path.
+  if (w_scratch_.size() < ps.size() * pt.size()) {
+    w_scratch_.resize(ps.size() * pt.size());
+  }
   for (size_t i = 0; i < ps.size(); ++i) {
     for (size_t j = 0; j < pt.size(); ++j) {
-      w[i][j] =
+      w_scratch_[i * pt.size() + j] =
           evaluator_.Msim(s, s_segments[ps[i]], t, t_segments[pt[j]]);
     }
   }
-  double matching = MaxWeightBipartiteMatching(w);
+  double matching =
+      MaxWeightBipartiteMatching(w_scratch_.data(), ps.size(), pt.size());
   return matching / static_cast<double>(std::max(ps.size(), pt.size()));
 }
 
@@ -97,22 +103,26 @@ double UsimComputer::Approx(const Record& s, const Record& t,
       double weight_gain;
     };
     std::vector<Move> moves;
+    // Gains and losses gather from the graph's flat weight mirror
+    // through the dispatched accumulate_weights kernel (the ranking
+    // heuristic only — acceptance still goes through the exact GetSim).
     auto weight_delta = [&](const std::vector<uint32_t>& talons) {
-      double gain = 0.0;
       std::vector<uint32_t> removed;
-      for (uint32_t u : talons) gain += g.vertices[u].weight;
       auto mark_removed = [&](uint32_t v) {
         if (in_set[v] &&
             std::find(removed.begin(), removed.end(), v) == removed.end()) {
           removed.push_back(v);
-          gain -= g.vertices[v].weight;
         }
       };
       for (uint32_t u : talons) {
         mark_removed(u);
         for (uint32_t v : g.adj[u]) mark_removed(v);
       }
-      return gain;
+      const KernelOps& kernel = ActiveKernel();
+      return kernel.accumulate_weights(g.weights.data(), talons.data(),
+                                       talons.size()) -
+             kernel.accumulate_weights(g.weights.data(), removed.data(),
+                                       removed.size());
     };
     for (uint32_t u = 0; u < n; ++u) {
       if (in_set[u]) continue;

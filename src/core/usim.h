@@ -84,6 +84,10 @@ class UsimComputer {
 
   UsimOptions options_;
   MsimEvaluator evaluator_;
+  /// Reused flat row-major msim matrix for SimOfPartitions — one
+  /// grow-only buffer per computer (== per verify worker) instead of a
+  /// fresh vector-of-vectors per candidate pair.
+  std::vector<double> w_scratch_;
 };
 
 /// Enumerates well-defined partitions (Definition 2) of a token sequence of

@@ -43,9 +43,12 @@ class CsrIndex {
  public:
   /// One key's posting run: a contiguous span of ascending, distinct
   /// record ids inside the flat postings array.
+  // Trivial on purpose (no default member initializers) so batched
+  // lookups can stage runs in an AlignedBuffer; always value-initialize
+  // (`Postings{}`) when constructing an empty run.
   struct Postings {
-    const uint32_t* data = nullptr;
-    size_t size = 0;
+    const uint32_t* data;
+    size_t size;
 
     bool empty() const { return size == 0; }
     const uint32_t* begin() const { return data; }
@@ -84,15 +87,32 @@ class CsrIndex {
   /// The posting run of a key; empty when the key was never indexed.
   Postings Find(uint64_t key) const {
     if (num_slots_ == 0) return Postings{};
-    size_t h = MixKey(key) & mask_;
-    while (true) {
-      uint32_t slot = slots_[h];
-      if (slot == kEmptySlot) return Postings{};
-      if (keys_[slot] == key) {
-        return Postings{postings_ + offsets_[slot],
-                        offsets_[slot + 1] - offsets_[slot]};
+    return FindFromHash(key, MixKey(key) & mask_);
+  }
+
+  /// Batched probe: resolves keys[0..n) to their posting runs, exactly
+  /// as n Find calls would. All hashes of a block are computed in one
+  /// splitmix64 sweep (the finalizer pipelines across keys with no
+  /// table-walk stalls between them) and each block's home slots are
+  /// prefetched before the first walk touches the table — the per-key
+  /// hash-and-walk latency a signature's probe loop used to pay
+  /// serially. `out` must have room for n entries.
+  void FindBatch(const uint64_t* keys, size_t n, Postings* out) const {
+    if (num_slots_ == 0) {
+      for (size_t i = 0; i < n; ++i) out[i] = Postings{};
+      return;
+    }
+    constexpr size_t kBatch = 16;
+    size_t hashes[kBatch];
+    for (size_t base = 0; base < n; base += kBatch) {
+      const size_t m = n - base < kBatch ? n - base : kBatch;
+      for (size_t i = 0; i < m; ++i) {
+        hashes[i] = MixKey(keys[base + i]) & mask_;
+        __builtin_prefetch(&slots_[hashes[i]]);
       }
-      h = (h + 1) & mask_;
+      for (size_t i = 0; i < m; ++i) {
+        out[base + i] = FindFromHash(keys[base + i], hashes[i]);
+      }
     }
   }
 
@@ -137,6 +157,20 @@ class CsrIndex {
     x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
     x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
     return x ^ (x >> 31);
+  }
+
+  /// The probe walk shared by Find and FindBatch: `h` is the key's
+  /// home slot (MixKey already applied and masked).
+  Postings FindFromHash(uint64_t key, size_t h) const {
+    while (true) {
+      uint32_t slot = slots_[h];
+      if (slot == kEmptySlot) return Postings{};
+      if (keys_[slot] == key) {
+        return Postings{postings_ + offsets_[slot],
+                        offsets_[slot + 1] - offsets_[slot]};
+      }
+      h = (h + 1) & mask_;
+    }
   }
 
   /// Points the views at the owned vectors (after Freeze fills them).
@@ -266,6 +300,17 @@ class CandidateAccumulator {
                   static_cast<size_t>(end - selected_.data())};
   }
 
+  /// Resolves a signature's keys to posting runs through
+  /// CsrIndex::FindBatch, using this accumulator's aligned scratch so
+  /// probe loops stay allocation-free. The returned view is valid
+  /// until the next ResolveRuns call on this accumulator.
+  const CsrIndex::Postings* ResolveRuns(const CsrIndex& index,
+                                        const uint64_t* keys, size_t n) {
+    if (runs_.size() < n) runs_.Resize(n);
+    index.FindBatch(keys, n, runs_.data());
+    return runs_.data();
+  }
+
   /// Jumps the probe epoch (wrap stress tests only): the next Begin
   /// increments — or, from 0xFFFFFFFF, clears and restarts — from here.
   void SetEpochForTesting(uint32_t epoch) { epoch_ = epoch; }
@@ -274,6 +319,7 @@ class CandidateAccumulator {
   AlignedBuffer<uint64_t> stamps_;    // id -> (epoch << 32) | count
   AlignedBuffer<uint32_t> touched_;   // first-touch ids + lane slack
   AlignedBuffer<uint32_t> selected_;  // select output + lane slack
+  AlignedBuffer<CsrIndex::Postings> runs_;  // FindBatch output scratch
   uint32_t* touched_tail_ = nullptr;
   uint32_t epoch_ = 0;
 };

@@ -121,8 +121,13 @@ JoinContext::FilterOutput JoinContext::RunFilter(
         for (size_t i = begin; i < end; ++i) {
           overlap.Begin(t_ids.size());
           uint32_t s_id = s_ids[i];
-          for (uint64_t key : s_sigs[i].keys) {
-            CsrIndex::Postings run = index.Find(key);
+          // Resolve the whole signature's keys in one batched sweep
+          // (hashes pipelined, home slots prefetched) before merging.
+          const size_t num_keys = s_sigs[i].keys.size();
+          const CsrIndex::Postings* runs =
+              overlap.ResolveRuns(index, s_sigs[i].keys.data(), num_keys);
+          for (size_t k = 0; k < num_keys; ++k) {
+            const CsrIndex::Postings run = runs[k];
             if (run.empty()) continue;
             if (!self) {
               worker_processed[worker] += run.size;

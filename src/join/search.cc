@@ -43,9 +43,12 @@ std::vector<uint32_t> UnifiedSearcher::Candidates(
   const CsrIndex& serving = index_->ServingIndex();
   thread_local CandidateAccumulator overlap;
   overlap.Begin(index_->t_prepared().size());
-  for (uint64_t key : sig.keys) {
-    CsrIndex::Postings run = serving.Find(key);
-    overlap.BumpRun(run.data, run.size);
+  // Resolve the whole signature's keys in one batched sweep (hashes
+  // pipelined, home slots prefetched) before merging the runs.
+  const CsrIndex::Postings* runs =
+      overlap.ResolveRuns(serving, sig.keys.data(), sig.keys.size());
+  for (size_t k = 0; k < sig.keys.size(); ++k) {
+    overlap.BumpRun(runs[k].data, runs[k].size);
   }
   // Query signatures carry one uniform effective tau, so the survivor
   // scan is the kernel's flat count >= threshold select.

@@ -50,6 +50,57 @@ uint32_t* ScalarSelectGeMerged(const uint64_t* stamps, const uint32_t* taus,
   return out;
 }
 
+uint32_t* ScalarIntersectSorted(const uint32_t* a, size_t na,
+                                const uint32_t* b, size_t nb, uint32_t* out) {
+  size_t i = 0;
+  size_t j = 0;
+  while (i < na && j < nb) {
+    const uint32_t av = a[i];
+    const uint32_t bv = b[j];
+    if (av < bv) {
+      ++i;
+    } else if (bv < av) {
+      ++j;
+    } else {
+      // Emit and advance only a: each duplicate of av in a matches
+      // (a's multiplicity is preserved, b's is ignored).
+      *out++ = av;
+      ++i;
+    }
+  }
+  return out;
+}
+
+double ScalarAccumulateWeights(const double* weights, const uint32_t* idx,
+                               size_t n) {
+  // Four interleaved partial sums — the reduction order every vector
+  // variant reproduces exactly (one 4-lane accumulator, scalar tail
+  // continuing the same lanes), so sums are bit-identical across
+  // kernels.
+  double acc0 = 0.0, acc1 = 0.0, acc2 = 0.0, acc3 = 0.0;
+  size_t i = 0;
+  if (idx == nullptr) {
+    for (; i + 4 <= n; i += 4) {
+      acc0 += weights[i];
+      acc1 += weights[i + 1];
+      acc2 += weights[i + 2];
+      acc3 += weights[i + 3];
+    }
+    double* lanes[4] = {&acc0, &acc1, &acc2, &acc3};
+    for (; i < n; ++i) *lanes[i & 3] += weights[i];
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      acc0 += weights[idx[i]];
+      acc1 += weights[idx[i + 1]];
+      acc2 += weights[idx[i + 2]];
+      acc3 += weights[idx[i + 3]];
+    }
+    double* lanes[4] = {&acc0, &acc1, &acc2, &acc3};
+    for (; i < n; ++i) *lanes[i & 3] += weights[idx[i]];
+  }
+  return (acc0 + acc2) + (acc1 + acc3);
+}
+
 // ----------------------------------------------------------- dispatch
 
 std::atomic<const KernelOps*> g_forced_kernel{nullptr};
@@ -59,6 +110,7 @@ const KernelOps* BestSupportedKernel() {
   const KernelOps* best = &ScalarKernel();
   if (const KernelOps* neon = internal::NeonKernelOrNull()) best = neon;
   if (const KernelOps* avx2 = internal::Avx2KernelOrNull()) best = avx2;
+  if (const KernelOps* avx512 = internal::Avx512KernelOrNull()) best = avx512;
   return best;
 }
 
@@ -66,8 +118,9 @@ const KernelOps* BestSupportedKernel() {
 
 const KernelOps& ScalarKernel() {
   static constexpr KernelOps kScalarOps = {
-      "scalar", KernelKind::kScalar, &ScalarCountMergeRun, &ScalarSelectGe,
-      &ScalarSelectGeMerged};
+      "scalar",           KernelKind::kScalar,     &ScalarCountMergeRun,
+      &ScalarSelectGe,    &ScalarSelectGeMerged,   &ScalarIntersectSorted,
+      &ScalarAccumulateWeights};
   return kScalarOps;
 }
 
@@ -92,6 +145,9 @@ std::vector<const KernelOps*> AvailableKernels() {
   }
   if (const KernelOps* avx2 = internal::Avx2KernelOrNull()) {
     kernels.push_back(avx2);
+  }
+  if (const KernelOps* avx512 = internal::Avx512KernelOrNull()) {
+    kernels.push_back(avx512);
   }
   return kernels;
 }

@@ -1,10 +1,14 @@
 /// \file
-/// Runtime-dispatched hot-path kernels for candidate generation. The
-/// CSR probe (index/csr_index.h) spends its time in two tight loops
-/// over flat arrays: merging a posting run into the epoch-stamped
-/// count scratch, and selecting the ids whose accumulated count meets
-/// the required overlap. Both are packaged here as batch kernels with
-/// a portable scalar implementation plus vectorized variants (AVX2 on
+/// Runtime-dispatched hot-path kernels for candidate generation and
+/// verification. The CSR probe (index/csr_index.h) spends its time in
+/// two tight loops over flat arrays: merging a posting run into the
+/// epoch-stamped count scratch, and selecting the ids whose
+/// accumulated count meets the required overlap. The verify stage
+/// adds two more: sorted-set intersection over interned gram ids
+/// (measures.cc, the adaptjoin baseline) and strided weight
+/// accumulation over pair-graph vertices (squareimp.cc, usim.cc).
+/// All are packaged here as batch kernels with a portable scalar
+/// implementation plus vectorized variants (AVX2 and AVX-512 on
 /// x86-64, NEON on AArch64) selected once per process from CPU
 /// features — callers go through ActiveKernel() and never mention an
 /// ISA.
@@ -36,6 +40,7 @@ enum class KernelKind {
   kScalar,  // portable C++, always available
   kAvx2,    // x86-64 AVX2 (runtime CPUID-checked)
   kNeon,    // AArch64 NEON (baseline on AArch64)
+  kAvx512,  // x86-64 AVX-512 F+VL (runtime CPUID-checked)
 };
 
 /// Vector kernels append through full-width stores: the final lanes of
@@ -44,10 +49,11 @@ enum class KernelKind {
 /// beyond the largest possible result.
 inline constexpr size_t kKernelLaneSlack = 16;
 
-/// One kernel family: a name for reports, its ISA kind, and the three
-/// batch operations of the count-merge probe. All operations are pure
-/// functions of their arguments (no hidden state), so one KernelOps
-/// may be used from any number of threads concurrently.
+/// One kernel family: a name for reports, its ISA kind, the three
+/// batch operations of the count-merge probe, and the two batch
+/// operations of the verify stage. All operations are pure functions
+/// of their arguments (no hidden state), so one KernelOps may be used
+/// from any number of threads concurrently.
 struct KernelOps {
   const char* name;
   KernelKind kind;
@@ -78,6 +84,24 @@ struct KernelOps {
   uint32_t* (*select_ge_merged)(const uint64_t* stamps, const uint32_t* taus,
                                 uint32_t probe_tau, const uint32_t* touched,
                                 size_t n, uint32_t* out);
+
+  /// Sorted-set intersection (the verify path's gram-set overlap):
+  /// appends to `out` every element of `a`, in order and with a's
+  /// multiplicity, that also occurs in `b`. Both inputs must be
+  /// ascending (duplicates permitted; on deduplicated inputs this is
+  /// plain set intersection). Returns the new out tail; `out` needs
+  /// kKernelLaneSlack slots of headroom past na.
+  uint32_t* (*intersect_sorted)(const uint32_t* a, size_t na,
+                                const uint32_t* b, size_t nb, uint32_t* out);
+
+  /// Weight accumulation (pair-graph / usim sums): returns the sum of
+  /// weights[idx[i]] for i in [0, n) — or of weights[i] when `idx` is
+  /// nullptr (the contiguous case). Every kernel uses the same fixed
+  /// reduction order — four interleaved partial sums, lane i%4, folded
+  /// as (acc0+acc2)+(acc1+acc3) — so the result is bit-identical
+  /// across variants (the kernel-parity contract extends to floats).
+  double (*accumulate_weights)(const double* weights, const uint32_t* idx,
+                               size_t n);
 };
 
 /// The portable fallback; always registered, semantics-defining.
@@ -93,8 +117,9 @@ const KernelOps& ActiveKernel();
 /// iterates this to pin identical results across variants.
 std::vector<const KernelOps*> AvailableKernels();
 
-/// Looks a kernel up by name ("scalar", "avx2", "neon") among the
-/// host's available kernels; nullptr when absent or unsupported here.
+/// Looks a kernel up by name ("scalar", "avx2", "avx512", "neon")
+/// among the host's available kernels; nullptr when absent or
+/// unsupported here.
 const KernelOps* FindKernelByName(const char* name);
 
 /// Overrides ActiveKernel() (nullptr restores normal dispatch). For

@@ -169,14 +169,120 @@ __attribute__((target("avx2,popcnt"))) uint32_t* Avx2SelectGeMerged(
   return out;
 }
 
+/// All-pairs equality of an 8-lane a-block against an 8-lane b-block:
+/// bit L of the result is set when lane L of `va` equals ANY lane of
+/// `vb` (8 cmpeq over the 8 lane-rotations of vb).
+__attribute__((target("avx2"))) inline unsigned MatchMask8(__m256i va,
+                                                           __m256i vb) {
+  const __m256i rot = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  __m256i eq = _mm256_cmpeq_epi32(va, vb);
+  for (int r = 1; r < 8; ++r) {
+    vb = _mm256_permutevar8x32_epi32(vb, rot);
+    eq = _mm256_or_si256(eq, _mm256_cmpeq_epi32(va, vb));
+  }
+  return static_cast<unsigned>(_mm256_movemask_ps(_mm256_castsi256_ps(eq)));
+}
+
+__attribute__((target("avx2,popcnt"))) uint32_t* Avx2IntersectSorted(
+    const uint32_t* a, size_t na, const uint32_t* b, size_t nb,
+    uint32_t* out) {
+  size_t i = 0;
+  size_t j = 0;
+  // Match bits accumulated for the current (in-flight) a-block across
+  // b-block advances; the block is emitted only when it retires.
+  unsigned pending = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    // Gallop: a whole b-block below the a-block's first lane cannot
+    // match it (or any later a value).
+    if (b[j + 7] < a[i]) {
+      j += 8;
+      continue;
+    }
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    pending |= MatchMask8(va, vb);
+    const uint32_t amax = a[i + 7];
+    const uint32_t bmax = b[j + 7];
+    if (amax <= bmax) {
+      // No later b value can equal a lane of this block (they are all
+      // >= bmax; equality would put the match inside this b-block), so
+      // the block's match bits are final: retire and emit it.
+      out = CompressAppend(va, pending, out);
+      pending = 0;
+      i += 8;
+    } else {
+      // Every value of this b-block is < amax <= all later a values —
+      // advance b, keep the a-block and its pending bits in flight.
+      j += 8;
+    }
+  }
+  if (pending != 0 || (i + 8 <= na && j < nb)) {
+    // The in-flight a-block saw every full b-block but not the b tail:
+    // resolve its lanes in order — a pending bit is a proven match, an
+    // unset bit gets a scalar scan of the remaining (< 8) b values.
+    for (int lane = 0; lane < 8 && i < na; ++lane, ++i) {
+      const uint32_t v = a[i];
+      bool hit = ((pending >> lane) & 1u) != 0;
+      for (size_t k = j; !hit && k < nb && b[k] <= v; ++k) hit = b[k] == v;
+      if (hit) *out++ = v;
+    }
+    pending = 0;
+  }
+  // Scalar two-pointer tail: everything in b before j is < any
+  // remaining a value, so starting at j loses nothing.
+  while (i < na && j < nb) {
+    const uint32_t av = a[i];
+    const uint32_t bv = b[j];
+    if (av < bv) {
+      ++i;
+    } else if (bv < av) {
+      ++j;
+    } else {
+      *out++ = av;
+      ++i;
+    }
+  }
+  return out;
+}
+
+__attribute__((target("avx2"))) double Avx2AccumulateWeights(
+    const double* weights, const uint32_t* idx, size_t n) {
+  // One 4 x f64 accumulator = the scalar kernel's four interleaved
+  // partial sums; the gather case loads lanes scalar (no vgatherdpd —
+  // microcoded and slower on the cores CI runs on).
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  alignas(32) double lanes[4];
+  if (idx == nullptr) {
+    for (; i + 4 <= n; i += 4) {
+      acc = _mm256_add_pd(acc, _mm256_loadu_pd(weights + i));
+    }
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      for (int lane = 0; lane < 4; ++lane) {
+        lanes[lane] = weights[idx[i + lane]];
+      }
+      acc = _mm256_add_pd(acc, _mm256_load_pd(lanes));
+    }
+  }
+  _mm256_store_pd(lanes, acc);
+  for (; i < n; ++i) {
+    lanes[i & 3] += idx == nullptr ? weights[i] : weights[idx[i]];
+  }
+  return (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+}
+
 }  // namespace
 
 namespace internal {
 
 const KernelOps* Avx2KernelOrNull() {
-  static const KernelOps kAvx2Ops = {"avx2", KernelKind::kAvx2,
-                                     &Avx2CountMergeRun, &Avx2SelectGe,
-                                     &Avx2SelectGeMerged};
+  static const KernelOps kAvx2Ops = {
+      "avx2",        KernelKind::kAvx2,    &Avx2CountMergeRun,
+      &Avx2SelectGe, &Avx2SelectGeMerged,  &Avx2IntersectSorted,
+      &Avx2AccumulateWeights};
   static const bool supported = __builtin_cpu_supports("avx2") != 0 &&
                                 __builtin_cpu_supports("popcnt") != 0;
   return supported ? &kAvx2Ops : nullptr;

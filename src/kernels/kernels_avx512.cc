@@ -1,0 +1,260 @@
+/// \file
+/// AVX-512 variants of the probe and verify kernels. Same shape as the
+/// AVX2 file at double the probe width (16-lane blocks), with the one
+/// structural upgrade the ISA buys: `vpcompressd` compress-stores
+/// replace the 256-entry LUT shuffle — the survivor mask feeds
+/// _mm512_mask_compressstoreu_epi32 directly, so there is no
+/// permutation table to keep hot in L1 and only the surviving lanes
+/// are written (the kKernelLaneSlack headroom contract is kept anyway
+/// so callers stay kernel-agnostic). The intersection kernel runs at
+/// 8 lanes through the AVX512VL 256-bit forms: the all-pairs match
+/// needs W rotations for W lanes, so quadratic match cost outgrows
+/// the wider retire step at 16 lanes on the b-advance-heavy inputs
+/// the verify stage feeds it.
+///
+/// Compiled only on x86 and guarded twice: per-function target
+/// attributes gate instruction selection, and Avx512KernelOrNull()
+/// checks CPUID (F + VL) before handing the kernel out.
+
+#include "kernels/kernels_internal.h"
+
+#if defined(__x86_64__) || defined(__i386__)
+
+#include <immintrin.h>
+
+namespace aujoin {
+namespace {
+
+__attribute__((target("avx512f,avx512vl,popcnt"))) uint32_t*
+Avx512CountMergeRun(uint64_t* stamps, uint32_t epoch, const uint32_t* ids,
+                    size_t n, uint32_t* touched_tail) {
+  const uint64_t fresh = (static_cast<uint64_t>(epoch) << 32) | 1u;
+  size_t i = 0;
+  for (; i + 16 <= n; i += 16) {
+    if (i + 32 <= n) {
+      // Pull the next block's stamp lines while this block's updates
+      // retire — the random-id loads are the loop's latency.
+      for (int lane = 0; lane < 16; ++lane) {
+        _mm_prefetch(
+            reinterpret_cast<const char*>(&stamps[ids[i + 16 + lane]]),
+            _MM_HINT_T0);
+      }
+    }
+    unsigned mask = 0;
+    for (int lane = 0; lane < 16; ++lane) {
+      const uint32_t id = ids[i + lane];
+      const uint64_t st = stamps[id];
+      const unsigned is_new = static_cast<uint32_t>(st >> 32) != epoch;
+      stamps[id] = is_new ? fresh : st + 1;  // cmov, no branch
+      mask |= is_new << lane;
+    }
+    const __m512i idv =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(ids + i));
+    _mm512_mask_compressstoreu_epi32(touched_tail,
+                                     static_cast<__mmask16>(mask), idv);
+    touched_tail += __builtin_popcount(mask);
+  }
+  for (; i < n; ++i) {
+    const uint32_t id = ids[i];
+    const uint64_t st = stamps[id];
+    if (static_cast<uint32_t>(st >> 32) != epoch) {
+      stamps[id] = fresh;
+      *touched_tail++ = id;
+    } else {
+      stamps[id] = st + 1;
+    }
+  }
+  return touched_tail;
+}
+
+__attribute__((target("avx512f,avx512vl,popcnt"))) uint32_t* Avx512SelectGe(
+    const uint64_t* stamps, uint32_t threshold, const uint32_t* touched,
+    size_t n, uint32_t* out) {
+  // AVX-512 has native unsigned compares, so no threshold-1 signed
+  // trick is needed.
+  const __m512i limit = _mm512_set1_epi32(static_cast<int32_t>(threshold));
+  size_t i = 0;
+  alignas(64) uint32_t counts[16];
+  for (; i + 16 <= n; i += 16) {
+    for (int lane = 0; lane < 16; ++lane) {
+      counts[lane] = static_cast<uint32_t>(stamps[touched[i + lane]]);
+    }
+    const __m512i cv =
+        _mm512_load_si512(reinterpret_cast<const void*>(counts));
+    const __mmask16 mask = _mm512_cmpge_epu32_mask(cv, limit);
+    const __m512i idv =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(touched + i));
+    _mm512_mask_compressstoreu_epi32(out, mask, idv);
+    out += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  for (; i < n; ++i) {
+    const uint32_t id = touched[i];
+    if (static_cast<uint32_t>(stamps[id]) >= threshold) *out++ = id;
+  }
+  return out;
+}
+
+__attribute__((target("avx512f,avx512vl,popcnt"))) uint32_t*
+Avx512SelectGeMerged(const uint64_t* stamps, const uint32_t* taus,
+                     uint32_t probe_tau, const uint32_t* touched, size_t n,
+                     uint32_t* out) {
+  const __m512i probe = _mm512_set1_epi32(static_cast<int32_t>(probe_tau));
+  size_t i = 0;
+  alignas(64) uint32_t counts[16];
+  alignas(64) uint32_t indexed_taus[16];
+  for (; i + 16 <= n; i += 16) {
+    for (int lane = 0; lane < 16; ++lane) {
+      const uint32_t id = touched[i + lane];
+      counts[lane] = static_cast<uint32_t>(stamps[id]);
+      indexed_taus[lane] = taus[id];
+    }
+    const __m512i cv =
+        _mm512_load_si512(reinterpret_cast<const void*>(counts));
+    const __m512i tv =
+        _mm512_load_si512(reinterpret_cast<const void*>(indexed_taus));
+    const __m512i required = _mm512_min_epu32(probe, tv);
+    const __mmask16 mask = _mm512_cmpge_epu32_mask(cv, required);
+    const __m512i idv =
+        _mm512_loadu_si512(reinterpret_cast<const void*>(touched + i));
+    _mm512_mask_compressstoreu_epi32(out, mask, idv);
+    out += __builtin_popcount(static_cast<unsigned>(mask));
+  }
+  for (; i < n; ++i) {
+    const uint32_t id = touched[i];
+    const uint32_t required = taus[id] < probe_tau ? taus[id] : probe_tau;
+    if (static_cast<uint32_t>(stamps[id]) >= required) *out++ = id;
+  }
+  return out;
+}
+
+/// All-pairs equality of an 8-lane a-block against an 8-lane b-block:
+/// the AVX-512 compare-to-mask forms give the lane mask directly.
+__attribute__((target("avx512f,avx512vl"))) inline unsigned MatchMask8(
+    __m256i va, __m256i vb) {
+  const __m256i rot = _mm256_setr_epi32(1, 2, 3, 4, 5, 6, 7, 0);
+  __mmask8 eq = _mm256_cmpeq_epi32_mask(va, vb);
+  for (int r = 1; r < 8; ++r) {
+    vb = _mm256_permutevar8x32_epi32(vb, rot);
+    eq |= _mm256_cmpeq_epi32_mask(va, vb);
+  }
+  return static_cast<unsigned>(eq);
+}
+
+__attribute__((target("avx512f,avx512vl,popcnt"))) uint32_t*
+Avx512IntersectSorted(const uint32_t* a, size_t na, const uint32_t* b,
+                      size_t nb, uint32_t* out) {
+  size_t i = 0;
+  size_t j = 0;
+  // Match bits accumulated for the current (in-flight) a-block across
+  // b-block advances; the block is emitted only when it retires.
+  unsigned pending = 0;
+  while (i + 8 <= na && j + 8 <= nb) {
+    // Gallop: a whole b-block below the a-block's first lane cannot
+    // match it (or any later a value).
+    if (b[j + 7] < a[i]) {
+      j += 8;
+      continue;
+    }
+    const __m256i va =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    const __m256i vb =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + j));
+    pending |= MatchMask8(va, vb);
+    const uint32_t amax = a[i + 7];
+    const uint32_t bmax = b[j + 7];
+    if (amax <= bmax) {
+      // Later b values are all >= bmax >= amax; an equality would sit
+      // inside this b-block, so the block's bits are final: vpcompressd
+      // the survivors straight to the tail.
+      _mm256_mask_compressstoreu_epi32(out, static_cast<__mmask8>(pending),
+                                       va);
+      out += __builtin_popcount(pending);
+      pending = 0;
+      i += 8;
+    } else {
+      // This b-block is entirely < amax <= all later a values.
+      j += 8;
+    }
+  }
+  if (pending != 0 || (i + 8 <= na && j < nb)) {
+    // Resolve the in-flight a-block against the (< 8-element) b tail.
+    for (int lane = 0; lane < 8 && i < na; ++lane, ++i) {
+      const uint32_t v = a[i];
+      bool hit = ((pending >> lane) & 1u) != 0;
+      for (size_t k = j; !hit && k < nb && b[k] <= v; ++k) hit = b[k] == v;
+      if (hit) *out++ = v;
+    }
+    pending = 0;
+  }
+  while (i < na && j < nb) {
+    const uint32_t av = a[i];
+    const uint32_t bv = b[j];
+    if (av < bv) {
+      ++i;
+    } else if (bv < av) {
+      ++j;
+    } else {
+      *out++ = av;
+      ++i;
+    }
+  }
+  return out;
+}
+
+__attribute__((target("avx512f,avx512vl"))) double Avx512AccumulateWeights(
+    const double* weights, const uint32_t* idx, size_t n) {
+  // The reduction-order contract pins four partial sums, so the
+  // accumulator stays 4 x f64 (a 512-bit one would change the float
+  // result); what AVX-512 adds here it adds via the shared dispatch,
+  // not a wider loop.
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  alignas(32) double lanes[4];
+  if (idx == nullptr) {
+    for (; i + 4 <= n; i += 4) {
+      acc = _mm256_add_pd(acc, _mm256_loadu_pd(weights + i));
+    }
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      for (int lane = 0; lane < 4; ++lane) {
+        lanes[lane] = weights[idx[i + lane]];
+      }
+      acc = _mm256_add_pd(acc, _mm256_load_pd(lanes));
+    }
+  }
+  _mm256_store_pd(lanes, acc);
+  for (; i < n; ++i) {
+    lanes[i & 3] += idx == nullptr ? weights[i] : weights[idx[i]];
+  }
+  return (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+}
+
+}  // namespace
+
+namespace internal {
+
+const KernelOps* Avx512KernelOrNull() {
+  static const KernelOps kAvx512Ops = {
+      "avx512",        KernelKind::kAvx512,    &Avx512CountMergeRun,
+      &Avx512SelectGe, &Avx512SelectGeMerged,  &Avx512IntersectSorted,
+      &Avx512AccumulateWeights};
+  static const bool supported = __builtin_cpu_supports("avx512f") != 0 &&
+                                __builtin_cpu_supports("avx512vl") != 0 &&
+                                __builtin_cpu_supports("popcnt") != 0;
+  return supported ? &kAvx512Ops : nullptr;
+}
+
+}  // namespace internal
+}  // namespace aujoin
+
+#else  // !x86
+
+namespace aujoin {
+namespace internal {
+
+const KernelOps* Avx512KernelOrNull() { return nullptr; }
+
+}  // namespace internal
+}  // namespace aujoin
+
+#endif

@@ -17,6 +17,11 @@ namespace internal {
 /// AVX2 support at runtime; nullptr otherwise.
 const KernelOps* Avx2KernelOrNull();
 
+/// The AVX-512 kernel when this build targets x86 and the CPU reports
+/// AVX-512 F+VL at runtime (compress-store replaces the LUT shuffle);
+/// nullptr otherwise.
+const KernelOps* Avx512KernelOrNull();
+
 /// The NEON kernel when this build targets AArch64; nullptr otherwise.
 const KernelOps* NeonKernelOrNull();
 

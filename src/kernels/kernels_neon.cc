@@ -134,14 +134,117 @@ uint32_t* NeonSelectGeMerged(const uint64_t* stamps, const uint32_t* taus,
   return out;
 }
 
+/// All-pairs equality of a 4-lane a-block against a 4-lane b-block:
+/// bit L set when lane L of `va` equals any lane of `vb` (4 cmpeq over
+/// the 4 lane-rotations of vb, rotated with vext).
+inline unsigned MatchMask4(uint32x4_t va, uint32x4_t vb) {
+  uint32x4_t eq = vceqq_u32(va, vb);
+  uint32x4_t r = vextq_u32(vb, vb, 1);
+  eq = vorrq_u32(eq, vceqq_u32(va, r));
+  r = vextq_u32(vb, vb, 2);
+  eq = vorrq_u32(eq, vceqq_u32(va, r));
+  r = vextq_u32(vb, vb, 3);
+  eq = vorrq_u32(eq, vceqq_u32(va, r));
+  return MaskOf(eq);
+}
+
+uint32_t* NeonIntersectSorted(const uint32_t* a, size_t na, const uint32_t* b,
+                              size_t nb, uint32_t* out) {
+  size_t i = 0;
+  size_t j = 0;
+  // Match bits accumulated for the current (in-flight) a-block across
+  // b-block advances; the block is emitted only when it retires.
+  unsigned pending = 0;
+  while (i + 4 <= na && j + 4 <= nb) {
+    // Gallop: a whole b-block below the a-block's first lane cannot
+    // match it (or any later a value).
+    if (b[j + 3] < a[i]) {
+      j += 4;
+      continue;
+    }
+    const uint32x4_t va = vld1q_u32(a + i);
+    const uint32x4_t vb = vld1q_u32(b + j);
+    pending |= MatchMask4(va, vb);
+    const uint32_t amax = a[i + 3];
+    const uint32_t bmax = b[j + 3];
+    if (amax <= bmax) {
+      // Later b values are all >= bmax >= amax; an equality would sit
+      // inside this b-block, so the block's bits are final.
+      out = CompressAppend(va, pending, out);
+      pending = 0;
+      i += 4;
+    } else {
+      // This b-block is entirely < amax <= all later a values.
+      j += 4;
+    }
+  }
+  if (pending != 0 || (i + 4 <= na && j < nb)) {
+    // Resolve the in-flight a-block against the (< 4-element) b tail.
+    for (int lane = 0; lane < 4 && i < na; ++lane, ++i) {
+      const uint32_t v = a[i];
+      bool hit = ((pending >> lane) & 1u) != 0;
+      for (size_t k = j; !hit && k < nb && b[k] <= v; ++k) hit = b[k] == v;
+      if (hit) *out++ = v;
+    }
+    pending = 0;
+  }
+  while (i < na && j < nb) {
+    const uint32_t av = a[i];
+    const uint32_t bv = b[j];
+    if (av < bv) {
+      ++i;
+    } else if (bv < av) {
+      ++j;
+    } else {
+      *out++ = av;
+      ++i;
+    }
+  }
+  return out;
+}
+
+double NeonAccumulateWeights(const double* weights, const uint32_t* idx,
+                             size_t n) {
+  // Two 2 x f64 registers emulate the scalar kernel's four interleaved
+  // partial sums (lanes {0,1} and {2,3}).
+  float64x2_t acc01 = vdupq_n_f64(0.0);
+  float64x2_t acc23 = vdupq_n_f64(0.0);
+  size_t i = 0;
+  alignas(16) double lo[2];
+  alignas(16) double hi[2];
+  if (idx == nullptr) {
+    for (; i + 4 <= n; i += 4) {
+      acc01 = vaddq_f64(acc01, vld1q_f64(weights + i));
+      acc23 = vaddq_f64(acc23, vld1q_f64(weights + i + 2));
+    }
+  } else {
+    for (; i + 4 <= n; i += 4) {
+      lo[0] = weights[idx[i]];
+      lo[1] = weights[idx[i + 1]];
+      hi[0] = weights[idx[i + 2]];
+      hi[1] = weights[idx[i + 3]];
+      acc01 = vaddq_f64(acc01, vld1q_f64(lo));
+      acc23 = vaddq_f64(acc23, vld1q_f64(hi));
+    }
+  }
+  vst1q_f64(lo, acc01);
+  vst1q_f64(hi, acc23);
+  double lanes[4] = {lo[0], lo[1], hi[0], hi[1]};
+  for (; i < n; ++i) {
+    lanes[i & 3] += idx == nullptr ? weights[i] : weights[idx[i]];
+  }
+  return (lanes[0] + lanes[2]) + (lanes[1] + lanes[3]);
+}
+
 }  // namespace
 
 namespace internal {
 
 const KernelOps* NeonKernelOrNull() {
-  static const KernelOps kNeonOps = {"neon", KernelKind::kNeon,
-                                     &NeonCountMergeRun, &NeonSelectGe,
-                                     &NeonSelectGeMerged};
+  static const KernelOps kNeonOps = {
+      "neon",        KernelKind::kNeon,    &NeonCountMergeRun,
+      &NeonSelectGe, &NeonSelectGeMerged,  &NeonIntersectSorted,
+      &NeonAccumulateWeights};
   return &kNeonOps;
 }
 

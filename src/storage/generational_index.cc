@@ -48,7 +48,7 @@ void GenerationalIndex::AttachWal(WalWriter* wal) {
 }
 
 Result<uint32_t> GenerationalIndex::AppendDurable(Record record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
   if (wal_ == nullptr) {
     return Status::FailedPrecondition(
         "no WAL attached (AttachWal first, or use the volatile Append)");
@@ -59,20 +59,62 @@ Result<uint32_t> GenerationalIndex::AppendDurable(Record record) {
         "): reusing the failed append's id would resurrect the wrong " +
         "record at replay");
   }
-  uint32_t id = static_cast<uint32_t>(frozen_->records->size() +
-                                      staging_records_.size());
-  std::string payload;
-  EncodeWalAppend(id, record.text, &payload);
-  Status logged = wal_->AddRecord(payload.data(), payload.size());
-  if (logged.ok()) logged = wal_->Sync();
-  if (!logged.ok()) {
-    wal_status_ = logged;
-    return logged;
+  // Ids are handed out at enqueue time: staged records plus every
+  // in-flight append ahead of us. Queue order == id order == log order.
+  PendingDurable entry;
+  entry.id = static_cast<uint32_t>(frozen_->records->size() +
+                                   staging_records_.size() + wal_in_flight_);
+  record.id = entry.id;
+  entry.record = std::move(record);
+  EncodeWalAppend(entry.id, entry.record.text, &entry.payload);
+  wal_pending_.push_back(&entry);
+  ++wal_in_flight_;
+
+  if (wal_flush_in_flight_) {
+    // Follower: a leader is (or will be) flushing; it drains the queue
+    // and wakes us once our record is durable (or the batch failed).
+    wal_cv_.wait(lock, [&] { return entry.done; });
+    if (!entry.status.ok()) return entry.status;
+    return entry.id;
   }
-  record.id = id;
-  staging_records_.push_back(std::move(record));
-  staging_gen_.reset();  // the next query re-prepares the staging side
-  return id;
+
+  // Leader: drain queued appends in batches, one fsync per batch. The
+  // WAL calls run with the mutex released so followers can keep
+  // queueing (and queries keep serving); wal_flush_in_flight_ keeps
+  // every other thread away from the writer meanwhile.
+  wal_flush_in_flight_ = true;
+  while (!wal_pending_.empty()) {
+    std::vector<PendingDurable*> batch(wal_pending_.begin(),
+                                       wal_pending_.end());
+    wal_pending_.clear();
+    Status flushed = wal_status_;
+    if (flushed.ok()) {
+      lock.unlock();
+      for (PendingDurable* e : batch) {
+        flushed = wal_->AddRecord(e->payload.data(), e->payload.size());
+        if (!flushed.ok()) break;
+      }
+      if (flushed.ok()) flushed = wal_->Sync();
+      lock.lock();
+    }
+    if (!flushed.ok() && wal_status_.ok()) wal_status_ = flushed;
+    for (PendingDurable* e : batch) {
+      e->status = flushed;
+      // Stage in batch (== id) order, and only after durability: a
+      // record visible to queries was always acknowledged by the disk
+      // first. A failed batch stages nothing — none of its appends are
+      // acknowledged, so none may resurrect at replay.
+      if (flushed.ok()) staging_records_.push_back(std::move(e->record));
+      e->done = true;
+      --wal_in_flight_;
+    }
+    if (flushed.ok()) staging_gen_.reset();
+    wal_cv_.notify_all();
+  }
+  wal_flush_in_flight_ = false;
+  wal_cv_.notify_all();
+  if (!entry.status.ok()) return entry.status;
+  return entry.id;
 }
 
 std::shared_ptr<const GenerationalIndex::Generation>
@@ -87,7 +129,10 @@ GenerationalIndex::BuildGeneration(const Knowledge& knowledge,
 }
 
 uint32_t GenerationalIndex::Append(Record record) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::unique_lock<std::mutex> lock(mutex_);
+  // In-flight durable appends hold ids past the staged tail; wait for
+  // the batch to land so the volatile id cannot collide with one.
+  wal_cv_.wait(lock, [&] { return wal_in_flight_ == 0; });
   uint32_t id = static_cast<uint32_t>(frozen_->records->size() +
                                       staging_records_.size());
   record.id = id;

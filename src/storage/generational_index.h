@@ -23,7 +23,9 @@
 #ifndef AUJOIN_STORAGE_GENERATIONAL_INDEX_H_
 #define AUJOIN_STORAGE_GENERATIONAL_INDEX_H_
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <memory>
 #include <mutex>
 #include <vector>
@@ -75,13 +77,22 @@ class GenerationalIndex {
   /// index refuses further durable appends (sticky status): letting a
   /// failed append's id be reused by a later success would make replay
   /// resurrect whichever of the two happened to reach the disk.
+  ///
+  /// Concurrent callers group-commit: the first caller to find no flush
+  /// in flight becomes the leader, drains every queued append in id
+  /// order into the WAL and makes the whole batch durable with ONE
+  /// Sync; the others wait for their entry's outcome. Log order stays
+  /// equal to id order and no caller is acknowledged before its own
+  /// record is on disk — the batch merely shares the fsync.
   Result<uint32_t> AppendDurable(Record record);
 
   /// Appends one record to the staging buffer and returns its global
   /// id (frozen + staging position — stable across refreezes). The
   /// record's `id` field is overwritten with that global id, matching
   /// the position-is-id convention of ingested collections. O(1) plus
-  /// one staging re-preparation amortised into the next query.
+  /// one staging re-preparation amortised into the next query. Waits
+  /// for any in-flight durable batch first so volatile and durable ids
+  /// never collide.
   uint32_t Append(Record record);
 
   /// All records (frozen + staging) with Approx USIM >= theta, merged
@@ -165,12 +176,31 @@ class GenerationalIndex {
   mutable std::shared_ptr<const Generation> staging_gen_;
   uint64_t generation_ = 0;
 
-  /// Both guarded by mutex_ (the WAL writer itself is not thread-safe;
-  /// serialising appends under the serving mutex also keeps the log
-  /// order equal to the id order). wal_status_ is the sticky
-  /// first-failure status of AppendDurable.
+  /// One queued durable append: the record to stage once its batch is
+  /// on disk, the pre-encoded WAL payload, and the outcome the waiting
+  /// caller reads back. Lives on the caller's stack; the queue holds
+  /// borrowed pointers.
+  struct PendingDurable {
+    Record record;
+    std::string payload;
+    uint32_t id = 0;
+    bool done = false;
+    Status status = Status::OK();
+  };
+
+  /// Group-commit state, all guarded by mutex_. The WAL writer itself
+  /// is not thread-safe: only the batch leader touches it, outside the
+  /// mutex, while wal_flush_in_flight_ excludes everyone else. Queue
+  /// order equals id order equals log order. wal_in_flight_ counts
+  /// appends that hold an id but are not staged yet (queued or
+  /// flushing) — the id formula adds it so concurrent callers never
+  /// collide. wal_status_ is the sticky first-failure status.
   WalWriter* wal_ = nullptr;
   Status wal_status_ = Status::OK();
+  std::deque<PendingDurable*> wal_pending_;
+  bool wal_flush_in_flight_ = false;
+  size_t wal_in_flight_ = 0;
+  std::condition_variable wal_cv_;
 
   /// Serialises refreezes without blocking serving.
   std::mutex refreeze_mutex_;

@@ -82,7 +82,11 @@ Status WalWriter::AddRecord(const void* data, size_t size) {
 Status WalWriter::Sync() {
   if (!broken_.ok()) return broken_;
   Status status = file_->Sync();
-  if (!status.ok()) broken_ = status;
+  if (!status.ok()) {
+    broken_ = status;
+    return status;
+  }
+  ++syncs_;
   return status;
 }
 

@@ -50,6 +50,10 @@ class WalWriter {
 
   /// Logical bytes appended (fragment headers + payloads + padding).
   uint64_t size() const { return size_; }
+  /// Successful Sync calls since Open — the fsync count group commit
+  /// amortises. Observational only; read it from the owning thread (or
+  /// quiesced), like every other accessor here.
+  uint64_t sync_count() const { return syncs_; }
   const std::string& path() const { return path_; }
 
  private:
@@ -70,6 +74,7 @@ class WalWriter {
   std::unique_ptr<WritableFile> file_;
   uint64_t size_;
   size_t block_offset_;
+  uint64_t syncs_ = 0;
   Status broken_ = Status::OK();
 };
 

@@ -131,6 +131,111 @@ TEST(KernelParityTest, RawOperationsMatchScalarOnRandomRuns) {
   }
 }
 
+/// Independent two-pointer oracle for intersect_sorted's multiset
+/// semantics: every element of `a` (in order, with a's multiplicity)
+/// that occurs anywhere in `b`.
+std::vector<uint32_t> IntersectOracle(const std::vector<uint32_t>& a,
+                                      const std::vector<uint32_t>& b) {
+  std::vector<uint32_t> out;
+  size_t j = 0;
+  for (uint32_t v : a) {
+    while (j < b.size() && b[j] < v) ++j;
+    if (j < b.size() && b[j] == v) out.push_back(v);
+  }
+  return out;
+}
+
+/// Sorted-set-intersection parity: every registered kernel against the
+/// oracle on structured edge shapes (empty / singleton / disjoint /
+/// identical / duplicate-heavy) and random sorted runs, 60 seeded
+/// rounds each. Both argument orders, since the verify stage probes
+/// with the smaller side first.
+TEST(KernelParityTest, IntersectSortedMatchesOracleOnRandomRuns) {
+  std::mt19937 rng(20260809);
+  for (const KernelOps* kernel : AvailableKernels()) {
+    SCOPED_TRACE(kernel->name);
+    for (int round = 0; round < 60; ++round) {
+      std::vector<uint32_t> a, b;
+      auto sorted_random = [&](size_t n, uint32_t universe, bool dedupe) {
+        std::vector<uint32_t> v(n);
+        for (uint32_t& x : v) x = rng() % (universe + 1);
+        std::sort(v.begin(), v.end());
+        if (dedupe) v.erase(std::unique(v.begin(), v.end()), v.end());
+        return v;
+      };
+      switch (round % 6) {
+        case 0:  // one side empty
+          a = {};
+          b = sorted_random(rng() % 40, 100, true);
+          break;
+        case 1:  // singletons, hit or miss
+          a = {static_cast<uint32_t>(rng() % 10)};
+          b = sorted_random(1 + rng() % 20, 10, true);
+          break;
+        case 2:  // disjoint by parity
+          a = sorted_random(rng() % 60, 200, true);
+          b = sorted_random(rng() % 60, 200, true);
+          for (uint32_t& x : a) x = x * 2;
+          for (uint32_t& x : b) x = x * 2 + 1;
+          break;
+        case 3:  // identical
+          a = sorted_random(rng() % 60, 150, true);
+          b = a;
+          break;
+        case 4:  // duplicate-heavy multisets over a tiny universe
+          a = sorted_random(rng() % 80, 12, false);
+          b = sorted_random(rng() % 80, 12, false);
+          break;
+        default:  // general random, sizes past several vector blocks
+          a = sorted_random(rng() % 200, 1 + rng() % 300, true);
+          b = sorted_random(rng() % 200, 1 + rng() % 300, true);
+          break;
+      }
+      for (int swap = 0; swap < 2; ++swap) {
+        const std::vector<uint32_t>& x = swap ? b : a;
+        const std::vector<uint32_t>& y = swap ? a : b;
+        std::vector<uint32_t> got(x.size() + kKernelLaneSlack, 0xDEADBEEFu);
+        size_t got_n = static_cast<size_t>(
+            kernel->intersect_sorted(x.data(), x.size(), y.data(), y.size(),
+                                     got.data()) -
+            got.data());
+        got.resize(got_n);
+        EXPECT_EQ(got, IntersectOracle(x, y));
+      }
+    }
+  }
+}
+
+/// accumulate_weights must be bit-identical to the scalar kernel on
+/// every variant — contiguous (idx == nullptr) and gathered, across
+/// sizes straddling the vector width and the tail.
+TEST(KernelParityTest, AccumulateWeightsBitIdenticalAcrossKernels) {
+  std::mt19937 rng(77);
+  std::uniform_real_distribution<double> w_dist(-1.0, 1.0);
+  std::vector<double> weights(300);
+  for (double& w : weights) w = w_dist(rng);
+  for (int round = 0; round < 50; ++round) {
+    const size_t n = rng() % 70;
+    std::vector<uint32_t> idx(n);
+    for (uint32_t& v : idx) {
+      v = rng() % static_cast<uint32_t>(weights.size());
+    }
+    const double ref_gather =
+        ScalarKernel().accumulate_weights(weights.data(), idx.data(), n);
+    const double ref_contig =
+        ScalarKernel().accumulate_weights(weights.data(), nullptr, n);
+    for (const KernelOps* kernel : AvailableKernels()) {
+      SCOPED_TRACE(kernel->name);
+      // EQ on doubles on purpose: the contract is a fixed reduction
+      // order, so the sums must match bit for bit, not approximately.
+      EXPECT_EQ(kernel->accumulate_weights(weights.data(), idx.data(), n),
+                ref_gather);
+      EXPECT_EQ(kernel->accumulate_weights(weights.data(), nullptr, n),
+                ref_contig);
+    }
+  }
+}
+
 /// CandidateAccumulator routed through each kernel must agree with a
 /// plain map oracle, including the batch BumpRun + SelectGE surface.
 TEST(KernelParityTest, AccumulatorMatchesMapOracleOnEveryKernel) {

@@ -832,6 +832,146 @@ TEST(WalConcurrencyTest, AppendsRaceQueriesAndRefreezeThenRecoverInParity) {
   }
 }
 
+// --- group commit ------------------------------------------------------
+
+TEST(WalGroupCommitTest, ConcurrentDurableAppendsShareSyncsAndKeepIdOrder) {
+  const std::string wal_path = TempPath("group.wal");
+  Figure1World world;
+  AppendWorkload workload;
+  std::vector<Record> base = workload.BaseRecords(&world);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 12;
+  // Pre-tokenise outside the threads (vocabulary interning is not
+  // synchronised); texts are distinct so replayed payloads identify
+  // their append uniquely.
+  std::vector<std::vector<Record>> work(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      work[t].push_back(world.MakeRec(
+          0, "gram " + std::to_string(t) + " batch " + std::to_string(i)));
+    }
+  }
+
+  GenerationalIndex generational(world.knowledge(), Msim(), base);
+  Result<std::unique_ptr<WalWriter>> wal =
+      WalWriter::Open(Env::Default(), wal_path, /*truncate=*/true);
+  ASSERT_OK(wal.status());
+  generational.AttachWal(wal->get());
+
+  std::vector<std::vector<uint32_t>> ids(kThreads);
+  std::atomic<bool> failed{false};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const Record& record : work[t]) {
+        Result<uint32_t> id = generational.AppendDurable(record);
+        if (!id.ok()) {
+          failed.store(true);
+          return;
+        }
+        ids[t].push_back(*id);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_FALSE(failed.load());
+
+  // Every append got its own id and together they tile the staged
+  // range — group commit batches fsyncs, never acknowledgements.
+  const size_t total = kThreads * kPerThread;
+  std::vector<uint32_t> all;
+  for (const auto& per_thread : ids) {
+    all.insert(all.end(), per_thread.begin(), per_thread.end());
+  }
+  std::sort(all.begin(), all.end());
+  ASSERT_EQ(all.size(), total);
+  for (size_t i = 0; i < total; ++i) {
+    EXPECT_EQ(all[i], base.size() + i);
+  }
+  EXPECT_EQ(generational.num_staged(), total);
+  // A batch shares one fsync, so syncs never exceed appends (the whole
+  // point), and at least one batch was flushed.
+  EXPECT_GE((*wal)->sync_count(), 1u);
+  EXPECT_LE((*wal)->sync_count(), total);
+
+  // The log replays every acknowledged record, in id order, each
+  // agreeing with the staged state.
+  Result<WalReplay> replay = WalReader::ReadAll(Env::Default(), wal_path);
+  ASSERT_OK(replay.status());
+  ASSERT_EQ(replay->records.size(), total);
+  for (size_t i = 0; i < replay->records.size(); ++i) {
+    uint32_t id = 0;
+    std::string_view text;
+    ASSERT_TRUE(DecodeWalAppend(replay->records[i], &id, &text));
+    EXPECT_EQ(id, base.size() + i);
+    EXPECT_EQ(generational.TextOf(id), text);
+  }
+  std::remove(wal_path.c_str());
+}
+
+TEST(WalGroupCommitTest, BatchFailureFailsEveryQueuedAppendAndSticks) {
+  const std::string wal_path = TempPath("group_fail.wal");
+  Figure1World world;
+  AppendWorkload workload;
+  std::vector<Record> base = workload.BaseRecords(&world);
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 8;
+  std::vector<std::vector<Record>> work(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    for (int i = 0; i < kPerThread; ++i) {
+      std::string text =
+          "fail " + std::to_string(t) + " item " + std::to_string(i);
+      work[t].push_back(world.MakeRec(0, text));
+    }
+  }
+
+  FaultInjectionEnv fenv(Env::Default());
+  GenerationalIndex generational(world.knowledge(), Msim(), base);
+  Result<std::unique_ptr<WalWriter>> wal =
+      WalWriter::Open(&fenv, wal_path, /*truncate=*/true);
+  ASSERT_OK(wal.status());
+  generational.AttachWal(wal->get());
+  fenv.FailAfterOps(10);  // dies mid-run, somewhere inside a batch
+
+  std::atomic<uint32_t> acked{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (const Record& record : work[t]) {
+        if (generational.AppendDurable(record).ok()) acked.fetch_add(1);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+  ASSERT_TRUE(fenv.fault_fired());
+
+  // Log order == id order, and a failed batch stages nothing, so the
+  // acknowledged appends are exactly the staged prefix — ids of failed
+  // appends are burned, never reused (sticky status).
+  EXPECT_EQ(generational.num_staged(), acked.load());
+  EXPECT_LT(acked.load(), static_cast<uint32_t>(kThreads * kPerThread));
+  Record more = world.MakeRec(0, "after the failure");
+  EXPECT_FALSE(generational.AppendDurable(more).ok());
+  EXPECT_EQ(generational.num_staged(), acked.load());
+
+  // After a crash the log replays exactly the acknowledged prefix.
+  fenv.ClearFault();
+  ASSERT_OK(fenv.SimulateCrash());
+  Result<WalReplay> replay = WalReader::ReadAll(Env::Default(), wal_path);
+  ASSERT_OK(replay.status());
+  ASSERT_EQ(replay->records.size(), acked.load());
+  for (size_t i = 0; i < replay->records.size(); ++i) {
+    uint32_t id = 0;
+    std::string_view text;
+    ASSERT_TRUE(DecodeWalAppend(replay->records[i], &id, &text));
+    EXPECT_EQ(id, base.size() + i);
+    EXPECT_EQ(generational.TextOf(id), text);
+  }
+  std::remove(wal_path.c_str());
+}
+
 // --- snapshot directory-fsync regression ------------------------------
 
 TEST(WalSnapshotDirSyncTest, SnapshotRenameIsFollowedByAParentDirSync) {

@@ -92,6 +92,14 @@ std::string BenchReport::ToJson() const {
     AppendJsonUint(run.stats.partitions, &out);
     out += ", \"partition_blocks\": ";
     AppendJsonUint(run.stats.partition_blocks, &out);
+    out += ",\n     \"shards\": ";
+    AppendJsonUint(run.stats.shards, &out);
+    out += ", \"spill_runs\": ";
+    AppendJsonUint(run.stats.spill_runs, &out);
+    out += ", \"spill_pairs\": ";
+    AppendJsonUint(run.stats.spill_pairs, &out);
+    out += ", \"spill_bytes\": ";
+    AppendJsonUint(run.stats.spill_bytes, &out);
     out += ",\n     \"index_seconds\": ";
     AppendJsonDouble(run.stats.index_seconds, &out);
     out += ", \"queries\": ";
@@ -161,6 +169,16 @@ std::string BenchReport::ToJson() const {
       AppendJsonDouble(run.append_records_per_sec, &out);
       out += ", \"refreeze_seconds\": ";
       AppendJsonDouble(run.refreeze_seconds, &out);
+    }
+    if (run.has_shard) {
+      out += ",\n     \"shard_by\": ";
+      AppendJsonString(run.shard_by, &out);
+      out += ", \"monolithic_seconds\": ";
+      AppendJsonDouble(run.monolithic_seconds, &out);
+      out += ", \"sharded_seconds\": ";
+      AppendJsonDouble(run.sharded_seconds, &out);
+      out += ", \"scatter_gather_speedup\": ";
+      AppendJsonDouble(run.scatter_gather_speedup, &out);
     }
     if (run.has_wal) {
       out += ",\n     \"wal_append_records_per_sec\": ";

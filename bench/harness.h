@@ -117,6 +117,17 @@ struct BenchRun {
   double append_records_per_sec = 0.0;
   double refreeze_seconds = 0.0;
 
+  /// Shard-bench extras (bench_shard): the scatter-gather race —
+  /// the same join/serving workload run monolithically and sharded,
+  /// and the measured speedup (monolithic / sharded wall time). The
+  /// run's shard count and placement policy live in stats.shards and
+  /// shard_by. Emitted to JSON only when has_shard is set.
+  bool has_shard = false;
+  std::string shard_by;  // "range" | "hash"
+  double monolithic_seconds = 0.0;
+  double sharded_seconds = 0.0;
+  double scatter_gather_speedup = 0.0;  // monolithic / sharded
+
   /// Write-ahead-log extras (bench_wal, aujoin append/query --wal):
   /// durable-append throughput (one fsynced WAL record per append),
   /// crash-recovery replay cost and the records/bytes it recovered.

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "join/pipeline.h"
+#include "shard/sharded_index.h"
 #include "storage/env.h"
 #include "storage/generational_index.h"
 #include "storage/index_checkpoint.h"
@@ -43,12 +44,52 @@ void Engine::SetRecords(const std::vector<Record>& s,
   make_record_ = nullptr;
   base_count_ = 0;
   wal_recovered_ = 0;
+  checkpoint_path_.clear();
+  auto_checkpoint_status_ = Status::OK();
+  auto_checkpoints_ = 0;
+  {
+    std::lock_guard<std::mutex> lock(shard_state_->mutex);
+    shard_state_->ready.store(false, std::memory_order_relaxed);
+    sharded_.reset();
+  }
   std::lock_guard<std::mutex> lock(index_state_->mutex);
   index_state_->ready.store(false, std::memory_order_relaxed);
   index_.reset();
 }
 
+Result<const ShardedIndex*> Engine::ShardedServing() const {
+  if (s_records_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Engine::ShardedServing called before SetRecords()");
+  }
+  // Same lock-free-once-published discipline as ServingIndex: mutations
+  // are never concurrent with serving, so `ready` seen true means
+  // sharded_ is stable until the next mutation.
+  if (!shard_state_->ready.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(shard_state_->mutex);
+    if (sharded_ == nullptr) {
+      // Serving probes the T side (== S for a self-join); that is the
+      // collection the shard plan splits.
+      const std::vector<Record>& targets =
+          t_records_ != nullptr ? *t_records_ : *s_records_;
+      ShardPlan plan = ShardPlan::Make(targets.size(), options_.num_shards,
+                                       options_.shard_by);
+      sharded_ = std::make_unique<ShardedIndex>(options_.knowledge,
+                                                options_.msim, targets, plan);
+    }
+    shard_state_->ready.store(true, std::memory_order_release);
+  }
+  return sharded_.get();
+}
+
 Status Engine::SaveIndex(const std::string& path) const {
+  if (options_.num_shards > 0 && generational_ == nullptr) {
+    // Sharded mode persists one snapshot file per shard behind a
+    // manifest, so a later engine can mount shards independently.
+    Result<const ShardedIndex*> sharded = ShardedServing();
+    if (!sharded.ok()) return sharded.status();
+    return (*sharded)->Save(path, ResolveEnv(options_));
+  }
   Result<std::shared_ptr<const PreparedIndex>> index = ServingIndex();
   if (!index.ok()) return index.status();
   return (*index)->Save(path, ResolveEnv(options_));
@@ -65,6 +106,22 @@ Status Engine::LoadIndex(const std::string& path) {
         "mounts checkpoints itself)");
   }
   WallTimer timer;
+  if (options_.num_shards > 0) {
+    // Sharded mode mounts the manifest now and each shard's file lazily
+    // at that shard's first probe.
+    const std::vector<Record>& targets =
+        t_records_ != nullptr ? *t_records_ : *s_records_;
+    Result<std::unique_ptr<ShardedIndex>> loaded = ShardedIndex::Load(
+        options_.knowledge, options_.msim, targets, options_.num_shards,
+        options_.shard_by, path, ResolveEnv(options_));
+    if (!loaded.ok()) return loaded.status();
+    from_snapshot_ = true;
+    snapshot_load_seconds_ = timer.Seconds();
+    std::lock_guard<std::mutex> lock(shard_state_->mutex);
+    sharded_ = std::move(*loaded);
+    shard_state_->ready.store(true, std::memory_order_release);
+    return Status::OK();
+  }
   Result<std::shared_ptr<const PreparedIndex>> loaded = PreparedIndex::Load(
       options_.knowledge, options_.msim, *s_records_, t_records_, path,
       ResolveEnv(options_));
@@ -176,9 +233,11 @@ Status Engine::EnableAppend(const std::string& wal_path,
     }
   }
 
-  // 3. Reopen for appending and go live.
+  // 3. Reopen for appending and go live (with extents reserved so
+  // steady-state appends don't pay allocation metadata per fsync).
   Result<std::unique_ptr<WalWriter>> wal =
-      WalWriter::Open(env, wal_path, /*truncate=*/false);
+      WalWriter::Open(env, wal_path, /*truncate=*/false,
+                      WalWriter::kDefaultPreallocateBytes);
   if (!wal.ok()) return wal.status();
   wal_ = std::move(*wal);
   generational_ = std::move(generational);
@@ -186,6 +245,9 @@ Status Engine::EnableAppend(const std::string& wal_path,
   make_record_ = std::move(make_record);
   base_count_ = s_records_->size();
   wal_recovered_ = recovered;
+  checkpoint_path_ = checkpoint_path;
+  auto_checkpoint_status_ = Status::OK();
+  auto_checkpoints_ = 0;
   return Status::OK();
 }
 
@@ -194,7 +256,18 @@ Result<uint32_t> Engine::Append(const std::string& text) {
     return Status::FailedPrecondition(
         "Engine::Append requires append mode (EnableAppend first)");
   }
-  return generational_->AppendDurable(make_record_(text));
+  Result<uint32_t> id = generational_->AppendDurable(make_record_(text));
+  if (!id.ok()) return id;
+  // Size-driven checkpointing: the append above is already durable (WAL
+  // synced), so a failed checkpoint must not retro-fail it — the
+  // outcome is recorded for the caller to poll and the log keeps
+  // growing until a later attempt succeeds.
+  if (options_.wal_checkpoint_bytes > 0 && !checkpoint_path_.empty() &&
+      wal_ != nullptr && wal_->size() >= options_.wal_checkpoint_bytes) {
+    auto_checkpoint_status_ = Checkpoint(checkpoint_path_);
+    if (auto_checkpoint_status_.ok()) ++auto_checkpoints_;
+  }
+  return id;
 }
 
 Status Engine::Refreeze() {
@@ -304,10 +377,15 @@ Result<JoinStats> Engine::Join(const std::string& algorithm,
   }
   AlgorithmContext ctx = MakeAlgorithmContext();
   JoinStats stats;
-  if (options_.max_partition_records > 0) {
+  if (options_.num_shards > 0 || options_.max_partition_records > 0) {
     PipelineOptions pipeline_options;
     pipeline_options.max_partition_records = options_.max_partition_records;
     pipeline_options.num_threads = options_.num_threads;
+    pipeline_options.num_shards = options_.num_shards;
+    pipeline_options.shard_by = options_.shard_by;
+    pipeline_options.spill_budget_bytes = options_.spill_budget_bytes;
+    pipeline_options.spill_dir = options_.spill_dir;
+    pipeline_options.env = ResolveEnv(options_);
     AUJOIN_RETURN_NOT_OK(RunPartitionedJoin(
         [&algorithm] {
           return AlgorithmRegistry::Global().Create(algorithm);
@@ -366,6 +444,35 @@ Result<std::vector<UnifiedSearcher::Match>> Engine::Search(
     }
     return matches;
   }
+  if (use_sharded_serving()) {
+    // Scatter-gather: probe every shard in parallel and merge the
+    // ranked lists — identical to the monolithic ranking (see
+    // shard/sharded_index.h for the argument).
+    Result<const ShardedIndex*> sharded = ShardedServing();
+    if (!sharded.ok()) return sharded.status();
+    WallTimer wall;
+    double built_seconds = 0.0;
+    UnifiedSearcher::QueryStats query_stats;
+    Result<std::vector<UnifiedSearcher::Match>> matches =
+        options.k > 0
+            ? (*sharded)->TopK(query, options.k, options.theta,
+                               ToSearcherOptions(options),
+                               options_.num_threads, &query_stats,
+                               &built_seconds)
+            : (*sharded)->Search(query, ToSearcherOptions(options),
+                                 options_.num_threads, &query_stats,
+                                 &built_seconds);
+    if (!matches.ok()) return matches.status();
+    if (stats != nullptr) {
+      stats->queries += query_stats.queries;
+      stats->query_candidates += query_stats.candidates;
+      stats->results += matches->size();
+      stats->index_seconds += built_seconds;
+      stats->search_seconds += wall.Seconds();
+      stats->shards = (*sharded)->num_shards();
+    }
+    return matches;
+  }
   Result<std::shared_ptr<const PreparedIndex>> index = ServingIndex();
   if (!index.ok()) return index.status();
   WallTimer wall;
@@ -414,6 +521,7 @@ Status Engine::Search(const Record& query, const EngineSearchOptions& options,
     stats->index_seconds += local.index_seconds;
     stats->search_seconds += local.search_seconds;
     stats->results += emitted;
+    if (local.shards > 0) stats->shards = local.shards;
   }
   return Status::OK();
 }
@@ -449,6 +557,7 @@ Status Engine::BatchSearch(
   }
   WallTimer wall;
   double index_built_seconds = 0.0;
+  uint64_t scattered_shards = 0;
   const UnifiedSearcher::SearchOptions searcher_options =
       ToSearcherOptions(options);
   const int workers = ResolveThreads(options_.num_threads);
@@ -472,6 +581,44 @@ Status Engine::BatchSearch(
                                                    &worker_stats[worker]);
                   }
                 });
+  } else if (use_sharded_serving()) {
+    // Parallelism lives at the query level here (each worker owns a
+    // query slice), so every per-query scatter runs its shard scans
+    // serially — never a pool inside a pool.
+    Result<const ShardedIndex*> shardedr = ShardedServing();
+    if (!shardedr.ok()) return shardedr.status();
+    const ShardedIndex* sharded = *shardedr;
+    scattered_shards = sharded->num_shards();
+    std::vector<double> worker_built(workers, 0.0);
+    std::vector<Status> worker_status(workers, Status::OK());
+    std::atomic<bool> failed{false};
+    ParallelFor(queries.size(), options_.num_threads,
+                [&](size_t begin, size_t end, int worker) {
+                  for (size_t q = begin; q < end; ++q) {
+                    if (failed.load(std::memory_order_relaxed)) return;
+                    Result<std::vector<UnifiedSearcher::Match>> matches =
+                        options.k > 0
+                            ? sharded->TopK(queries[q], options.k,
+                                            options.theta, searcher_options,
+                                            /*num_threads=*/1,
+                                            &worker_stats[worker],
+                                            &worker_built[worker])
+                            : sharded->Search(queries[q], searcher_options,
+                                              /*num_threads=*/1,
+                                              &worker_stats[worker],
+                                              &worker_built[worker]);
+                    if (!matches.ok()) {
+                      worker_status[worker] = matches.status();
+                      failed.store(true, std::memory_order_relaxed);
+                      return;
+                    }
+                    results[q] = std::move(*matches);
+                  }
+                });
+    for (const Status& status : worker_status) {
+      if (!status.ok()) return status;
+    }
+    for (double built : worker_built) index_built_seconds += built;
   } else {
     Result<std::shared_ptr<const PreparedIndex>> index = ServingIndex();
     if (!index.ok()) return index.status();
@@ -517,6 +664,7 @@ Status Engine::BatchSearch(
     stats->results += emitted;
     stats->index_seconds += index_built_seconds;
     stats->search_seconds += wall.Seconds();
+    if (scattered_shards > 0) stats->shards = scattered_shards;
   }
   return Status::OK();
 }

@@ -24,12 +24,14 @@
 #include "index/prepared_index.h"
 #include "join/join.h"
 #include "join/search.h"
+#include "shard/shard_plan.h"
 #include "tuner/recommend.h"
 #include "util/status.h"
 
 namespace aujoin {
 
 class GenerationalIndex;
+class ShardedIndex;
 class WalWriter;
 
 /// Engine-level configuration assembled by EngineBuilder: the knowledge
@@ -54,6 +56,34 @@ struct EngineOptions {
   /// the monolithic path. Either way the match set and its emission order
   /// are identical.
   size_t max_partition_records = 0;
+  /// First-class shards: when > 0, the bound collection(s) are split
+  /// into exactly this many shards (by `shard_by`), joins enumerate
+  /// shard-pair blocks through the same pipeline the partition mode
+  /// uses, serving scatters every query across per-shard searchers and
+  /// stripe-merges the ranked results, and SaveIndex/LoadIndex persist
+  /// one snapshot file per shard behind a manifest. Results are
+  /// byte-identical to the monolithic path. Takes precedence over
+  /// max_partition_records; ignored in append mode (the generational
+  /// index serves appends).
+  size_t num_shards = 0;
+  /// Shard placement scheme (record range or key hash); see
+  /// shard/shard_plan.h.
+  ShardBy shard_by = ShardBy::kRange;
+  /// Out-of-core joins: when > 0, a sharded/partitioned join whose
+  /// buffered result set exceeds this many bytes spills sorted runs to
+  /// temp files in `spill_dir` and merges them back at emission
+  /// (identical results, bounded memory). 0 = always in-memory.
+  size_t spill_budget_bytes = 0;
+  /// Directory for spill temp files ("" = current directory). Files
+  /// are unlinked as soon as they are mapped, so none outlive the join.
+  std::string spill_dir;
+  /// Append mode: when > 0 and EnableAppend was given a checkpoint
+  /// path, every acknowledged Append whose WAL has grown past this many
+  /// bytes triggers Checkpoint() automatically, bounding both log size
+  /// and recovery replay work. The append itself is already durable
+  /// when the checkpoint runs; a checkpoint failure is recorded in
+  /// Engine::auto_checkpoint_status(), not retrofitted onto the append.
+  size_t wal_checkpoint_bytes = 0;
   /// Storage environment for every file the engine touches (snapshots,
   /// checkpoints, the write-ahead log). nullptr = Env::Default(), the
   /// real POSIX filesystem; tests inject a FaultInjectionEnv here.
@@ -95,6 +125,9 @@ struct SearchStats {
   double index_seconds = 0.0;
   /// Wall seconds of the whole call, including any index build.
   double search_seconds = 0.0;
+  /// Shards the query scattered across (EngineOptions::num_shards);
+  /// zero on the monolithic serving path.
+  uint64_t shards = 0;
 };
 
 /// The unified facade over every join algorithm in the registry.
@@ -239,6 +272,22 @@ class Engine {
     return generational_.get();
   }
 
+  /// Outcome of the most recent size-triggered auto-checkpoint
+  /// (EngineOptions::wal_checkpoint_bytes); OK when none has run or the
+  /// last one succeeded. The triggering Append stays acknowledged
+  /// either way — its durability came from the WAL, not the checkpoint.
+  const Status& auto_checkpoint_status() const {
+    return auto_checkpoint_status_;
+  }
+  /// Size-triggered checkpoints taken since EnableAppend.
+  uint64_t auto_checkpoints() const { return auto_checkpoints_; }
+
+  /// The scatter-gather serving structure when EngineOptions::num_shards
+  /// > 0 (built or mounted lazily); nullptr before first use or in
+  /// monolithic/append mode. Exposed for tests asserting lazy per-shard
+  /// residency.
+  const ShardedIndex* sharded_index() const { return sharded_.get(); }
+
   /// Online search over the bound T side (== S for a self-join): every
   /// record with Approx USIM >= theta, ordered by similarity desc then
   /// id asc, truncated to options.k when set. Const and safe to call
@@ -283,6 +332,18 @@ class Engine {
  private:
   AlgorithmContext MakeAlgorithmContext();
 
+  /// The lazily-built sharded serving structure (num_shards > 0 only):
+  /// splits the T side (== S for self-joins) under the engine's shard
+  /// plan. Same lock-free-once-published pattern as ServingIndex.
+  Result<const ShardedIndex*> ShardedServing() const;
+
+  /// Whether serving should scatter-gather across shards: num_shards
+  /// configured and not in append mode (the generational index takes
+  /// precedence — appends land in one growing collection).
+  bool use_sharded_serving() const {
+    return options_.num_shards > 0 && generational_ == nullptr;
+  }
+
   EngineOptions options_;
   const std::vector<Record>* s_records_ = nullptr;
   const std::vector<Record>* t_records_ = nullptr;
@@ -316,6 +377,24 @@ class Engine {
   RecordFactory make_record_;
   size_t base_count_ = 0;
   uint64_t wal_recovered_ = 0;
+  /// Size-driven checkpointing (EngineOptions::wal_checkpoint_bytes):
+  /// where EnableAppend said checkpoints live, plus the outcome and
+  /// count of auto-triggered ones.
+  std::string checkpoint_path_;
+  Status auto_checkpoint_status_;
+  uint64_t auto_checkpoints_ = 0;
+
+  /// Scatter-gather serving (EngineOptions::num_shards > 0): built or
+  /// mounted lazily under its own mutex + ready flag so concurrent
+  /// first searches agree on one instance; the instance itself is
+  /// const-thread-safe.
+  struct LazyShardState {
+    std::mutex mutex;
+    std::atomic<bool> ready{false};
+  };
+  mutable std::unique_ptr<LazyShardState> shard_state_ =
+      std::make_unique<LazyShardState>();
+  mutable std::unique_ptr<ShardedIndex> sharded_;
 };
 
 /// Fluent construction of an Engine; every setter has a sensible default
@@ -355,6 +434,31 @@ class EngineBuilder {
   /// 0 = monolithic; > 0 = partitioned pipeline with this record bound.
   EngineBuilder& SetMaxPartitionRecords(size_t records) {
     options_.max_partition_records = records;
+    return *this;
+  }
+  /// 0 = monolithic; > 0 = first-class shards (joins run shard-pair
+  /// blocks, serving scatter-gathers); see EngineOptions::num_shards.
+  EngineBuilder& SetNumShards(size_t shards) {
+    options_.num_shards = shards;
+    return *this;
+  }
+  EngineBuilder& SetShardBy(ShardBy shard_by) {
+    options_.shard_by = shard_by;
+    return *this;
+  }
+  /// 0 = in-memory joins; > 0 = spill sorted runs past this many bytes.
+  EngineBuilder& SetSpillBudgetBytes(size_t bytes) {
+    options_.spill_budget_bytes = bytes;
+    return *this;
+  }
+  EngineBuilder& SetSpillDir(const std::string& dir) {
+    options_.spill_dir = dir;
+    return *this;
+  }
+  /// 0 = manual checkpoints only; > 0 = auto-checkpoint past this WAL
+  /// size (append mode, requires a checkpoint path at EnableAppend).
+  EngineBuilder& SetWalCheckpointBytes(size_t bytes) {
+    options_.wal_checkpoint_bytes = bytes;
     return *this;
   }
   /// Storage environment (nullptr = the real filesystem); see

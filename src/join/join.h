@@ -44,10 +44,20 @@ struct JoinStats {
   uint64_t results = 0;
   double avg_signature_pebbles = 0.0;
   /// Partitioned-pipeline shape: how many partitions the bound
-  /// collection(s) were sharded into and how many partition-pair blocks
-  /// ran. Zero on the monolithic path.
+  /// collection(s) were sharded into and how many partition-pair (or
+  /// shard-pair) blocks ran. Zero on the monolithic path.
   uint64_t partitions = 0;
   uint64_t partition_blocks = 0;
+  /// First-class shard mode (EngineOptions::num_shards): the shard
+  /// count of the plan the blocks enumerated. Zero when the join ran
+  /// monolithically or under the size-bounded partition mode.
+  uint64_t shards = 0;
+  /// Spill-to-disk counters (out-of-core joins): sorted runs written
+  /// to temp files, pairs and bytes they carried. Zero when the join
+  /// stayed within its in-memory budget.
+  uint64_t spill_runs = 0;
+  uint64_t spill_pairs = 0;
+  uint64_t spill_bytes = 0;
   /// Serving-side counters (zero on pure join runs): seconds spent
   /// building the full-key serving index (PreparedIndex::ServingIndex),
   /// queries answered, and candidate records probed across them.

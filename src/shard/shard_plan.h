@@ -1,0 +1,73 @@
+/// \file
+/// ShardPlan — the first-class sharding of a record collection. Where
+/// join/partition.h describes contiguous, size-bounded memory
+/// partitions private to one join call, a shard plan is an addressable
+/// split of the world: every record belongs to exactly one of N shards
+/// chosen by record range or by key hash, and the same plan drives the
+/// join pipeline's shard-pair blocks, the scatter-gather serving path
+/// (shard/sharded_index.h) and per-shard snapshot sections. The plan is
+/// a pure function of (num_records, num_shards, shard_by), so two
+/// processes configured alike agree on shard membership without any
+/// coordination — the property a future process/host boundary needs.
+
+#ifndef AUJOIN_SHARD_SHARD_PLAN_H_
+#define AUJOIN_SHARD_SHARD_PLAN_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "join/partition.h"
+
+namespace aujoin {
+
+/// How records map to shards.
+enum class ShardBy : uint32_t {
+  /// Balanced contiguous ranges (shard i holds ids [begin_i, end_i));
+  /// sizes differ by at most one. Preserves the stripe-streaming
+  /// property of partition plans: all ids of shard i precede shard
+  /// i + 1.
+  kRange = 0,
+  /// SplitMix64(id) % num_shards. Ids interleave across shards, which
+  /// models hash-distributed placement; per-shard id lists stay sorted
+  /// ascending but are not contiguous.
+  kHash = 1,
+};
+
+/// "range" / "hash" for stats and CLI surfaces.
+const char* ShardByName(ShardBy shard_by);
+/// Parses "range" / "hash"; false on anything else.
+bool ParseShardBy(const std::string& name, ShardBy* out);
+
+/// One collection's shard membership, materialised as per-shard sorted
+/// id lists. Empty shards are legal (more shards than records); the
+/// consumers skip them.
+struct ShardPlan {
+  ShardBy shard_by = ShardBy::kRange;
+  /// True when every shard is a contiguous id range in shard order —
+  /// what lets the join pipeline stream stripe by stripe instead of
+  /// collecting all matches before emission.
+  bool contiguous = true;
+  size_t num_records = 0;
+  /// shard_ids[s] = global record ids of shard s, sorted ascending.
+  std::vector<std::vector<uint32_t>> shard_ids;
+
+  size_t num_shards() const { return shard_ids.size(); }
+
+  /// Shards [0, num_records) into exactly `num_shards` shards (clamped
+  /// to at least 1) under `shard_by`. Deterministic: a pure function of
+  /// its arguments.
+  static ShardPlan Make(size_t num_records, size_t num_shards,
+                        ShardBy shard_by);
+
+  /// Lifts a contiguous partition plan (join/partition.h) into shard
+  /// form, so the pipeline's size-bounded partitioned mode and the
+  /// first-class sharded mode share one block-enumeration path.
+  static ShardPlan FromPartitions(const PartitionPlan& plan,
+                                  size_t num_records);
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_SHARD_SHARD_PLAN_H_

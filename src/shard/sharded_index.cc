@@ -1,0 +1,300 @@
+#include "shard/sharded_index.h"
+
+#include <algorithm>
+#include <cstring>
+#include <utility>
+
+#include "storage/env.h"
+#include "storage/snapshot_format.h"
+#include "storage/snapshot_reader.h"
+#include "storage/snapshot_writer.h"
+#include "util/hash.h"
+#include "util/parallel.h"
+#include "util/timer.h"
+
+namespace aujoin {
+namespace {
+
+/// Order-sensitive fingerprint of the full record vector — the same
+/// formula the snapshot meta uses for its record hashes, computed here
+/// over the unsharded collection so a manifest refuses a different
+/// world before any shard file is opened.
+uint64_t HashFullCollection(const std::vector<Record>& records) {
+  uint64_t h = records.size();
+  for (const Record& r : records) {
+    h = HashCombine(h, r.id);
+    h = HashCombine(h, HashTokenSpan(r.tokens.data(), r.tokens.size()));
+  }
+  return h;
+}
+
+/// Merges per-shard match lists (each sorted by similarity desc, local
+/// id asc, already mapped to global ids so the tie order is global)
+/// into one list under the serving order.
+std::vector<UnifiedSearcher::Match> MergeShardMatches(
+    std::vector<std::vector<UnifiedSearcher::Match>> per_shard) {
+  std::vector<UnifiedSearcher::Match> merged;
+  size_t total = 0;
+  for (const auto& m : per_shard) total += m.size();
+  merged.reserve(total);
+  for (auto& m : per_shard) {
+    merged.insert(merged.end(), m.begin(), m.end());
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const UnifiedSearcher::Match& a,
+               const UnifiedSearcher::Match& b) {
+              if (a.similarity != b.similarity) {
+                return a.similarity > b.similarity;
+              }
+              return a.id < b.id;
+            });
+  return merged;
+}
+
+}  // namespace
+
+ShardedIndex::ShardedIndex(const Knowledge& knowledge,
+                           const MsimOptions& msim,
+                           const std::vector<Record>& records,
+                           const ShardPlan& plan)
+    : knowledge_(knowledge),
+      msim_(msim),
+      shard_by_(plan.shard_by),
+      num_records_(records.size()) {
+  shards_.reserve(plan.num_shards());
+  for (size_t s = 0; s < plan.num_shards(); ++s) {
+    auto shard = std::make_unique<Shard>();
+    shard->global_ids = plan.shard_ids[s];
+    shard->records.reserve(shard->global_ids.size());
+    for (size_t i = 0; i < shard->global_ids.size(); ++i) {
+      Record r = records[shard->global_ids[i]];
+      r.id = static_cast<uint32_t>(i);
+      shard->records.push_back(std::move(r));
+    }
+    shards_.push_back(std::move(shard));
+  }
+}
+
+ShardedIndex::~ShardedIndex() = default;
+
+size_t ShardedIndex::num_resident_shards() const {
+  size_t resident = 0;
+  for (const auto& shard : shards_) {
+    if (shard->ready.load(std::memory_order_acquire)) ++resident;
+  }
+  return resident;
+}
+
+Result<std::shared_ptr<const PreparedIndex>> ShardedIndex::ShardIndex(
+    size_t s, double* built_seconds) const {
+  Shard& shard = *shards_[s];
+  if (!shard.ready.load(std::memory_order_acquire)) {
+    std::lock_guard<std::mutex> lock(shard.mutex);
+    if (shard.index == nullptr) {
+      WallTimer timer;
+      if (shard.snapshot_path.empty()) {
+        shard.index = PreparedIndex::Build(knowledge_, msim_, shard.records,
+                                           nullptr);
+      } else {
+        Result<std::shared_ptr<const PreparedIndex>> loaded =
+            PreparedIndex::Load(knowledge_, msim_, shard.records, nullptr,
+                                shard.snapshot_path, env_);
+        if (!loaded.ok()) return loaded.status();
+        shard.index = std::move(*loaded);
+      }
+      if (built_seconds != nullptr) *built_seconds += timer.Seconds();
+    }
+    shard.ready.store(true, std::memory_order_release);
+  }
+  return shard.index;
+}
+
+Result<std::vector<ShardedIndex::Match>> ShardedIndex::Search(
+    const Record& query, const SearchOptions& options, int num_threads,
+    QueryStats* stats, double* built_seconds) const {
+  const size_t n = shards_.size();
+  std::vector<std::vector<Match>> per_shard(n);
+  std::vector<QueryStats> shard_stats(n);
+  std::vector<Status> shard_status(n, Status::OK());
+  std::vector<double> shard_built(n, 0.0);
+  ParallelFor(n, num_threads, [&](size_t begin, size_t end, int) {
+    for (size_t s = begin; s < end; ++s) {
+      if (shards_[s]->records.empty()) continue;
+      Result<std::shared_ptr<const PreparedIndex>> index =
+          ShardIndex(s, &shard_built[s]);
+      if (!index.ok()) {
+        shard_status[s] = index.status();
+        continue;
+      }
+      UnifiedSearcher searcher(*index);
+      std::vector<Match> matches =
+          searcher.Search(query, options, &shard_stats[s]);
+      const std::vector<uint32_t>& ids = shards_[s]->global_ids;
+      for (Match& m : matches) m.id = ids[m.id];
+      per_shard[s] = std::move(matches);
+    }
+  });
+  for (size_t s = 0; s < n; ++s) {
+    if (!shard_status[s].ok()) return shard_status[s];
+    if (built_seconds != nullptr) *built_seconds += shard_built[s];
+    if (stats != nullptr) stats->candidates += shard_stats[s].candidates;
+  }
+  if (stats != nullptr) ++stats->queries;
+  return MergeShardMatches(std::move(per_shard));
+}
+
+Result<std::vector<ShardedIndex::Match>> ShardedIndex::TopK(
+    const Record& query, size_t k, double min_theta,
+    const SearchOptions& options, int num_threads, QueryStats* stats,
+    double* built_seconds) const {
+  if (k == 0) {
+    if (stats != nullptr) ++stats->queries;
+    return std::vector<Match>{};
+  }
+  const size_t n = shards_.size();
+  std::vector<std::vector<Match>> per_shard(n);
+  std::vector<QueryStats> shard_stats(n);
+  std::vector<Status> shard_status(n, Status::OK());
+  std::vector<double> shard_built(n, 0.0);
+  ParallelFor(n, num_threads, [&](size_t begin, size_t end, int) {
+    for (size_t s = begin; s < end; ++s) {
+      if (shards_[s]->records.empty()) continue;
+      Result<std::shared_ptr<const PreparedIndex>> index =
+          ShardIndex(s, &shard_built[s]);
+      if (!index.ok()) {
+        shard_status[s] = index.status();
+        continue;
+      }
+      UnifiedSearcher searcher(*index);
+      // Each shard returns its own k best; the global k best is a
+      // subset of the union of those lists.
+      std::vector<Match> matches =
+          searcher.TopK(query, k, min_theta, options, &shard_stats[s]);
+      const std::vector<uint32_t>& ids = shards_[s]->global_ids;
+      for (Match& m : matches) m.id = ids[m.id];
+      per_shard[s] = std::move(matches);
+    }
+  });
+  for (size_t s = 0; s < n; ++s) {
+    if (!shard_status[s].ok()) return shard_status[s];
+    if (built_seconds != nullptr) *built_seconds += shard_built[s];
+    if (stats != nullptr) stats->candidates += shard_stats[s].candidates;
+  }
+  if (stats != nullptr) ++stats->queries;
+  std::vector<Match> merged = MergeShardMatches(std::move(per_shard));
+  if (merged.size() > k) merged.resize(k);
+  return merged;
+}
+
+std::string ShardedIndex::ShardFileName(const std::string& path, size_t s) {
+  return path + ".shard-" + std::to_string(s);
+}
+
+Status ShardedIndex::Save(const std::string& path, Env* env) const {
+  if (env == nullptr) env = Env::Default();
+  // Shard files first, manifest last: once the manifest's rename is
+  // durable, every file it references already is.
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Result<std::shared_ptr<const PreparedIndex>> index = ShardIndex(s);
+    if (!index.ok()) return index.status();
+    AUJOIN_RETURN_NOT_OK((*index)->Save(ShardFileName(path, s), env));
+  }
+  // Reassemble the full-collection fingerprint from the owned slices:
+  // global id order, original ids restored.
+  std::vector<const Record*> by_global(num_records_, nullptr);
+  for (const auto& shard : shards_) {
+    for (size_t i = 0; i < shard->global_ids.size(); ++i) {
+      by_global[shard->global_ids[i]] = &shard->records[i];
+    }
+  }
+  uint64_t records_hash = num_records_;
+  for (size_t id = 0; id < by_global.size(); ++id) {
+    records_hash = HashCombine(records_hash, id);
+    records_hash = HashCombine(
+        records_hash, HashTokenSpan(by_global[id]->tokens.data(),
+                                    by_global[id]->tokens.size()));
+  }
+
+  std::vector<uint8_t> payload(sizeof(ShardManifestHeader) +
+                               shards_.size() * sizeof(uint64_t));
+  ShardManifestHeader header;
+  header.num_records = num_records_;
+  header.num_shards = static_cast<uint32_t>(shards_.size());
+  header.shard_by = static_cast<uint32_t>(shard_by_);
+  header.records_hash = records_hash;
+  std::memcpy(payload.data(), &header, sizeof(header));
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    uint64_t count = shards_[s]->records.size();
+    std::memcpy(payload.data() + sizeof(header) + s * sizeof(uint64_t),
+                &count, sizeof(count));
+  }
+  SnapshotWriter writer(path, env);
+  writer.AddSection(kSectionShardManifest, payload.data(), payload.size());
+  return writer.Finish();
+}
+
+Result<std::unique_ptr<ShardedIndex>> ShardedIndex::Load(
+    const Knowledge& knowledge, const MsimOptions& msim,
+    const std::vector<Record>& records, size_t num_shards, ShardBy shard_by,
+    const std::string& path, Env* env) {
+  if (env == nullptr) env = Env::Default();
+  Result<std::shared_ptr<const SnapshotReader>> reader =
+      SnapshotReader::Open(path, env);
+  if (!reader.ok()) return reader.status();
+  Result<SnapshotReader::Section> section =
+      (*reader)->Find(kSectionShardManifest);
+  if (!section.ok()) {
+    return Status::FailedPrecondition(
+        path + ": not a sharded-index manifest (no shard section)");
+  }
+  if (section->size < sizeof(ShardManifestHeader)) {
+    return Status::Corruption(path + ": shard manifest truncated");
+  }
+  ShardManifestHeader header;
+  std::memcpy(&header, section->data, sizeof(header));
+  if (section->size !=
+      sizeof(header) + header.num_shards * sizeof(uint64_t)) {
+    return Status::Corruption(path + ": shard manifest size mismatch");
+  }
+  if (header.num_records != records.size()) {
+    return Status::FailedPrecondition(
+        path + ": manifest covers " + std::to_string(header.num_records) +
+        " records, " + std::to_string(records.size()) + " are bound");
+  }
+  if (num_shards == 0) num_shards = 1;
+  if (header.num_shards != num_shards ||
+      header.shard_by != static_cast<uint32_t>(shard_by)) {
+    return Status::FailedPrecondition(
+        path + ": manifest is " + std::to_string(header.num_shards) +
+        " shards by " +
+        ShardByName(static_cast<ShardBy>(header.shard_by)) +
+        ", engine wants " + std::to_string(num_shards) + " by " +
+        ShardByName(shard_by));
+  }
+  if (header.records_hash != HashFullCollection(records)) {
+    return Status::FailedPrecondition(
+        path + ": bound records do not match the manifest fingerprint");
+  }
+  ShardPlan plan = ShardPlan::Make(records.size(), num_shards, shard_by);
+  auto index = std::unique_ptr<ShardedIndex>(
+      new ShardedIndex(knowledge, msim, records, plan));
+  index->env_ = env;
+  for (size_t s = 0; s < index->shards_.size(); ++s) {
+    uint64_t count = 0;
+    std::memcpy(&count,
+                section->data + sizeof(header) + s * sizeof(uint64_t),
+                sizeof(count));
+    if (count != index->shards_[s]->records.size()) {
+      return Status::Corruption(
+          path + ": shard " + std::to_string(s) + " holds " +
+          std::to_string(count) + " records in the manifest, plan says " +
+          std::to_string(index->shards_[s]->records.size()));
+    }
+    // Arm the lazy mount; the shard file is opened (and its own
+    // fingerprints validated) on this shard's first probe.
+    index->shards_[s]->snapshot_path = ShardFileName(path, s);
+  }
+  return index;
+}
+
+}  // namespace aujoin

@@ -57,6 +57,26 @@ class PosixWritableFile : public WritableFile {
     return Status::OK();
   }
 
+  Status Allocate(uint64_t size) override {
+#if defined(__linux__)
+    if (size == 0) return Status::OK();
+    // KEEP_SIZE: reserve extents without moving the logical EOF, so a
+    // crash never exposes unwritten reserved bytes as file content.
+    if (::fallocate(fd_, FALLOC_FL_KEEP_SIZE, 0,
+                    static_cast<off_t>(size)) != 0) {
+      // Filesystems without fallocate support say EOPNOTSUPP/EINVAL;
+      // preallocation is an optimisation, not a requirement.
+      if (errno == EOPNOTSUPP || errno == ENOSYS || errno == EINVAL) {
+        return Status::OK();
+      }
+      return PosixError("fallocate " + path_);
+    }
+#else
+    (void)size;
+#endif
+    return Status::OK();
+  }
+
   Status Close() override {
     if (fd_ < 0) return Status::OK();
     int fd = fd_;

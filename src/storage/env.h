@@ -43,6 +43,18 @@ class WritableFile {
   /// so far survives a crash.
   virtual Status Sync() = 0;
 
+  /// Hints that the file will grow to about `size` bytes, reserving
+  /// disk extents WITHOUT changing the logical file size (fallocate
+  /// KEEP_SIZE semantics — readers and GetFileSize never see the
+  /// reservation). Best effort: a filesystem that cannot preallocate
+  /// returns OK and does nothing; only real I/O errors surface. The
+  /// WAL uses this so steady-state appends stop paying block-allocation
+  /// metadata journaling on every fsync.
+  virtual Status Allocate(uint64_t size) {
+    (void)size;
+    return Status::OK();
+  }
+
   /// Flushes and closes. The destructor closes too (best effort), but
   /// only Close reports errors.
   virtual Status Close() = 0;

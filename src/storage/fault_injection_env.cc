@@ -17,6 +17,9 @@ class FaultInjectionWritableFile : public WritableFile {
     return env_->FileAppend(path_, base_.get(), data, size);
   }
   Status Sync() override { return env_->FileSync(path_, base_.get()); }
+  Status Allocate(uint64_t size) override {
+    return env_->FileAllocate(path_, base_.get(), size);
+  }
   Status Close() override { return env_->FileClose(path_, base_.get()); }
 
  private:
@@ -223,6 +226,18 @@ Status FaultInjectionEnv::FileSync(const std::string& path,
                                 }),
                  journal_.end());
   return Status::OK();
+}
+
+Status FaultInjectionEnv::FileAllocate(const std::string& path,
+                                       WritableFile* base_file,
+                                       uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  // A mutating syscall like any other: kill-point sweeps must be able
+  // to die here. Logical size is untouched (KEEP_SIZE), so no FileState
+  // update — a crash simply drops the reservation, which is harmless.
+  AUJOIN_RETURN_NOT_OK(
+      CountOpLocked("allocate " + path + " " + std::to_string(size)));
+  return base_file->Allocate(size);
 }
 
 Status FaultInjectionEnv::FileClose(const std::string& path,

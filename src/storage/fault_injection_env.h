@@ -44,8 +44,8 @@ class FaultInjectionEnv : public Env {
 
   /// Lets the next `n` mutating operations succeed; the one after that
   /// and every later one fail with kIoError until ClearFault. Counted
-  /// operations: NewWritableFile, Append, Sync, Close, RenameFile,
-  /// RemoveFile, TruncateFile, SyncDir.
+  /// operations: NewWritableFile, Append, Sync, Allocate, Close,
+  /// RenameFile, RemoveFile, TruncateFile, SyncDir.
   void FailAfterOps(int n);
   void ClearFault();
   /// True once an injected fault has fired.
@@ -113,6 +113,8 @@ class FaultInjectionEnv : public Env {
   Status FileAppend(const std::string& path, WritableFile* base_file,
                     const void* data, size_t size);
   Status FileSync(const std::string& path, WritableFile* base_file);
+  Status FileAllocate(const std::string& path, WritableFile* base_file,
+                      uint64_t size);
   Status FileClose(const std::string& path, WritableFile* base_file);
 
   Env* base_;

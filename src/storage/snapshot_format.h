@@ -76,6 +76,12 @@ enum SnapshotSectionId : uint32_t {
   /// dataset exist nowhere else once the WAL is truncated. Readers
   /// that don't know the id ignore it, so plain Load still works.
   kSectionAppendedTexts = 10,
+  /// Sharded-index manifest (the only section of a shard-manifest
+  /// file): ShardManifestHeader + u64 shard_record_counts[num_shards].
+  /// The per-shard indexes live in sibling `<path>.shard-<i>` files,
+  /// each a complete self-validating snapshot over that shard's record
+  /// slice, so one shard can be mmap'd without touching the rest.
+  kSectionShardManifest = 11,
 };
 
 /// Fixed 64-byte file header. `header_checksum` is XXH64 over the
@@ -132,6 +138,22 @@ struct SnapshotMeta {
   uint64_t reserved1 = 0;
 };
 static_assert(sizeof(SnapshotMeta) == 96, "meta must stay 96 bytes");
+
+/// Leading payload of kSectionShardManifest. `records_hash` is the
+/// order-sensitive fingerprint of the FULL (unsharded) record vector,
+/// so a manifest refuses to mount over a different collection before
+/// any shard file is touched; each shard file additionally embeds its
+/// own slice + knowledge fingerprints, validated on that shard's first
+/// (lazy) mount.
+struct ShardManifestHeader {
+  uint64_t num_records = 0;
+  uint32_t num_shards = 0;
+  uint32_t shard_by = 0;  // ShardBy enum value
+  uint64_t records_hash = 0;
+  uint64_t reserved = 0;
+};
+static_assert(sizeof(ShardManifestHeader) == 32,
+              "shard manifest header must stay 32 bytes");
 
 /// Leading header of the kSection{S,T}Prepared payloads; the flat
 /// arrays follow in this order, each 8-byte aligned within the

@@ -1,0 +1,108 @@
+#include "storage/spill_file.h"
+
+#include <algorithm>
+#include <atomic>
+
+namespace aujoin {
+namespace {
+
+/// Process-wide run sequence so concurrent joins spilling into the
+/// same directory never collide on a name.
+std::atomic<uint64_t> g_spill_seq{0};
+
+}  // namespace
+
+SpillWriter::SpillWriter(Env* env, std::string dir)
+    : env_(env != nullptr ? env : Env::Default()),
+      dir_(dir.empty() ? std::string(".") : std::move(dir)) {}
+
+Status SpillWriter::Spill(
+    std::vector<std::pair<uint32_t, uint32_t>>* pairs) {
+  if (pairs->empty()) return Status::OK();
+  std::sort(pairs->begin(), pairs->end());
+
+  // Pack explicitly (two u32 words per pair) rather than dumping the
+  // std::pair layout, so the on-disk run shape is pinned.
+  std::vector<uint32_t> words;
+  words.reserve(pairs->size() * 2);
+  for (const auto& [first, second] : *pairs) {
+    words.push_back(first);
+    words.push_back(second);
+  }
+  const uint64_t bytes = words.size() * sizeof(uint32_t);
+
+  std::string path =
+      dir_ + "/aujoin-spill-" +
+      std::to_string(g_spill_seq.fetch_add(1, std::memory_order_relaxed)) +
+      ".run";
+  Result<std::unique_ptr<WritableFile>> file =
+      env_->NewWritableFile(path, /*truncate=*/true);
+  if (!file.ok()) return file.status();
+  Status status = (*file)->Append(words.data(), bytes);
+  if (status.ok()) status = (*file)->Close();
+  if (!status.ok()) {
+    (*file)->Close();                    // best effort if Append failed
+    (void)env_->RemoveFile(path);        // best effort; crash cleans too
+    return status;
+  }
+  // Map, then unlink: the mapping keeps the run readable while the
+  // name disappears, so nothing can leak past this point.
+  Result<std::shared_ptr<const FileMapping>> mapping = env_->MapFile(path);
+  if (!mapping.ok()) {
+    (void)env_->RemoveFile(path);
+    return mapping.status();
+  }
+  AUJOIN_RETURN_NOT_OK(env_->RemoveFile(path));
+
+  SpillRun run;
+  run.mapping = std::move(*mapping);
+  run.num_pairs = pairs->size();
+  runs_.push_back(std::move(run));
+  spilled_pairs_ += pairs->size();
+  spilled_bytes_ += bytes;
+  std::vector<std::pair<uint32_t, uint32_t>>().swap(*pairs);
+  return Status::OK();
+}
+
+SpillMerger::SpillMerger(
+    const std::vector<SpillRun>& runs,
+    const std::vector<std::pair<uint32_t, uint32_t>>& tail) {
+  sources_.reserve(runs.size() + 1);
+  for (const SpillRun& run : runs) {
+    if (run.num_pairs == 0) continue;
+    Source source;
+    source.run = &run;
+    source.size = run.num_pairs;
+    sources_.push_back(source);
+  }
+  if (!tail.empty()) {
+    Source source;
+    source.tail = &tail;
+    source.size = tail.size();
+    sources_.push_back(source);
+  }
+}
+
+bool SpillMerger::Next(std::pair<uint32_t, uint32_t>* out) {
+  // Linear scan over the (few) sources for the smallest head; run
+  // counts are bounded by working-set / budget, not by result size.
+  size_t best = sources_.size();
+  std::pair<uint32_t, uint32_t> best_pair{0, 0};
+  for (size_t i = 0; i < sources_.size(); ++i) {
+    Source& source = sources_[i];
+    if (source.pos >= source.size) continue;
+    std::pair<uint32_t, uint32_t> head =
+        source.run != nullptr ? source.run->at(source.pos)
+                              : (*source.tail)[source.pos];
+    if (best == sources_.size() || head < best_pair) {
+      best = i;
+      best_pair = head;
+    }
+  }
+  if (best == sources_.size()) return false;
+  ++sources_[best].pos;
+  *out = best_pair;
+  return true;
+}
+
+}  // namespace aujoin

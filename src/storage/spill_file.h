@@ -1,0 +1,88 @@
+/// \file
+/// Spill files — the out-of-core half of the sharded join pipeline.
+/// When a join's buffered result working set exceeds its budget, the
+/// buffer is sorted and written to a temp file as one run of packed
+/// (first, second) u32 pairs, mapped back read-only, and unlinked
+/// IMMEDIATELY: the mapping keeps the bytes alive for the merge, and a
+/// process death at any point leaves no temp file behind (the name is
+/// gone; on a real crash the unpublished creation never becomes
+/// durable either, since spill files are never SyncDir'd). All I/O
+/// goes through the storage Env, so FaultInjectionEnv can kill-point
+/// every byte: failures surface as typed Status errors, never UB.
+
+#ifndef AUJOIN_STORAGE_SPILL_FILE_H_
+#define AUJOIN_STORAGE_SPILL_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "storage/env.h"
+#include "util/status.h"
+
+namespace aujoin {
+
+/// One sorted, unlinked, mapped run of (first, second) pairs.
+struct SpillRun {
+  std::shared_ptr<const FileMapping> mapping;
+  uint64_t num_pairs = 0;
+
+  std::pair<uint32_t, uint32_t> at(uint64_t i) const {
+    const uint32_t* words =
+        reinterpret_cast<const uint32_t*>(mapping->data());
+    return {words[2 * i], words[2 * i + 1]};
+  }
+};
+
+/// Accumulates spilled runs for one join. Not thread-safe; the
+/// pipeline spills from its (single-threaded) merge loop.
+class SpillWriter {
+ public:
+  /// Temp files land in `dir` ("" = "."); `env` nullptr = Env::Default().
+  SpillWriter(Env* env, std::string dir);
+
+  /// Sorts `*pairs`, writes it as one run file, maps the file back,
+  /// unlinks it, and clears `*pairs` (capacity released). On error the
+  /// buffer is left sorted but intact and a best-effort unlink has
+  /// removed the partial file.
+  Status Spill(std::vector<std::pair<uint32_t, uint32_t>>* pairs);
+
+  const std::vector<SpillRun>& runs() const { return runs_; }
+  uint64_t spilled_pairs() const { return spilled_pairs_; }
+  uint64_t spilled_bytes() const { return spilled_bytes_; }
+
+ private:
+  Env* env_;
+  std::string dir_;
+  std::vector<SpillRun> runs_;
+  uint64_t spilled_pairs_ = 0;
+  uint64_t spilled_bytes_ = 0;
+};
+
+/// Streams the union of sorted spill runs and one sorted in-memory
+/// tail in ascending (first, second) order — the merge-back side of
+/// the spill path. Runs hold disjoint pair sets (each pair was
+/// produced by exactly one shard-pair block), so no dedup is needed.
+class SpillMerger {
+ public:
+  SpillMerger(const std::vector<SpillRun>& runs,
+              const std::vector<std::pair<uint32_t, uint32_t>>& tail);
+
+  /// False when exhausted; otherwise yields the next smallest pair.
+  bool Next(std::pair<uint32_t, uint32_t>* out);
+
+ private:
+  struct Source {
+    const SpillRun* run = nullptr;  // nullptr = the in-memory tail
+    const std::vector<std::pair<uint32_t, uint32_t>>* tail = nullptr;
+    uint64_t pos = 0;
+    uint64_t size = 0;
+  };
+  std::vector<Source> sources_;
+};
+
+}  // namespace aujoin
+
+#endif  // AUJOIN_STORAGE_SPILL_FILE_H_

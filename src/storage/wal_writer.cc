@@ -7,7 +7,8 @@ namespace aujoin {
 
 Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env,
                                                    const std::string& path,
-                                                   bool truncate) {
+                                                   bool truncate,
+                                                   uint64_t preallocate_bytes) {
   bool existed = env->FileExists(path);
   uint64_t size = 0;
   if (!truncate && existed) {
@@ -22,11 +23,15 @@ Result<std::unique_ptr<WalWriter>> WalWriter::Open(Env* env,
     // Publish the creation: without a parent-directory sync the new
     // log's NAME is not durable, so a crash could drop the whole file —
     // fsynced appends included. Same window SnapshotWriter closes
-    // after its rename.
+    // after its rename. This is the ONLY directory fsync the log ever
+    // pays: Reset recycles the file under the same name.
     AUJOIN_RETURN_NOT_OK(env->SyncDir(ParentDirectory(path)));
   }
-  return std::unique_ptr<WalWriter>(
-      new WalWriter(env, path, std::move(*file), size));
+  if (preallocate_bytes > 0) {
+    AUJOIN_RETURN_NOT_OK((*file)->Allocate(preallocate_bytes));
+  }
+  return std::unique_ptr<WalWriter>(new WalWriter(
+      env, path, std::move(*file), size, preallocate_bytes));
 }
 
 Status WalWriter::EmitFragment(uint8_t type, const uint8_t* data,
@@ -91,14 +96,31 @@ Status WalWriter::Sync() {
 }
 
 Status WalWriter::Reset() {
-  file_.reset();  // close (best effort) before reopening truncated
+  // Recycle the log file rather than recreating it: truncate the
+  // existing inode to empty and reopen it for appending. The name was
+  // made durable once, at Open — no new creation, rename or
+  // parent-directory fsync ever happens on the reset path.
+  file_.reset();  // close (best effort) before truncating by path
+  Status truncated = env_->TruncateFile(path_, 0);
+  if (!truncated.ok()) {
+    broken_ = truncated;
+    return broken_;
+  }
   Result<std::unique_ptr<WritableFile>> file =
-      env_->NewWritableFile(path_, /*truncate=*/true);
+      env_->NewWritableFile(path_, /*truncate=*/false);
   if (!file.ok()) {
     broken_ = file.status();
     return broken_;
   }
   file_ = std::move(*file);
+  if (preallocate_bytes_ > 0) {
+    // Renew the extent reservation the truncation released.
+    Status allocated = file_->Allocate(preallocate_bytes_);
+    if (!allocated.ok()) {
+      broken_ = allocated;
+      return broken_;
+    }
+  }
   size_ = 0;
   block_offset_ = 0;
   broken_ = Status::OK();

@@ -34,6 +34,18 @@ inline uint64_t HashCombine(uint64_t seed, uint64_t v) {
   return seed;
 }
 
+/// SplitMix64 finaliser — a full-avalanche mix of one 64-bit value.
+/// Used to assign records to hash shards: consecutive record ids
+/// scatter uniformly instead of landing in the same shard, and the
+/// assignment is a pure function of the id, stable across runs and
+/// platforms.
+inline uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
 }  // namespace aujoin
 
 #endif  // AUJOIN_UTIL_HASH_H_

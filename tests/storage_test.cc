@@ -7,6 +7,7 @@
 // a refreeze are clean under the TSan job's ctest filter).
 
 #include <gtest/gtest.h>
+#include <unistd.h>
 
 #include <atomic>
 #include <cstdint>
@@ -205,8 +206,13 @@ class SnapshotCorruptionTest : public ::testing::Test {
     ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
     dataset_ = std::make_unique<Dataset>(std::move(*loaded));
 
-    path_ = ::testing::TempDir() + "aujoin_corruption.aujsnap";
-    damaged_path_ = ::testing::TempDir() + "aujoin_damaged.aujsnap";
+    // Per-process filenames: ctest runs each corruption case as its
+    // own process, and concurrent cases sharing a fixed name clobber
+    // each other's snapshot between SetUp and TryLoad.
+    const std::string pid = std::to_string(::getpid());
+    path_ = ::testing::TempDir() + "aujoin_corruption_" + pid + ".aujsnap";
+    damaged_path_ =
+        ::testing::TempDir() + "aujoin_damaged_" + pid + ".aujsnap";
     Engine engine = EngineBuilder()
                         .SetKnowledge(dataset_->knowledge())
                         .SetMeasures("TJS")

@@ -5,6 +5,8 @@
 // regression. Every suite name contains "Wal" so the TSan CI job's
 // ctest filter picks the whole file up.
 
+#include <unistd.h>
+
 #include <algorithm>
 #include <atomic>
 #include <cstdint>
@@ -43,7 +45,10 @@ namespace {
   } while (0)
 
 std::string TempPath(const std::string& name) {
-  std::string path = ::testing::TempDir() + "aujoin_wal_" + name;
+  // Per-process suffix: ctest runs every case as its own process, and
+  // concurrent cases of one fixture would otherwise share a filename.
+  std::string path = ::testing::TempDir() + "aujoin_wal_" + name + "." +
+                     std::to_string(::getpid());
   std::remove(path.c_str());
   return path;
 }
@@ -59,6 +64,10 @@ void WriteFileBytes(const std::string& path, const std::vector<uint8_t>& bytes) 
   out.write(reinterpret_cast<const char*>(bytes.data()),
             static_cast<std::streamsize>(bytes.size()));
   ASSERT_TRUE(out.good());
+}
+
+bool StartsWith(const std::string& s, const char* prefix) {
+  return s.rfind(prefix, 0) == 0;
 }
 
 /// The reader may only ever return a prefix of what the writer acked —
@@ -696,6 +705,257 @@ TEST_F(WalEngineTest, MidLogDamageSurfacesAsTypedCorruption) {
   ASSERT_FALSE(recovered.ok());
   EXPECT_EQ(recovered.code(), StatusCode::kCorruption);
   EXPECT_FALSE(engine.append_mode());
+}
+
+// --- log recycling and preallocation ----------------------------------
+
+TEST(WalRecycleTest, OpenPreallocatesAndPaysExactlyOneDirFsync) {
+  FaultInjectionEnv fenv(Env::Default());
+  const std::string path = TempPath("recycle_open.wal");
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(
+      &fenv, path, /*truncate=*/false, /*preallocate_bytes=*/1 << 16);
+  ASSERT_OK(writer.status());
+  int syncdirs = 0;
+  int allocates = 0;
+  for (const std::string& op : fenv.TakeOpLog()) {
+    if (StartsWith(op, "syncdir")) ++syncdirs;
+    if (StartsWith(op, "allocate")) ++allocates;
+  }
+  EXPECT_EQ(syncdirs, 1) << "creation publishes the name exactly once";
+  EXPECT_EQ(allocates, 1);
+  // KEEP_SIZE semantics: the reservation never changes the logical size.
+  EXPECT_EQ((*writer)->size(), 0u);
+  Result<uint64_t> size = fenv.GetFileSize(path);
+  ASSERT_OK(size.status());
+  EXPECT_EQ(*size, 0u);
+
+  ASSERT_OK((*writer)->AddRecord("alpha", 5));
+  ASSERT_OK((*writer)->Sync());
+  writer->reset();
+
+  // Reopening the existing log (the recovery path) pays no dir fsync:
+  // the name is already durable.
+  fenv.TakeOpLog();
+  Result<std::unique_ptr<WalWriter>> reopened = WalWriter::Open(
+      &fenv, path, /*truncate=*/false, /*preallocate_bytes=*/1 << 16);
+  ASSERT_OK(reopened.status());
+  for (const std::string& op : fenv.TakeOpLog()) {
+    EXPECT_FALSE(StartsWith(op, "syncdir")) << op;
+  }
+  ASSERT_OK((*reopened)->AddRecord("bravo", 5));
+  ASSERT_OK((*reopened)->Sync());
+  Result<WalReplay> replay = WalReader::ReadAll(&fenv, path);
+  ASSERT_OK(replay.status());
+  EXPECT_EQ(replay->records, (std::vector<std::string>{"alpha", "bravo"}));
+}
+
+TEST(WalRecycleTest, ResetRecyclesTheFileWithoutDirectoryFsync) {
+  FaultInjectionEnv fenv(Env::Default());
+  const std::string path = TempPath("recycle_reset.wal");
+  Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(
+      &fenv, path, /*truncate=*/true, /*preallocate_bytes=*/1 << 16);
+  ASSERT_OK(writer.status());
+  ASSERT_OK((*writer)->AddRecord("alpha", 5));
+  ASSERT_OK((*writer)->Sync());
+
+  fenv.TakeOpLog();
+  ASSERT_OK((*writer)->Reset());
+  bool saw_truncate = false;
+  bool saw_allocate = false;
+  for (const std::string& op : fenv.TakeOpLog()) {
+    EXPECT_FALSE(StartsWith(op, "syncdir"))
+        << "Reset paid a parent-directory fsync: " << op;
+    EXPECT_FALSE(StartsWith(op, "rename")) << op;
+    EXPECT_FALSE(StartsWith(op, "remove")) << op;
+    if (StartsWith(op, "truncate")) saw_truncate = true;
+    if (StartsWith(op, "allocate")) saw_allocate = true;
+  }
+  EXPECT_TRUE(saw_truncate) << "Reset must truncate in place";
+  EXPECT_TRUE(saw_allocate) << "Reset must renew the extent reservation";
+  EXPECT_EQ((*writer)->size(), 0u);
+
+  // The recycled log is appendable and serves only post-reset records.
+  ASSERT_OK((*writer)->AddRecord("bravo", 5));
+  ASSERT_OK((*writer)->Sync());
+  Result<WalReplay> replay = WalReader::ReadAll(&fenv, path);
+  ASSERT_OK(replay.status());
+  EXPECT_EQ(replay->records, (std::vector<std::string>{"bravo"}));
+}
+
+TEST(WalRecycleTest, EveryKillPointThroughRecycleLeavesADurableState) {
+  const std::string path = TempPath("recycle_matrix.wal");
+  bool completed = false;
+  int kill = 0;
+  for (; kill < 64 && !completed; ++kill) {
+    std::remove(path.c_str());
+    FaultInjectionEnv fenv(Env::Default());
+    fenv.FailAfterOps(kill);
+    // Synced-record counts either side of the Reset, updated only when
+    // the corresponding Sync was acknowledged.
+    int pre = 0;
+    int post = 0;
+    bool reset_acked = false;
+    do {
+      Result<std::unique_ptr<WalWriter>> writer = WalWriter::Open(
+          &fenv, path, /*truncate=*/true, /*preallocate_bytes=*/1 << 12);
+      if (!writer.ok()) break;
+      if (!(*writer)->AddRecord("alpha", 5).ok()) break;
+      if (!(*writer)->Sync().ok()) break;
+      pre = 1;
+      if (!(*writer)->AddRecord("bravo", 5).ok()) break;
+      if (!(*writer)->Sync().ok()) break;
+      pre = 2;
+      if (!(*writer)->Reset().ok()) break;
+      reset_acked = true;
+      if (!(*writer)->AddRecord("charlie", 7).ok()) break;
+      if (!(*writer)->Sync().ok()) break;
+      post = 1;
+      completed = !fenv.fault_fired();
+    } while (false);
+    fenv.ClearFault();
+    ASSERT_OK(fenv.SimulateCrash());
+
+    if (!Env::Default()->FileExists(path)) {
+      // Legal only while nothing was ever acknowledged: the creation
+      // was never published by the open's dir sync.
+      EXPECT_EQ(pre, 0) << "kill " << kill;
+      EXPECT_FALSE(reset_acked) << "kill " << kill;
+      continue;
+    }
+    Result<WalReplay> replay = WalReader::ReadAll(Env::Default(), path);
+    ASSERT_TRUE(replay.ok())
+        << "kill " << kill << ": " << replay.status().ToString();
+    if (reset_acked) {
+      // An acknowledged Reset synced the truncation: pre-reset records
+      // must never resurrect, and the log holds at most the post-reset
+      // appends that were themselves synced.
+      std::vector<std::string> want(static_cast<size_t>(post), "charlie");
+      EXPECT_EQ(replay->records, want) << "kill " << kill;
+    } else {
+      std::vector<std::string> want = {"alpha", "bravo"};
+      want.resize(static_cast<size_t>(pre));
+      EXPECT_EQ(replay->records, want) << "kill " << kill;
+    }
+  }
+  ASSERT_TRUE(completed) << "workload never completed within " << kill
+                         << " kill points";
+  EXPECT_GT(kill, 8) << "workload too short to be a meaningful matrix";
+}
+
+// --- size-triggered checkpoints ---------------------------------------
+
+TEST_F(WalEngineTest, SizeTriggeredCheckpointsBoundRecoveryReplay) {
+  const std::string ckpt_path = TempPath("autockpt.aujsnap");
+
+  {  // Phase 1: a 1-byte threshold trips a checkpoint on every append.
+    Engine engine = EngineBuilder()
+                        .SetKnowledge(world_.knowledge())
+                        .SetMsimOptions(Msim())
+                        .SetWalCheckpointBytes(1)
+                        .Build();
+    engine.SetRecords(base_);
+    ASSERT_OK(engine.EnableAppend(wal_path_, Factory(), ckpt_path));
+    for (const std::string& text : workload_.before_checkpoint) {
+      ASSERT_OK(engine.Append(text).status());
+    }
+    ASSERT_OK(engine.auto_checkpoint_status());
+    EXPECT_EQ(engine.auto_checkpoints(), workload_.before_checkpoint.size());
+    // The last auto-checkpoint sealed the log empty.
+    Result<uint64_t> wal_size = Env::Default()->GetFileSize(wal_path_);
+    ASSERT_OK(wal_size.status());
+    EXPECT_EQ(*wal_size, 0u);
+  }
+
+  size_t checkpointed = workload_.before_checkpoint.size();
+  {  // Phase 2: no threshold — these appends stay in the log as the tail.
+    Figure1World world;
+    std::vector<Record> base = workload_.BaseRecords(&world);
+    for (const std::string& text : workload_.before_checkpoint) {
+      world.MakeRec(0, text);  // keep vocabulary interning in lockstep
+    }
+    Engine engine = EngineBuilder()
+                        .SetKnowledge(world.knowledge())
+                        .SetMsimOptions(Msim())
+                        .Build();
+    engine.SetRecords(base);
+    ASSERT_OK(engine.EnableAppend(
+        wal_path_,
+        [&world](const std::string& text) { return world.MakeRec(0, text); },
+        ckpt_path));
+    EXPECT_EQ(engine.wal_recovered_records(), 0u)
+        << "everything before the last auto-checkpoint replays from the "
+           "snapshot, not the log";
+    EXPECT_EQ(engine.auto_checkpoints(), 0u);
+    for (const std::string& text : workload_.after_checkpoint) {
+      ASSERT_OK(engine.Append(text).status());
+    }
+    EXPECT_EQ(engine.auto_checkpoints(), 0u);
+  }
+
+  {  // Phase 3: recovery replays ONLY the post-checkpoint tail.
+    Figure1World world;
+    std::vector<Record> base = workload_.BaseRecords(&world);
+    for (const std::string& text : workload_.before_checkpoint) {
+      world.MakeRec(0, text);
+    }
+    Engine engine = EngineBuilder()
+                        .SetKnowledge(world.knowledge())
+                        .SetMsimOptions(Msim())
+                        .Build();
+    engine.SetRecords(base);
+    ASSERT_OK(engine.EnableAppend(
+        wal_path_,
+        [&world](const std::string& text) { return world.MakeRec(0, text); },
+        ckpt_path));
+    EXPECT_EQ(engine.wal_recovered_records(),
+              workload_.after_checkpoint.size());
+    const GenerationalIndex* generational = engine.generational_index();
+    ASSERT_NE(generational, nullptr);
+    ASSERT_EQ(generational->size(),
+              base.size() + checkpointed + workload_.after_checkpoint.size());
+    for (size_t i = 0; i < checkpointed; ++i) {
+      EXPECT_EQ(generational->TextOf(
+                    static_cast<uint32_t>(base.size() + i)),
+                workload_.before_checkpoint[i]);
+    }
+    for (size_t i = 0; i < workload_.after_checkpoint.size(); ++i) {
+      EXPECT_EQ(generational->TextOf(static_cast<uint32_t>(
+                    base.size() + checkpointed + i)),
+                workload_.after_checkpoint[i]);
+    }
+  }
+}
+
+TEST_F(WalEngineTest, FailedAutoCheckpointKeepsTheAppendAcknowledged) {
+  const std::string ckpt_path = TempPath("autockpt_fail.aujsnap");
+  FaultInjectionEnv fenv(Env::Default());
+  Engine engine = EngineBuilder()
+                      .SetKnowledge(world_.knowledge())
+                      .SetMsimOptions(Msim())
+                      .SetWalCheckpointBytes(1)
+                      .SetEnv(&fenv)
+                      .Build();
+  engine.SetRecords(base_);
+  ASSERT_OK(engine.EnableAppend(wal_path_, Factory(), ckpt_path));
+
+  // Let the append's WAL write + fsync land, then fail the checkpoint's
+  // very first file operation.
+  ASSERT_OK(engine.Append(workload_.before_checkpoint[0]).status());
+  ASSERT_OK(engine.auto_checkpoint_status());
+  uint64_t taken = engine.auto_checkpoints();
+  fenv.FailAfterOps(2);  // the append's WAL add + sync succeed, no more
+  Result<uint32_t> appended = engine.Append(workload_.before_checkpoint[1]);
+  fenv.ClearFault();
+
+  // The append is durable and acknowledged; only the checkpoint failed,
+  // and its failure is reported out of band.
+  ASSERT_OK(appended.status());
+  EXPECT_FALSE(engine.auto_checkpoint_status().ok());
+  EXPECT_EQ(engine.auto_checkpoints(), taken);
+  const GenerationalIndex* generational = engine.generational_index();
+  ASSERT_NE(generational, nullptr);
+  EXPECT_EQ(generational->TextOf(static_cast<uint32_t>(base_.size() + 1)),
+            workload_.before_checkpoint[1]);
 }
 
 // --- appends racing queries and refreezes -----------------------------

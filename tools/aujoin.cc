@@ -48,6 +48,7 @@
 #include "api/engine.h"
 #include "dataset/dataset.h"
 #include "harness.h"
+#include "shard/sharded_index.h"
 #include "storage/generational_index.h"
 #include "util/flags.h"
 #include "util/io.h"
@@ -81,11 +82,18 @@ ingestion flags (all commands):
   --rules=FILE           synonym rules TSV (lhs <TAB> rhs [<TAB> closeness])
   --taxonomy=FILE        taxonomy TSV (node_id <TAB> parent_id <TAB> name)
 
-engine flags (join, tune):
+engine flags (join, query, tune):
   --measures=TJS         measure combination (J, TS, TJS, ...)
   --q=3                  gram length for the J measure
   --threads=1            worker threads (0 = all hardware threads)
   --partition=0          partitioned pipeline record bound (0 = monolithic)
+  --shards=0             first-class shards (0 = monolithic): joins run
+                         shard-pair blocks, queries scatter-gather across
+                         per-shard indexes; results identical either way
+  --shard_by=range       shard placement: range | hash
+  --spill_budget_bytes=0 out-of-core joins: spill sorted result runs to
+                         temp files past this in-memory bound (0 = never)
+  --spill_dir=DIR        directory for spill temp files (default ".")
 
 join flags:
   --algorithm=unified    unified | kjoin | pkduck | adaptjoin | combination
@@ -127,6 +135,9 @@ append flags:
                          written by --checkpoint
   --checkpoint           after appending, refreeze + write the checkpoint
                          and reset the WAL (requires --snapshot=FILE)
+  --wal_checkpoint_bytes=0  auto-checkpoint whenever the WAL grows past
+                         this many bytes (requires --snapshot=FILE;
+                         0 = manual --checkpoint only)
   --ready_file=FILE      after the batch is durable, write the appended
                          count here (crash-injection harnesses wait for it)
   --linger_seconds=0     sleep this long before exiting (gives kill -9
@@ -187,6 +198,13 @@ bool SpecFromFlags(const Flags& flags, DatasetSpec* spec) {
 }
 
 Engine EngineFromFlags(const Flags& flags, const Dataset& dataset) {
+  ShardBy shard_by = ShardBy::kRange;
+  std::string shard_by_name = flags.GetString("shard_by", "range");
+  if (!ParseShardBy(shard_by_name, &shard_by)) {
+    std::fprintf(stderr, "error: unknown --shard_by=%s (range | hash)\n",
+                 shard_by_name.c_str());
+    std::exit(1);
+  }
   return EngineBuilder()
       .SetKnowledge(dataset.knowledge())
       .SetMeasures(flags.GetString("measures", "TJS"))
@@ -194,6 +212,13 @@ Engine EngineFromFlags(const Flags& flags, const Dataset& dataset) {
       .SetThreads(static_cast<int>(flags.GetInt("threads", 1)))
       .SetMaxPartitionRecords(
           static_cast<size_t>(flags.GetInt("partition", 0)))
+      .SetNumShards(static_cast<size_t>(flags.GetInt("shards", 0)))
+      .SetShardBy(shard_by)
+      .SetSpillBudgetBytes(
+          static_cast<size_t>(flags.GetInt("spill_budget_bytes", 0)))
+      .SetSpillDir(flags.GetString("spill_dir", ""))
+      .SetWalCheckpointBytes(
+          static_cast<size_t>(flags.GetInt("wal_checkpoint_bytes", 0)))
       .Build();
 }
 
@@ -323,10 +348,19 @@ int RunSnapshot(const Flags& flags) {
 
   Engine engine = EngineFromFlags(flags, *dataset);
   engine.SetRecords(dataset->records);
-  Result<std::shared_ptr<const PreparedIndex>> index = engine.ServingIndex();
-  if (!index.ok()) {
-    std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
-    return 1;
+  const size_t shards = static_cast<size_t>(flags.GetInt("shards", 0));
+  double prepare_seconds = 0.0;
+  if (shards == 0) {
+    // Force the monolithic index now so its build time is reported
+    // separately from the write; sharded saves build per shard inside
+    // SaveIndex itself.
+    Result<std::shared_ptr<const PreparedIndex>> index =
+        engine.ServingIndex();
+    if (!index.ok()) {
+      std::fprintf(stderr, "error: %s\n", index.status().ToString().c_str());
+      return 1;
+    }
+    prepare_seconds = (*index)->prepare_seconds();
   }
   WallTimer save_timer;
   Status status = engine.SaveIndex(path);
@@ -340,12 +374,20 @@ int RunSnapshot(const Flags& flags) {
     std::ifstream probe(path, std::ios::binary | std::ios::ate);
     if (probe) snapshot_bytes = static_cast<uint64_t>(probe.tellg());
   }
+  if (shards > 0) {
+    // The manifest is tiny; the payload lives in the per-shard files.
+    for (size_t s = 0; s < shards; ++s) {
+      std::ifstream probe(ShardedIndex::ShardFileName(path, s),
+                          std::ios::binary | std::ios::ate);
+      if (probe) snapshot_bytes += static_cast<uint64_t>(probe.tellg());
+    }
+  }
   std::fprintf(stderr,
-               "snapshot: %zu records -> %s (%llu bytes) "
+               "snapshot: %zu records -> %s (%llu bytes, %zu shard files) "
                "prepare=%.3fs write=%.3fs\n",
                dataset->records.size(), path.c_str(),
-               static_cast<unsigned long long>(snapshot_bytes),
-               (*index)->prepare_seconds(), save_seconds);
+               static_cast<unsigned long long>(snapshot_bytes), shards,
+               prepare_seconds, save_seconds);
 
   std::string stats_out = flags.GetString("stats_out", "");
   if (!stats_out.empty()) {
@@ -353,7 +395,8 @@ int RunSnapshot(const Flags& flags) {
     BenchReport report = MakeCliReport(flags, *dataset, "snapshot", &run);
     run.algorithm = "snapshot";
     run.variant = path;
-    run.stats.prepare_seconds = (*index)->prepare_seconds();
+    run.stats.prepare_seconds = prepare_seconds;
+    run.stats.shards = shards;
     run.total_seconds = run.stats.prepare_seconds + save_seconds;
     run.wall_seconds = run.total_seconds;
     run.has_snapshot = true;
@@ -404,11 +447,12 @@ int RunJoin(const Flags& flags) {
     // the snapshot restores; the partitioned pipeline and the baseline
     // algorithms prepare their own state and would silently ignore it.
     if (algorithm != "unified" || flags.GetInt("partition", 0) != 0 ||
-        !dataset->records2.empty()) {
+        flags.GetInt("shards", 0) != 0 || !dataset->records2.empty()) {
       std::fprintf(stderr,
                    "error: --snapshot requires --algorithm=unified, no "
-                   "--partition and no --input2 (the snapshot restores the "
-                   "shared monolithic self-join index)\n");
+                   "--partition, no --shards and no --input2 (the snapshot "
+                   "restores the shared monolithic self-join index; sharded "
+                   "snapshots serve `query`)\n");
       return 1;
     }
     if (!MaybeLoadSnapshot(flags, &engine)) return 1;
@@ -664,6 +708,7 @@ int RunQuery(const Flags& flags) {
     run.stats.queries = stats.queries;
     run.stats.query_candidates = stats.query_candidates;
     run.stats.results = stats.results;
+    run.stats.shards = stats.shards;
     // Cold-start provenance: lets bench scripts tell a snapshot-served
     // run from a rebuilt one without parsing stderr.
     run.index_source = engine.index_source();
@@ -766,6 +811,16 @@ int RunAppend(const Flags& flags) {
                static_cast<unsigned long long>(appended), append_seconds,
                append_seconds > 0 ? appended / append_seconds : 0.0,
                engine.generational_index()->size());
+  if (engine.auto_checkpoints() > 0) {
+    std::fprintf(stderr, "checkpoint: %llu size-triggered (WAL > %lld B)\n",
+                 static_cast<unsigned long long>(engine.auto_checkpoints()),
+                 static_cast<long long>(
+                     flags.GetInt("wal_checkpoint_bytes", 0)));
+  }
+  if (!engine.auto_checkpoint_status().ok()) {
+    std::fprintf(stderr, "warning: auto-checkpoint failed: %s\n",
+                 engine.auto_checkpoint_status().ToString().c_str());
+  }
 
   // Readiness AFTER the batch is durable: from the moment this file
   // exists a kill -9 must lose nothing, which is exactly what the CI

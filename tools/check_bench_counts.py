@@ -27,11 +27,23 @@ serve from a mounted snapshot ("snapshot") must not silently fall back
 to rebuilding ("rebuilt") — the smoke job uses this to pin the CLI's
 --snapshot path actually serving from the .aujsnap file.
 
+Sharded runs (stats.shards > 0) key with a " shards=<n>" suffix, so an
+expectations file written from a --shards run pins both the shard
+count (a run that silently fell back to monolithic loses the suffix
+and shows up as MISSING + NEW) and the scatter-gather counts.
+Monolithic runs keep the historical suffix-free keys — existing
+expectations files are untouched.
+
 Expectations file schema (sections optional):
 
-  {"results": {"<alg> theta=<t> tau=<u>": N, ...},
-   "candidates": {"<alg> theta=<t> tau=<u> partition=<p>": N, ...},
+  {"results": {"<alg> theta=<t> tau=<u>[ shards=<n>]": N, ...},
+   "candidates": {"<alg> theta=<t> tau=<u>[ shards=<n>] partition=<p>": N,
+                  ...},
    "index_source": {"<alg> theta=<t> tau=<u>": "snapshot"|"rebuilt", ...}}
+
+On any mismatch the script ends with a key-level diff: every guarded
+key in a  expected | actual  table, tagged ok/DRIFT/MISSING/NEW, so a
+CI failure shows the whole picture rather than the first bad cell.
 
 Usage:
   python3 tools/check_bench_counts.py BENCH_smoke.json \
@@ -46,8 +58,16 @@ import sys
 
 
 def result_key(run):
-    return "{} theta={:g} tau={:g}".format(
+    key = "{} theta={:g} tau={:g}".format(
         run["algorithm"], run["theta"], run["tau"])
+    # Sharded cells get their own keys: the scatter-gather parity
+    # contract says their counts EQUAL the monolithic ones, but keying
+    # them separately means a --shards run that silently fell back to
+    # monolithic (shards == 0) fails loudly instead of matching.
+    shards = run.get("shards", 0)
+    if shards > 0:
+        key += " shards={}".format(shards)
+    return key
 
 
 def candidate_key(run):
@@ -90,20 +110,39 @@ def collect_counts(report):
     return results, candidates, sources, errors
 
 
-def compare(section, counts, expected, report_path, expected_path, errors):
+def compare(section, counts, expected, report_path, expected_path, errors,
+            diff_rows):
     for key, want in sorted(expected.items()):
         if key not in counts:
             print(f"MISSING {section} {key}: expected {want}, cell not in "
                   f"{report_path} (grid shrank?)")
             errors.append(key)
+            diff_rows.append((section, key, want, None, "MISSING"))
         elif counts[key] != want:
             print(f"DRIFT {section} {key}: expected {want}, got "
                   f"{counts[key]}")
             errors.append(key)
+            diff_rows.append((section, key, want, counts[key], "DRIFT"))
+        else:
+            diff_rows.append((section, key, want, counts[key], "ok"))
     for key in sorted(set(counts) - set(expected)):
         print(f"NEW {section} {key}: {counts[key]} not in {expected_path} "
               f"(run with --update to record)")
         errors.append(key)
+        diff_rows.append((section, key, None, counts[key], "NEW"))
+
+
+def print_diff(diff_rows):
+    """Key-level expected-vs-actual table; the one artifact to read
+    when CI fails."""
+    width = max(len(f"{section} {key}") for section, key, _, _, _ in
+                diff_rows)
+    print("--- key-level diff (expected | actual) ---")
+    for section, key, want, got, status in diff_rows:
+        cell = f"{section} {key}".ljust(width)
+        want_s = "-" if want is None else str(want)
+        got_s = "-" if got is None else str(got)
+        print(f"  {cell}  {want_s:>10} | {got_s:<10} {status}")
 
 
 def main():
@@ -135,10 +174,11 @@ def main():
     with open(expected_path, encoding="utf-8") as handle:
         expected = json.load(handle)
 
+    diff_rows = []
     compare("results", results, expected.get("results", {}), report_path,
-            expected_path, errors)
+            expected_path, errors, diff_rows)
     compare("candidates", candidates, expected.get("candidates", {}),
-            report_path, expected_path, errors)
+            report_path, expected_path, errors, diff_rows)
     # index_source cells are opt-in: only guard keys the expectations
     # name (a rebuilt-serving report legitimately has none).
     for key, want in sorted(expected.get("index_source", {}).items()):
@@ -147,7 +187,11 @@ def main():
             print(f"DRIFT index_source {key}: expected {want!r}, got "
                   f"{got!r} (snapshot serving silently fell back?)")
             errors.append(key)
+        diff_rows.append(("index_source", key, want, got or None,
+                          "ok" if got == want else "DRIFT"))
 
+    if errors and diff_rows:
+        print_diff(diff_rows)
     print(f"checked {len(expected.get('results', {}))} result + "
           f"{len(expected.get('candidates', {}))} candidate + "
           f"{len(expected.get('index_source', {}))} index-source cells "
